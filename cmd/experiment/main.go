@@ -1,0 +1,80 @@
+// Command experiment runs the paper's experiments end-to-end (in
+// deterministic virtual time) and prints paper-vs-measured tables, plus
+// optionally the full per-second time series behind each figure.
+//
+// Usage:
+//
+//	experiment -id fig9           # one experiment
+//	experiment -id all            # everything, in paper order
+//	experiment -id fig8 -series   # include the time series (plot input)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "all", "experiment id or 'all' (see -list)")
+	series := flag.Bool("series", false, "also dump the per-second rate series as a TSV table")
+	out := flag.String("out", "", "directory to write one <id>.tsv per figure (plot input)")
+	list := flag.Bool("list", false, "print the experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	ids := []string{*id}
+	if *id == "all" {
+		ids = experiments.IDs()
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	failed := false
+	for _, one := range ids {
+		res, err := experiments.Run(one)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", one, err)
+			failed = true
+			continue
+		}
+		fmt.Print(res.Summary())
+		if len(res.Violations()) > 0 {
+			failed = true
+		}
+		if *series && res.Recorder != nil {
+			if err := res.Recorder.WriteTable(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", one, err)
+				failed = true
+			}
+		}
+		if *out != "" && res.Recorder != nil {
+			path := filepath.Join(*out, one+".tsv")
+			f, err := os.Create(path)
+			if err == nil {
+				err = res.Recorder.WriteTable(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: write %s: %v\n", one, path, err)
+				failed = true
+			}
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Command redirector runs one agreement-enforcing redirector node from a
+// JSON scenario file (see internal/config), at Layer 7 or Layer 4,
+// optionally joined to a combining tree of peer redirectors.
+//
+// Usage:
+//
+//	redirector -config scenario.json -layer l7 -id 0
+//
+// A minimal provider-mode scenario:
+//
+//	{
+//	  "mode": "provider", "provider": "S",
+//	  "window_ms": 100, "num_redirectors": 2,
+//	  "principals": [{"name":"S","capacity":320},{"name":"A"},{"name":"B"}],
+//	  "agreements": [
+//	    {"owner":"S","user":"A","lb":0.2,"ub":1.0},
+//	    {"owner":"S","user":"B","lb":0.8,"ub":1.0}],
+//	  "l7": {"addr":"127.0.0.1:8080",
+//	         "orgs": {"alpha":"A","beta":"B"},
+//	         "backends": {"S": ["http://127.0.0.1:8081"]}}
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"repro/internal/agreement"
+	"repro/internal/combining"
+	"repro/internal/config"
+	"repro/internal/l4"
+	"repro/internal/l7"
+	"repro/internal/treenet"
+)
+
+func main() {
+	path := flag.String("config", "", "scenario JSON file (required)")
+	layer := flag.String("layer", "l7", "l7 (HTTP 302 switch) or l4 (TCP NAT-style switch)")
+	id := flag.Int("id", 0, "this redirector's id")
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := config.Load(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := f.BuildEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := f.BuildSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := treeSpec(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(eng.DescribeEntitlements())
+
+	switch *layer {
+	case "l7":
+		if f.L7 == nil {
+			log.Fatal("scenario has no l7 section")
+		}
+		orgs := make(map[string]agreement.Principal, len(f.L7.Orgs))
+		for org, name := range f.L7.Orgs {
+			p, ok := sys.Lookup(name)
+			if !ok {
+				log.Fatalf("l7 org %q maps to unknown principal %q", org, name)
+			}
+			orgs[org] = p
+		}
+		backends, err := config.ResolvePrincipals(sys, f.L7.Backends)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := l7.NewRedirector(l7.RedirectorConfig{
+			Engine: eng, ID: *id, Addr: f.L7.Addr,
+			Orgs: orgs, Backends: backends, Tree: tree,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close() //nolint:errcheck // process exit
+		fmt.Printf("l7 redirector %d at %s", *id, r.URL())
+		if ta := r.TreeAddr(); ta != "" {
+			fmt.Printf(" (tree %s)", ta)
+		}
+		fmt.Println()
+	case "l4":
+		if f.L4 == nil {
+			log.Fatal("scenario has no l4 section")
+		}
+		var services []l4.ServiceSpec
+		for name, addr := range f.L4.Services {
+			p, ok := sys.Lookup(name)
+			if !ok {
+				log.Fatalf("l4 service for unknown principal %q", name)
+			}
+			services = append(services, l4.ServiceSpec{Principal: p, Addr: addr})
+		}
+		backends, err := config.ResolvePrincipals(sys, f.L4.Backends)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := l4.NewRedirector(l4.Config{
+			Engine: eng, ID: *id, Services: services, Backends: backends, Tree: tree,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Close() //nolint:errcheck // process exit
+		fmt.Printf("l4 redirector %d up:", *id)
+		for name := range f.L4.Services {
+			p, _ := sys.Lookup(name)
+			fmt.Printf(" %s=%s", name, r.Addr(p))
+		}
+		if ta := r.TreeAddr(); ta != "" {
+			fmt.Printf(" (tree %s)", ta)
+		}
+		fmt.Println()
+	default:
+		log.Fatalf("unknown layer %q", *layer)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
+func treeSpec(f *config.File) (*treenet.Spec, error) {
+	if f.Tree == nil {
+		return nil, nil
+	}
+	spec := &treenet.Spec{
+		NodeID:     combining.NodeID(f.Tree.NodeID),
+		Parent:     combining.NodeID(f.Tree.Parent),
+		ListenAddr: f.Tree.ListenAddr,
+		Peers:      make(map[combining.NodeID]string, len(f.Tree.Peers)),
+	}
+	for _, c := range f.Tree.Children {
+		spec.Children = append(spec.Children, combining.NodeID(c))
+	}
+	for idStr, addr := range f.Tree.Peers {
+		n, err := strconv.Atoi(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("tree peer id %q: %v", idStr, err)
+		}
+		spec.Peers[combining.NodeID(n)] = addr
+	}
+	return spec, nil
+}

@@ -1,0 +1,93 @@
+// Command webbench is the synthetic load generator modeled on the paper's
+// WebBench setup: N client workers issue requests for one organization
+// against a redirector, follow redirects (retrying self-redirects), and
+// report achieved throughput once per second.
+//
+// Usage:
+//
+//	webbench -layer l7 -target http://127.0.0.1:8080/svc/alpha/page -workers 4 -duration 30s
+//	webbench -layer l4 -target 127.0.0.1:9090 -workers 4 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/l4"
+	"repro/internal/l7"
+)
+
+func main() {
+	layer := flag.String("layer", "l7", "l7 (HTTP) or l4 (TCP)")
+	target := flag.String("target", "", "URL (l7) or host:port (l4) to hammer (required)")
+	workers := flag.Int("workers", 4, "concurrent client workers")
+	duration := flag.Duration("duration", 30*time.Second, "run length")
+	pace := flag.Duration("pace", 0, "per-worker minimum time between requests (0 = closed loop)")
+	flag.Parse()
+	if *target == "" {
+		flag.Usage()
+		log.Fatal("missing -target")
+	}
+
+	var completed, failed int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			httpClient := l7.NewClient()
+			for !stop.Load() {
+				start := time.Now()
+				var err error
+				switch *layer {
+				case "l7":
+					_, err = httpClient.Fetch(*target)
+				case "l4":
+					var ok bool
+					ok, err = l4.Do(*target, "GET /", 5*time.Second)
+					if err == nil && !ok {
+						err = fmt.Errorf("bad reply")
+					}
+				default:
+					log.Fatalf("unknown layer %q", *layer)
+				}
+				if err != nil {
+					atomic.AddInt64(&failed, 1)
+					time.Sleep(10 * time.Millisecond)
+				} else {
+					atomic.AddInt64(&completed, 1)
+				}
+				if *pace > 0 {
+					if rest := *pace - time.Since(start); rest > 0 {
+						time.Sleep(rest)
+					}
+				}
+			}
+		}()
+	}
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	deadline := time.After(*duration)
+	var last int64
+	for done := false; !done; {
+		select {
+		case <-ticker.C:
+			cur := atomic.LoadInt64(&completed)
+			fmt.Printf("%s\t%d req/s\t(total %d, failed %d)\n",
+				time.Now().Format("15:04:05"), cur-last, cur, atomic.LoadInt64(&failed))
+			last = cur
+		case <-deadline:
+			done = true
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	fmt.Printf("done: %d completed, %d failed over %v (%.1f req/s)\n",
+		completed, failed, *duration, float64(completed)/duration.Seconds())
+}

@@ -1,0 +1,228 @@
+package repro
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the command-line binaries once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"backend", "redirector", "webbench", "experiment"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Dir = "."
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+// freePort grabs an ephemeral port and releases it for a child process.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// startProc launches a tool and arranges cleanup.
+func startProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	return cmd
+}
+
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening on %s", addr)
+}
+
+// TestCommandLineDeploymentL7 runs backend + redirector + webbench as
+// separate processes against a scenario file — the full multi-process
+// deployment path of the cmd tools.
+func TestCommandLineDeploymentL7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bins := buildTools(t)
+
+	backendPort := freePort(t)
+	redirectorPort := freePort(t)
+	backendAddr := fmt.Sprintf("127.0.0.1:%d", backendPort)
+	redirectorAddr := fmt.Sprintf("127.0.0.1:%d", redirectorPort)
+
+	startProc(t, filepath.Join(bins, "backend"),
+		"-layer", "l7", "-addr", backendAddr, "-capacity", "300", "-stats", "0")
+	waitListening(t, backendAddr)
+
+	scenario := fmt.Sprintf(`{
+	  "mode": "provider", "provider": "S",
+	  "window_ms": 20, "num_redirectors": 1,
+	  "principals": [
+	    {"name": "S", "capacity": 200},
+	    {"name": "A", "capacity": 0},
+	    {"name": "B", "capacity": 0}
+	  ],
+	  "agreements": [
+	    {"owner": "S", "user": "A", "lb": 0.75, "ub": 1.0},
+	    {"owner": "S", "user": "B", "lb": 0.25, "ub": 1.0}
+	  ],
+	  "l7": {
+	    "addr": %q,
+	    "orgs": {"alpha": "A", "beta": "B"},
+	    "backends": {"S": ["http://%s"]}
+	  }
+	}`, redirectorAddr, backendAddr)
+	scenarioPath := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(scenarioPath, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	startProc(t, filepath.Join(bins, "redirector"),
+		"-config", scenarioPath, "-layer", "l7", "-id", "0")
+	waitListening(t, redirectorAddr)
+
+	out, err := exec.Command(filepath.Join(bins, "webbench"),
+		"-layer", "l7",
+		"-target", fmt.Sprintf("http://%s/svc/alpha/page?size=256", redirectorAddr),
+		"-workers", "3", "-duration", "2s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("webbench: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "done:") {
+		t.Fatalf("webbench output missing summary:\n%s", out)
+	}
+	// The run must have completed a substantial number of requests.
+	var completed, failed int
+	var rate float64
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "done:") {
+			if _, err := fmt.Sscanf(line, "done: %d completed, %d failed over 2s (%f req/s)",
+				&completed, &failed, &rate); err != nil {
+				t.Fatalf("cannot parse %q: %v", line, err)
+			}
+		}
+	}
+	if completed < 100 {
+		t.Fatalf("only %d requests completed end-to-end", completed)
+	}
+}
+
+// TestCommandLineDeploymentL4 runs the Layer-4 path: TCP backend + NAT-style
+// redirector + webbench in separate processes.
+func TestCommandLineDeploymentL4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bins := buildTools(t)
+
+	backendAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	serviceAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+
+	startProc(t, filepath.Join(bins, "backend"),
+		"-layer", "l4", "-addr", backendAddr, "-capacity", "300", "-stats", "0")
+	waitListening(t, backendAddr)
+
+	scenario := fmt.Sprintf(`{
+	  "mode": "community",
+	  "window_ms": 20, "num_redirectors": 1,
+	  "principals": [
+	    {"name": "A", "capacity": 300},
+	    {"name": "B", "capacity": 0}
+	  ],
+	  "agreements": [
+	    {"owner": "A", "user": "B", "lb": 0.5, "ub": 1.0}
+	  ],
+	  "l4": {
+	    "services": {"B": %q},
+	    "backends": {"A": [%q]}
+	  }
+	}`, serviceAddr, backendAddr)
+	scenarioPath := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(scenarioPath, []byte(scenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	startProc(t, filepath.Join(bins, "redirector"),
+		"-config", scenarioPath, "-layer", "l4", "-id", "0")
+	waitListening(t, serviceAddr)
+
+	out, err := exec.Command(filepath.Join(bins, "webbench"),
+		"-layer", "l4", "-target", serviceAddr,
+		"-workers", "3", "-duration", "2s").CombinedOutput()
+	if err != nil {
+		t.Fatalf("webbench l4: %v\n%s", err, out)
+	}
+	var completed, failed int
+	var rate float64
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "done:") {
+			if _, err := fmt.Sscanf(line, "done: %d completed, %d failed over 2s (%f req/s)",
+				&completed, &failed, &rate); err != nil {
+				t.Fatalf("cannot parse %q: %v", line, err)
+			}
+		}
+	}
+	if completed < 50 {
+		t.Fatalf("only %d connections completed end-to-end:\n%s", completed, out)
+	}
+}
+
+// TestCommandLineExperimentTool checks cmd/experiment's exit behavior and
+// output format.
+func TestCommandLineExperimentTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bins := buildTools(t)
+	out, err := exec.Command(filepath.Join(bins, "experiment"), "-id", "fig3").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiment fig3: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "shape: OK") {
+		t.Fatalf("missing shape confirmation:\n%s", out)
+	}
+	// Unknown ids exit non-zero.
+	if _, err := exec.Command(filepath.Join(bins, "experiment"), "-id", "nope").CombinedOutput(); err == nil {
+		t.Fatal("unknown experiment id exited zero")
+	}
+	// Series dump includes the TSV header.
+	out, err = exec.Command(filepath.Join(bins, "experiment"), "-id", "fig1", "-series").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiment -series: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "endpoint") {
+		t.Fatalf("fig1 output wrong:\n%s", out)
+	}
+}

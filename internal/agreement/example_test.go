@@ -1,0 +1,55 @@
+package agreement_test
+
+import (
+	"fmt"
+
+	"repro/internal/agreement"
+)
+
+// The paper's Figure 3: A (1000 u/s) grants B [0.4, 0.6]; B (1500 u/s)
+// grants C [0.6, 1.0]. Folding the chain yields each principal's final
+// mandatory and optional resource levels.
+func Example() {
+	s := agreement.New()
+	a := s.MustAddPrincipal("A", 1000)
+	b := s.MustAddPrincipal("B", 1500)
+	c := s.MustAddPrincipal("C", 0)
+	s.MustSetAgreement(a, b, 0.4, 0.6)
+	s.MustSetAgreement(b, c, 0.6, 1.0)
+
+	acc, err := s.SystemAccess()
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range []agreement.Principal{a, b, c} {
+		fmt.Printf("%s: mandatory %.0f, optional %.0f\n", s.Name(p), acc.MC[p], acc.OC[p])
+	}
+	// Output:
+	// A: mandatory 600, optional 400
+	// B: mandatory 760, optional 1340
+	// C: mandatory 1140, optional 960
+}
+
+// Capacity changes re-scale entitlements without re-walking the agreement
+// graph: flows are capacity independent.
+func ExampleFlows_Access() {
+	s := agreement.New()
+	a := s.MustAddPrincipal("A", 100)
+	b := s.MustAddPrincipal("B", 0)
+	s.MustSetAgreement(a, b, 0.3, 0.3)
+
+	flows, err := s.Flows()
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range []float64{100, 50} { // A's server degrades
+		acc, err := flows.Access([]float64{v, 0})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("V=%v: B guaranteed %.0f\n", v, acc.MC[b])
+	}
+	// Output:
+	// V=100: B guaranteed 30
+	// V=50: B guaranteed 15
+}

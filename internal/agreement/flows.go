@@ -1,0 +1,195 @@
+package agreement
+
+import "fmt"
+
+// Flows holds the capacity-independent path sums of Figure 5, precomputed so
+// that entitlements under any capacity vector are a cheap scaling (the paper:
+// "MI and OI can be rewritten as V_j × MT_ji and V_j × OT_ji where MT and OT
+// can be pre-computed").
+//
+// MT[k][i] is the unit-capacity gross mandatory flow from owner k into
+// principal i's currency: the sum over simple paths k⇝i of the product of
+// lower bounds along the path (MT[k][k] = 1 for the empty path).
+//
+// OT[k][i] is the unit-capacity optional inflow from k into i: the sum over
+// simple paths of products with exactly one (ub−lb) optional hop followed by
+// upper bounds (formula 2).
+type Flows struct {
+	n      int
+	MT     [][]float64
+	OT     [][]float64
+	sumLB  []float64 // Σ_j lb_ij per principal i
+	system *System
+}
+
+// maxPathExpansions bounds the simple-path enumeration. The paper argues the
+// principal count "is expected to be small"; this guard turns a pathological
+// dense graph into an error instead of an exponential hang.
+const maxPathExpansions = 4_000_000
+
+// Flows enumerates simple paths in the agreement graph and returns the
+// precomputed MT/OT matrices. The result snapshots the agreement structure:
+// later SetAgreement calls require recomputation, while capacity changes do
+// not (use Access with a fresh capacity vector).
+func (s *System) Flows() (*Flows, error) {
+	n := len(s.names)
+	f := &Flows{
+		n:      n,
+		MT:     newMatrix(n),
+		OT:     newMatrix(n),
+		sumLB:  make([]float64, n),
+		system: s,
+	}
+	for i := 0; i < n; i++ {
+		f.sumLB[i] = s.mandatoryOut(Principal(i))
+	}
+
+	type edge struct {
+		to     int
+		lb, ub float64
+	}
+	adj := make([][]edge, n)
+	for o := 0; o < n; o++ {
+		for u, b := range s.edges[o] {
+			adj[o] = append(adj[o], edge{to: int(u), lb: b[0], ub: b[1]})
+		}
+	}
+
+	expansions := 0
+	visited := make([]bool, n)
+	// dfs walks simple paths from source k carrying two running products:
+	// mand = Π lb over the path so far, and opt = Σ over choices of the
+	// optional hop r of (Π_{<r} lb)·(ub_r−lb_r)·(Π_{>r} ub).
+	var dfs func(k, at int, mand, opt float64) error
+	dfs = func(k, at int, mand, opt float64) error {
+		for _, e := range adj[at] {
+			if visited[e.to] {
+				continue
+			}
+			expansions++
+			if expansions > maxPathExpansions {
+				return fmt.Errorf("%w: more than %d path expansions", ErrTooManyPaths, maxPathExpansions)
+			}
+			nm := mand * e.lb
+			no := opt*e.ub + mand*(e.ub-e.lb)
+			f.MT[k][e.to] += nm
+			f.OT[k][e.to] += no
+			if nm == 0 && no == 0 {
+				continue // nothing further can flow down this path
+			}
+			visited[e.to] = true
+			if err := dfs(k, e.to, nm, no); err != nil {
+				return err
+			}
+			visited[e.to] = false
+		}
+		return nil
+	}
+
+	for k := 0; k < n; k++ {
+		f.MT[k][k] = 1 // a currency always includes its own physical backing
+		visited[k] = true
+		if err := dfs(k, k, 1, 0); err != nil {
+			return nil, err
+		}
+		visited[k] = false
+	}
+	return f, nil
+}
+
+func newMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range m {
+		m[i], flat = flat[:n], flat[n:]
+	}
+	return m
+}
+
+// NumPrincipals reports the number of principals the flows were computed for.
+func (f *Flows) NumPrincipals() int { return f.n }
+
+// Access is the per-window entitlement structure consumed by the schedulers:
+// who may place how much load on whose servers.
+type Access struct {
+	// MI[k][i] is i's mandatory entitlement on owner k's servers
+	// (guaranteed even under overload). Σ_k MI[k][i] = MC[i].
+	MI [][]float64
+	// OI[k][i] is i's additional best-effort entitlement on owner k's
+	// servers. Σ_k OI[k][i] = OC[i].
+	OI [][]float64
+	// MC[i] and OC[i] are the aggregate mandatory and optional request
+	// processing rates of principal i (formulae 3 and 4).
+	MC, OC []float64
+	// Gross[i] is the gross mandatory value of i's currency (V_i plus all
+	// mandatory inflow, before subtracting outflow) — the "1900" for B in
+	// the paper's Figure 3 walkthrough.
+	Gross []float64
+}
+
+// Access scales the precomputed path sums by the capacity vector V (indexed
+// by Principal) into concrete entitlements.
+//
+// Derivation against Figure 5:
+//
+//	Gross_i = Σ_k V_k·MT[k][i]
+//	MI_ki   = V_k·MT[k][i]·(1 − Σ_j lb_ij)        (leak factor, formula 3)
+//	OI_ki   = V_k·(OT[k][i] + Σ_j lb_ij·MT[k][i]) (formula 4: optional inflow
+//	          plus the mandatory value i granted away but may reclaim while
+//	          its grantees leave it unused)
+func (f *Flows) Access(v []float64) (*Access, error) {
+	if len(v) != f.n {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrDimensionLength, len(v), f.n)
+	}
+	a := &Access{
+		MI:    newMatrix(f.n),
+		OI:    newMatrix(f.n),
+		MC:    make([]float64, f.n),
+		OC:    make([]float64, f.n),
+		Gross: make([]float64, f.n),
+	}
+	for i := 0; i < f.n; i++ {
+		leak := 1 - f.sumLB[i]
+		if leak < 0 {
+			leak = 0
+		}
+		for k := 0; k < f.n; k++ {
+			gross := v[k] * f.MT[k][i]
+			a.Gross[i] += gross
+			mi := gross * leak
+			oi := v[k]*f.OT[k][i] + f.sumLB[i]*gross
+			a.MI[k][i] = mi
+			a.OI[k][i] = oi
+			a.MC[i] += mi
+			a.OC[i] += oi
+		}
+	}
+	return a, nil
+}
+
+// SystemAccess recomputes flows and entitlements in one step using the
+// system's current capacities. Prefer caching Flows when only capacities
+// change between windows.
+func (s *System) SystemAccess() (*Access, error) {
+	f, err := s.Flows()
+	if err != nil {
+		return nil, err
+	}
+	return f.Access(s.capacities)
+}
+
+// MultiAccess computes one Access per resource dimension for systems whose
+// capacities are vectors (paper §3.1.1: "In case of multiple resource types,
+// above quantities should be represented as vectors"). dims[d][p] is
+// principal p's capacity in dimension d.
+func (f *Flows) MultiAccess(dims [][]float64) ([]*Access, error) {
+	out := make([]*Access, len(dims))
+	for d, v := range dims {
+		a, err := f.Access(v)
+		if err != nil {
+			return nil, fmt.Errorf("dimension %d: %w", d, err)
+		}
+		out[d] = a
+	}
+	return out, nil
+}

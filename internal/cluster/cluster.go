@@ -1,0 +1,178 @@
+// Package cluster models capacity-limited backend servers for the
+// experiment harness: the "Apache on a 1 GHz PC saturating at 320 req/s" of
+// the paper's testbed becomes a deterministic fixed-rate queueing server
+// over virtual time.
+//
+// The package also implements local (end-point) SLA enforcement — the
+// strawman of the paper's Figure 1 — so the coordinated scheme can be
+// compared against servers that enforce shares independently.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Request is one unit of work arriving at a server.
+type Request struct {
+	// Principal is the organization the request belongs to (an
+	// agreement.Principal, kept as int to avoid the dependency).
+	Principal int
+	// ID is a caller-chosen identifier for tracing.
+	ID uint64
+	// Cost is the request's service demand in units of the average request
+	// (the paper: "large requests are treated as multiple small ones").
+	// Zero means 1.
+	Cost float64
+	// IssuedAt is when the client first issued the request (for response
+	// time accounting); the server passes it through untouched.
+	IssuedAt time.Duration
+}
+
+func (r Request) cost() float64 {
+	if r.Cost <= 0 {
+		return 1
+	}
+	return r.Cost
+}
+
+// DoneFunc is invoked at a request's completion time.
+type DoneFunc func(req Request, completedAt time.Duration)
+
+// Server is a single FIFO server draining at a fixed capacity (requests per
+// second) over virtual time: a G/D/1 queue with a bounded backlog.
+type Server struct {
+	name     string
+	clock    *vclock.Clock
+	capacity float64 // req/s
+	maxQueue int     // pending completions beyond which offers are refused
+
+	pending  int
+	lastDone time.Duration
+	onDone   DoneFunc
+
+	// Accepted and Dropped count Offer outcomes; Completed counts
+	// completions fired so far.
+	Accepted  int
+	Dropped   int
+	Completed int
+}
+
+// NewServer creates a server with the given capacity in requests/second.
+// maxQueue bounds the backlog; a request offered beyond it is refused
+// (≤ 0 means an effectively unbounded queue).
+func NewServer(name string, clock *vclock.Clock, capacity float64, maxQueue int, onDone DoneFunc) *Server {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cluster: server %q needs positive capacity", name))
+	}
+	if maxQueue <= 0 {
+		maxQueue = 1 << 30
+	}
+	return &Server{name: name, clock: clock, capacity: capacity, maxQueue: maxQueue, onDone: onDone}
+}
+
+// Name returns the server's display name.
+func (s *Server) Name() string { return s.name }
+
+// Capacity returns the server's service rate in requests/second.
+func (s *Server) Capacity() float64 { return s.capacity }
+
+// SetCapacity changes the service rate applied to subsequently accepted
+// requests (hardware degradation or upgrade mid-run; the agreement layer
+// re-interprets entitlements against the new level via
+// core.Engine.UpdateCapacities). Non-positive values are ignored.
+func (s *Server) SetCapacity(c float64) {
+	if c > 0 {
+		s.capacity = c
+	}
+}
+
+// QueueLen reports the number of requests accepted but not yet completed.
+func (s *Server) QueueLen() int { return s.pending }
+
+// Offer submits a request. It returns false if the backlog is full; the
+// request is then dropped (counted in Dropped). On acceptance the request
+// completes after all earlier work, at the server's fixed service rate.
+func (s *Server) Offer(req Request) bool {
+	if s.pending >= s.maxQueue {
+		s.Dropped++
+		return false
+	}
+	s.Accepted++
+	s.pending++
+	service := time.Duration(req.cost() / s.capacity * float64(time.Second))
+	start := s.clock.Now()
+	if s.lastDone > start {
+		start = s.lastDone
+	}
+	done := start + service
+	s.lastDone = done
+	s.clock.Schedule(done-s.clock.Now(), func() {
+		s.pending--
+		s.Completed++
+		if s.onDone != nil {
+			s.onDone(req, s.clock.Now())
+		}
+	})
+	return true
+}
+
+// Utilization reports the fraction of time the server has been busy up to
+// the current instant, measured as completed work over elapsed time.
+func (s *Server) Utilization() float64 {
+	now := s.clock.Now().Seconds()
+	if now <= 0 {
+		return 0
+	}
+	return float64(s.Completed) / s.capacity / now
+}
+
+// EnforceShares is end-point (per-server, uncoordinated) SLA enforcement:
+// given per-principal demand and guaranteed shares of capacity V, each
+// principal receives at least min(demand, share·V); unused reservations are
+// redistributed to still-hungry principals in proportion to their remaining
+// demand (work-conserving). This is exactly the behaviour that produces the
+// Figure 1 violation when applied independently at each server.
+func EnforceShares(demand, shares []float64, v float64) []float64 {
+	n := len(demand)
+	alloc := make([]float64, n)
+	remaining := v
+	// First pass: guaranteed shares, clipped to demand.
+	for i := 0; i < n; i++ {
+		g := shares[i] * v
+		if g > demand[i] {
+			g = demand[i]
+		}
+		if g < 0 {
+			g = 0
+		}
+		alloc[i] = g
+		remaining -= g
+	}
+	// Redistribute slack to unmet demand, proportionally, iterating because
+	// a principal may saturate its demand mid-redistribution.
+	for iter := 0; iter < n+1 && remaining > 1e-9; iter++ {
+		totalUnmet := 0.0
+		for i := 0; i < n; i++ {
+			if d := demand[i] - alloc[i]; d > 0 {
+				totalUnmet += d
+			}
+		}
+		if totalUnmet <= 1e-12 {
+			break
+		}
+		grant := remaining
+		if totalUnmet < grant {
+			grant = totalUnmet
+		}
+		for i := 0; i < n; i++ {
+			if d := demand[i] - alloc[i]; d > 0 {
+				alloc[i] += grant * d / totalUnmet
+			}
+		}
+		remaining -= grant
+	}
+	return alloc
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestServerDrainsAtCapacity(t *testing.T) {
+	clock := vclock.New()
+	var completions []time.Duration
+	s := NewServer("s1", clock, 10, 0, func(req Request, at time.Duration) {
+		completions = append(completions, at)
+	})
+	if s.Name() != "s1" || s.Capacity() != 10 {
+		t.Fatal("metadata wrong")
+	}
+	for i := 0; i < 5; i++ {
+		if !s.Offer(Request{Principal: 0, ID: uint64(i)}) {
+			t.Fatal("offer refused under empty queue")
+		}
+	}
+	if s.QueueLen() != 5 {
+		t.Fatalf("QueueLen = %d", s.QueueLen())
+	}
+	clock.RunUntil(time.Second)
+	if len(completions) != 5 {
+		t.Fatalf("completed %d", len(completions))
+	}
+	// Service rate 10/s ⇒ completions at 100 ms, 200 ms, ...
+	for i, at := range completions {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if at != want {
+			t.Fatalf("completion %d at %v, want %v", i, at, want)
+		}
+	}
+	if s.QueueLen() != 0 || s.Completed != 5 || s.Accepted != 5 {
+		t.Fatal("counters wrong after drain")
+	}
+}
+
+func TestServerBacklogBound(t *testing.T) {
+	clock := vclock.New()
+	s := NewServer("s", clock, 1, 2, nil)
+	if !s.Offer(Request{}) || !s.Offer(Request{}) {
+		t.Fatal("first two offers should fit")
+	}
+	if s.Offer(Request{}) {
+		t.Fatal("third offer should exceed maxQueue=2")
+	}
+	if s.Dropped != 1 {
+		t.Fatalf("Dropped = %d", s.Dropped)
+	}
+	clock.RunUntil(3 * time.Second)
+	if !s.Offer(Request{}) {
+		t.Fatal("offer after drain refused")
+	}
+}
+
+func TestRequestCostScalesService(t *testing.T) {
+	clock := vclock.New()
+	var last time.Duration
+	s := NewServer("s", clock, 10, 0, func(_ Request, at time.Duration) { last = at })
+	s.Offer(Request{Cost: 5}) // 5 average requests worth of work
+	clock.RunUntil(time.Second)
+	if last != 500*time.Millisecond {
+		t.Fatalf("large request completed at %v, want 500ms", last)
+	}
+}
+
+func TestIdleServerRestartsFromNow(t *testing.T) {
+	clock := vclock.New()
+	var times []time.Duration
+	s := NewServer("s", clock, 10, 0, func(_ Request, at time.Duration) { times = append(times, at) })
+	s.Offer(Request{})
+	clock.RunUntil(5 * time.Second) // long idle gap
+	s.Offer(Request{})
+	clock.RunUntil(10 * time.Second)
+	if times[1] != 5*time.Second+100*time.Millisecond {
+		t.Fatalf("second completion at %v", times[1])
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	clock := vclock.New()
+	s := NewServer("s", clock, 10, 0, nil)
+	if s.Utilization() != 0 {
+		t.Fatal("utilization before time advances should be 0")
+	}
+	for i := 0; i < 10; i++ {
+		s.Offer(Request{})
+	}
+	clock.RunUntil(2 * time.Second) // 10 completions over 2 s at cap 10/s
+	if u := s.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestSetCapacityAffectsNewWork(t *testing.T) {
+	clock := vclock.New()
+	var times []time.Duration
+	s := NewServer("s", clock, 10, 0, func(_ Request, at time.Duration) { times = append(times, at) })
+	s.Offer(Request{})
+	clock.RunUntil(time.Second)
+	s.SetCapacity(100)
+	s.SetCapacity(0) // ignored
+	if s.Capacity() != 100 {
+		t.Fatalf("capacity = %v", s.Capacity())
+	}
+	s.Offer(Request{})
+	clock.RunUntil(2 * time.Second)
+	if got := times[1] - time.Second; got != 10*time.Millisecond {
+		t.Fatalf("post-upgrade service time = %v, want 10ms", got)
+	}
+}
+
+func TestBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewServer("s", vclock.New(), 0, 0, nil)
+}
+
+func TestEnforceSharesUnderload(t *testing.T) {
+	// Figure 1, server S1: demand (A:20, B:30) against V=50 with shares
+	// (0.2, 0.8) — everything fits, everything is served.
+	got := EnforceShares([]float64{20, 30}, []float64{0.2, 0.8}, 50)
+	if math.Abs(got[0]-20) > 1e-9 || math.Abs(got[1]-30) > 1e-9 {
+		t.Fatalf("alloc = %v, want [20 30]", got)
+	}
+}
+
+func TestEnforceSharesOverload(t *testing.T) {
+	// Figure 1, server S2: demand (A:20, B:50) against V=50 ⇒ (A:10, B:40).
+	got := EnforceShares([]float64{20, 50}, []float64{0.2, 0.8}, 50)
+	if math.Abs(got[0]-10) > 1e-9 || math.Abs(got[1]-40) > 1e-9 {
+		t.Fatalf("alloc = %v, want [10 40]", got)
+	}
+}
+
+func TestEnforceSharesRedistribution(t *testing.T) {
+	// A uses only 5 of its 10 guaranteed; slack flows to B.
+	got := EnforceShares([]float64{5, 100}, []float64{0.2, 0.8}, 50)
+	if math.Abs(got[0]-5) > 1e-9 || math.Abs(got[1]-45) > 1e-9 {
+		t.Fatalf("alloc = %v, want [5 45]", got)
+	}
+}
+
+func TestEnforceSharesCascadingSaturation(t *testing.T) {
+	// Three principals; redistribution must iterate as mid-demand
+	// principals saturate.
+	got := EnforceShares([]float64{5, 12, 100}, []float64{0.4, 0.3, 0.3}, 100)
+	if math.Abs(got[0]-5) > 1e-6 || math.Abs(got[1]-12) > 1e-6 || math.Abs(got[2]-83) > 1e-6 {
+		t.Fatalf("alloc = %v, want [5 12 83]", got)
+	}
+	total := got[0] + got[1] + got[2]
+	if total > 100+1e-9 {
+		t.Fatalf("over-allocated: %v", total)
+	}
+}
+
+func TestEnforceSharesZeroDemand(t *testing.T) {
+	got := EnforceShares([]float64{0, 0}, []float64{0.5, 0.5}, 50)
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("alloc = %v", got)
+	}
+}

@@ -1,0 +1,271 @@
+// Package combining implements the dynamic combining tree of §3.2: redirector
+// nodes organized into a tree that aggregates per-principal queue lengths
+// upward each epoch and broadcasts the global aggregate back down, costing
+// 2(n−1) messages per epoch instead of the O(n²) of pairwise exchange.
+//
+// Beyond the total queue length the paper needs, nodes aggregate max, min,
+// count and sum-of-squares, so schedulers can also consume average and
+// variance (the paper's "other aggregate queue metrics").
+//
+// The package is transport-agnostic: a Node is driven by Tick/OnMessage and
+// emits messages through a send callback. internal/sim wires nodes to
+// simnet; cmd/redirector wires them to TCP.
+package combining
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// NodeID identifies a tree node (a redirector).
+type NodeID int
+
+// Aggregate is the combinable statistic vector, indexed by principal.
+type Aggregate struct {
+	Sum   []float64
+	Max   []float64
+	Min   []float64
+	SumSq []float64
+	Count int // number of contributing nodes
+}
+
+// NewAggregate returns an identity aggregate for n principals.
+func NewAggregate(n int) Aggregate {
+	a := Aggregate{
+		Sum:   make([]float64, n),
+		Max:   make([]float64, n),
+		Min:   make([]float64, n),
+		SumSq: make([]float64, n),
+	}
+	for i := range a.Min {
+		a.Max[i] = math.Inf(-1)
+		a.Min[i] = math.Inf(1)
+	}
+	return a
+}
+
+// FromLocal wraps one node's local vector as an aggregate.
+func FromLocal(local []float64) Aggregate {
+	a := NewAggregate(len(local))
+	for i, v := range local {
+		a.Sum[i] = v
+		a.Max[i] = v
+		a.Min[i] = v
+		a.SumSq[i] = v * v
+	}
+	a.Count = 1
+	return a
+}
+
+// Combine merges other into a (pointwise sum/max/min).
+func (a *Aggregate) Combine(other Aggregate) {
+	for i := range a.Sum {
+		if i >= len(other.Sum) {
+			break
+		}
+		a.Sum[i] += other.Sum[i]
+		a.SumSq[i] += other.SumSq[i]
+		if other.Max[i] > a.Max[i] {
+			a.Max[i] = other.Max[i]
+		}
+		if other.Min[i] < a.Min[i] {
+			a.Min[i] = other.Min[i]
+		}
+	}
+	a.Count += other.Count
+}
+
+// Avg returns the per-principal mean queue length across nodes.
+func (a Aggregate) Avg(i int) float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum[i] / float64(a.Count)
+}
+
+// Variance returns the per-principal population variance across nodes.
+func (a Aggregate) Variance(i int) float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	m := a.Avg(i)
+	v := a.SumSq[i]/float64(a.Count) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// clone deep-copies the aggregate so stored snapshots cannot alias callers'
+// slices.
+func (a Aggregate) clone() Aggregate {
+	c := Aggregate{
+		Sum:   append([]float64(nil), a.Sum...),
+		Max:   append([]float64(nil), a.Max...),
+		Min:   append([]float64(nil), a.Min...),
+		SumSq: append([]float64(nil), a.SumSq...),
+		Count: a.Count,
+	}
+	return c
+}
+
+// Report flows up the tree: the combined aggregate of a subtree.
+type Report struct {
+	Epoch int
+	Agg   Aggregate
+}
+
+// Broadcast flows down the tree: the global aggregate computed at the root.
+type Broadcast struct {
+	Epoch int
+	Agg   Aggregate
+}
+
+// SendFunc transmits a message toward another node.
+type SendFunc func(to NodeID, msg interface{})
+
+// Node is one combining-tree participant. Not safe for concurrent use; the
+// owner serializes Tick/OnMessage/SetLocal (the simulation loop or a single
+// network goroutine).
+type Node struct {
+	id          NodeID
+	parent      NodeID // -1 at the root
+	children    []NodeID
+	numPrin     int
+	send        SendFunc
+	now         func() time.Duration
+	local       []float64
+	childAggs   map[NodeID]Aggregate
+	childEpochs map[NodeID]int
+	lastHeard   map[NodeID]time.Duration
+	epoch       int
+	global      Aggregate
+	globalAt    time.Duration
+	globalEpoch int
+	haveGlobal  bool
+}
+
+// NewNode constructs a node. parent is −1 for the root. now supplies
+// timestamps for staleness tracking (virtual or wall time).
+func NewNode(id NodeID, parent NodeID, children []NodeID, numPrincipals int,
+	send SendFunc, now func() time.Duration) *Node {
+	return &Node{
+		id:          id,
+		parent:      parent,
+		children:    append([]NodeID(nil), children...),
+		numPrin:     numPrincipals,
+		send:        send,
+		now:         now,
+		local:       make([]float64, numPrincipals),
+		childAggs:   make(map[NodeID]Aggregate),
+		childEpochs: make(map[NodeID]int),
+		lastHeard:   make(map[NodeID]time.Duration),
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.id }
+
+// IsRoot reports whether this node is the tree root.
+func (n *Node) IsRoot() bool { return n.parent < 0 }
+
+// SetLocal records the node's current local queue-length vector.
+func (n *Node) SetLocal(values []float64) {
+	copy(n.local, values)
+	for i := len(values); i < n.numPrin; i++ {
+		n.local[i] = 0
+	}
+}
+
+// subtree combines the local vector with the latest child reports.
+func (n *Node) subtree() Aggregate {
+	agg := FromLocal(n.local)
+	for _, c := range n.children {
+		if ca, ok := n.childAggs[c]; ok {
+			agg.Combine(ca)
+		}
+	}
+	return agg
+}
+
+// Tick runs one epoch: leaves and intermediates push their subtree aggregate
+// to their parent; the root computes the global aggregate and broadcasts it.
+func (n *Node) Tick() {
+	n.epoch++
+	agg := n.subtree()
+	if n.IsRoot() {
+		n.acceptGlobal(Broadcast{Epoch: n.epoch, Agg: agg})
+		return
+	}
+	n.send(n.parent, Report{Epoch: n.epoch, Agg: agg.clone()})
+}
+
+func (n *Node) acceptGlobal(b Broadcast) {
+	n.global = b.Agg.clone()
+	n.globalAt = n.now()
+	n.globalEpoch = b.Epoch
+	n.haveGlobal = true
+	for _, c := range n.children {
+		n.send(c, Broadcast{Epoch: b.Epoch, Agg: b.Agg.clone()})
+	}
+}
+
+// OnMessage processes a Report from a child or a Broadcast from the parent.
+// Unknown message types are ignored, as are messages older (by epoch) than
+// what is already held — TCP transports may reorder deliveries, and a stale
+// report must not overwrite a fresher one.
+func (n *Node) OnMessage(from NodeID, msg interface{}) {
+	switch m := msg.(type) {
+	case Report:
+		n.lastHeard[from] = n.now()
+		if m.Epoch < n.childEpochs[from] {
+			return
+		}
+		n.childAggs[from] = m.Agg
+		n.childEpochs[from] = m.Epoch
+	case Broadcast:
+		n.lastHeard[from] = n.now()
+		if n.haveGlobal && m.Epoch < n.globalEpoch {
+			return
+		}
+		n.acceptGlobal(m)
+	}
+}
+
+// LastHeard reports when a message from the given neighbor last arrived;
+// ok is false if it has never been heard. Failure detectors use this to
+// decide when to rebuild the tree.
+func (n *Node) LastHeard(neighbor NodeID) (time.Duration, bool) {
+	at, ok := n.lastHeard[neighbor]
+	return at, ok
+}
+
+// Global returns the latest global aggregate, its timestamp, and whether one
+// has been received at all.
+func (n *Node) Global() (Aggregate, time.Duration, bool) {
+	return n.global, n.globalAt, n.haveGlobal
+}
+
+// Reconfigure rewires the node's position in the tree (dynamic membership:
+// a failed parent is replaced by the grandparent, new children attach).
+// Stale child reports from nodes no longer children are discarded.
+func (n *Node) Reconfigure(parent NodeID, children []NodeID) {
+	n.parent = parent
+	n.children = append(n.children[:0], children...)
+	keep := make(map[NodeID]bool, len(children))
+	for _, c := range children {
+		keep[c] = true
+	}
+	for id := range n.childAggs {
+		if !keep[id] {
+			delete(n.childAggs, id)
+			delete(n.childEpochs, id)
+		}
+	}
+}
+
+// String renders the node's tree position.
+func (n *Node) String() string {
+	return fmt.Sprintf("combining.Node{id=%d parent=%d children=%v}", n.id, n.parent, n.children)
+}

@@ -1,0 +1,374 @@
+package combining
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// rig wires a set of combining-tree nodes over a simulated network.
+type rig struct {
+	clock *vclock.Clock
+	net   *simnet.Network
+	nodes map[NodeID]*Node
+	topo  Topology
+}
+
+func newRig(t testing.TB, n, numPrin, fanout int, delay time.Duration) *rig {
+	t.Helper()
+	r := &rig{
+		clock: vclock.New(),
+		nodes: make(map[NodeID]*Node),
+	}
+	r.net = simnet.New(r.clock, delay)
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	r.topo = BuildTree(ids, fanout)
+	for _, id := range ids {
+		id := id
+		send := func(to NodeID, msg interface{}) {
+			r.net.Send(simnet.NodeID(id), simnet.NodeID(to), msg)
+		}
+		r.nodes[id] = NewNode(id, r.topo.Parent[id], r.topo.Children[id], numPrin, send, r.clock.Now)
+		r.net.Handle(simnet.NodeID(id), func(from simnet.NodeID, msg interface{}) {
+			r.nodes[id].OnMessage(NodeID(from), msg)
+		})
+	}
+	return r
+}
+
+// tickAll runs one epoch leaves-first so a zero-delay network converges in a
+// single sweep, mirroring "an intermediate node waits for information from
+// its children".
+func (r *rig) tickAll() {
+	byDepth := make([][]NodeID, 0)
+	depth := func(id NodeID) int {
+		d := 0
+		for r.topo.Parent[id] >= 0 {
+			id = r.topo.Parent[id]
+			d++
+		}
+		return d
+	}
+	maxD := 0
+	for id := range r.nodes {
+		if d := depth(id); d > maxD {
+			maxD = d
+		}
+	}
+	byDepth = make([][]NodeID, maxD+1)
+	for id := range r.nodes {
+		byDepth[depth(id)] = append(byDepth[depth(id)], id)
+	}
+	for d := maxD; d >= 0; d-- {
+		for _, id := range byDepth[d] {
+			r.nodes[id].Tick()
+		}
+		r.clock.RunFor(0) // drain same-instant deliveries between levels
+	}
+}
+
+func TestTreeAggregatesSum(t *testing.T) {
+	r := newRig(t, 7, 2, 2, 0)
+	for i := 0; i < 7; i++ {
+		r.nodes[NodeID(i)].SetLocal([]float64{float64(i + 1), 10 * float64(i+1)})
+	}
+	r.tickAll()
+	r.clock.RunFor(time.Millisecond)
+	for id, n := range r.nodes {
+		g, _, ok := n.Global()
+		if !ok {
+			t.Fatalf("node %d has no global aggregate", id)
+		}
+		if math.Abs(g.Sum[0]-28) > 1e-9 || math.Abs(g.Sum[1]-280) > 1e-9 {
+			t.Fatalf("node %d sum = %v, want [28 280]", id, g.Sum)
+		}
+		if g.Count != 7 {
+			t.Fatalf("node %d count = %d", id, g.Count)
+		}
+		if g.Max[0] != 7 || g.Min[0] != 1 {
+			t.Fatalf("node %d max/min = %v/%v", id, g.Max[0], g.Min[0])
+		}
+		if math.Abs(g.Avg(0)-4) > 1e-9 {
+			t.Fatalf("avg = %g, want 4", g.Avg(0))
+		}
+		if math.Abs(g.Variance(0)-4) > 1e-9 {
+			t.Fatalf("variance = %g, want 4", g.Variance(0))
+		}
+	}
+}
+
+func TestMessageCountPerEpoch(t *testing.T) {
+	const n = 16
+	r := newRig(t, n, 1, 2, 0)
+	r.net.ResetCounters()
+	r.tickAll()
+	r.clock.RunFor(time.Millisecond)
+	// The paper's claim: 2(n−1) messages per epoch (n−1 up, n−1 down).
+	if r.net.Sent != 2*(n-1) {
+		t.Fatalf("tree sent %d messages, want %d", r.net.Sent, 2*(n-1))
+	}
+}
+
+func TestPairwiseMessageCountAndAgreement(t *testing.T) {
+	const n = 8
+	clock := vclock.New()
+	net := simnet.New(clock, 0)
+	peers := make([]NodeID, n)
+	for i := range peers {
+		peers[i] = NodeID(i)
+	}
+	nodes := make([]*PairwiseExchanger, n)
+	for i := 0; i < n; i++ {
+		i := i
+		send := func(to NodeID, msg interface{}) {
+			net.Send(simnet.NodeID(i), simnet.NodeID(to), msg)
+		}
+		nodes[i] = NewPairwiseExchanger(NodeID(i), peers, 1, send)
+		net.Handle(simnet.NodeID(i), func(from simnet.NodeID, msg interface{}) {
+			nodes[i].OnMessage(NodeID(from), msg)
+		})
+		nodes[i].SetLocal([]float64{float64(i)})
+	}
+	for _, nd := range nodes {
+		nd.Tick()
+	}
+	clock.RunFor(time.Millisecond)
+	if net.Sent != n*(n-1) {
+		t.Fatalf("pairwise sent %d, want %d", net.Sent, n*(n-1))
+	}
+	want := float64(n*(n-1)) / 2
+	for i, nd := range nodes {
+		if g := nd.Global(); math.Abs(g.Sum[0]-want) > 1e-9 {
+			t.Fatalf("node %d global = %v, want %g", i, g.Sum, want)
+		}
+	}
+}
+
+func TestDelayLagsGlobalView(t *testing.T) {
+	// Two nodes, 10 s one-way delay on every link (the Figure 8 setup):
+	// a change at node 1 is invisible at node 1's own global view until the
+	// report has travelled up and the broadcast back down.
+	r := newRig(t, 2, 1, 2, 10*time.Second)
+	r.nodes[0].SetLocal([]float64{5})
+	r.nodes[1].SetLocal([]float64{7})
+
+	epoch := r.clock.ScheduleEvery(100*time.Millisecond, func() {
+		r.nodes[1].Tick()
+		r.nodes[0].Tick()
+	})
+	defer epoch.Stop()
+
+	r.clock.RunUntil(5 * time.Second)
+	if _, _, ok := r.nodes[1].Global(); ok {
+		t.Fatal("leaf saw a global aggregate before the round trip completed")
+	}
+	// Root (node 0) sees its own broadcast immediately but without node 1's
+	// report for the first 10 s.
+	g, _, ok := r.nodes[0].Global()
+	if !ok || g.Sum[0] != 5 {
+		t.Fatalf("root early view = %v ok=%v, want only local 5", g.Sum, ok)
+	}
+	r.clock.RunUntil(25 * time.Second)
+	g, _, ok = r.nodes[0].Global()
+	if !ok || g.Sum[0] != 12 {
+		t.Fatalf("root late view = %v, want 12", g.Sum)
+	}
+	g1, at, ok := r.nodes[1].Global()
+	if !ok || g1.Sum[0] != 12 {
+		t.Fatalf("leaf late view = %v, want 12", g1.Sum)
+	}
+	if at < 10*time.Second {
+		t.Fatalf("leaf global timestamp %v implausibly early", at)
+	}
+}
+
+func TestStaleChildDataPersistsUntilNextReport(t *testing.T) {
+	r := newRig(t, 3, 1, 2, 0)
+	r.nodes[1].SetLocal([]float64{100})
+	r.nodes[2].SetLocal([]float64{50})
+	r.tickAll()
+	r.clock.RunFor(time.Millisecond)
+	g, _, _ := r.nodes[0].Global()
+	if g.Sum[0] != 150 {
+		t.Fatalf("sum = %v", g.Sum)
+	}
+	// Node 1's queue drains but only node 2 reports this epoch: the root
+	// still uses node 1's stale 100 — the lag the paper accepts.
+	r.nodes[1].SetLocal([]float64{0})
+	r.nodes[2].Tick()
+	r.clock.RunFor(0)
+	r.nodes[0].Tick()
+	r.clock.RunFor(time.Millisecond)
+	g, _, _ = r.nodes[0].Global()
+	if g.Sum[0] != 150 {
+		t.Fatalf("stale view should remain 150, got %v", g.Sum)
+	}
+	r.tickAll()
+	r.clock.RunFor(time.Millisecond)
+	g, _, _ = r.nodes[0].Global()
+	if g.Sum[0] != 50 {
+		t.Fatalf("fresh view = %v, want 50", g.Sum)
+	}
+}
+
+func TestBuildTreeShape(t *testing.T) {
+	ids := []NodeID{4, 2, 0, 1, 3}
+	topo := BuildTree(ids, 2)
+	if topo.Root != 0 {
+		t.Fatalf("root = %d", topo.Root)
+	}
+	if topo.Parent[1] != 0 || topo.Parent[2] != 0 || topo.Parent[3] != 1 || topo.Parent[4] != 1 {
+		t.Fatalf("parents = %v", topo.Parent)
+	}
+	if topo.Depth() != 2 {
+		t.Fatalf("depth = %d", topo.Depth())
+	}
+	if got := BuildTree(nil, 2); got.Root != -1 {
+		t.Fatalf("empty tree root = %d", got.Root)
+	}
+	// Fan-out below 2 is clamped.
+	if topo2 := BuildTree(ids, 0); topo2.Parent[2] != 0 {
+		t.Fatalf("clamped fanout parents = %v", topo2.Parent)
+	}
+}
+
+func TestRemoveNodeReparenting(t *testing.T) {
+	ids := []NodeID{0, 1, 2, 3, 4, 5, 6}
+	topo := BuildTree(ids, 2)
+	// Node 1 (children 3,4) fails: 3 and 4 re-parent to 0.
+	topo2 := topo.RemoveNode(1)
+	if topo2.Parent[3] != 0 || topo2.Parent[4] != 0 {
+		t.Fatalf("orphans not re-parented: %v", topo2.Parent)
+	}
+	if _, ok := topo2.Parent[1]; ok {
+		t.Fatal("failed node still present")
+	}
+	// Root fails: smallest orphan becomes root.
+	topo3 := topo.RemoveNode(0)
+	if topo3.Root != 1 || topo3.Parent[1] != -1 || topo3.Parent[2] != 1 {
+		t.Fatalf("root replacement wrong: root=%d parents=%v", topo3.Root, topo3.Parent)
+	}
+}
+
+func TestReconfigureDropsStaleChildren(t *testing.T) {
+	r := newRig(t, 3, 1, 2, 0)
+	r.nodes[1].SetLocal([]float64{100})
+	r.nodes[2].SetLocal([]float64{50})
+	r.tickAll()
+	r.clock.RunFor(time.Millisecond)
+	// Node 2 fails; rebuild and re-apply the topology.
+	topo2 := r.topo.RemoveNode(2)
+	live := map[NodeID]*Node{0: r.nodes[0], 1: r.nodes[1]}
+	topo2.Apply(live)
+	r.topo = topo2
+	delete(r.nodes, 2)
+	r.tickAll()
+	r.clock.RunFor(time.Millisecond)
+	g, _, _ := r.nodes[0].Global()
+	if g.Sum[0] != 100 || g.Count != 2 {
+		t.Fatalf("after failure sum=%v count=%d, want 100/2", g.Sum, g.Count)
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	r := newRig(t, 1, 1, 2, 0)
+	r.nodes[0].SetLocal([]float64{42})
+	r.nodes[0].Tick()
+	g, _, ok := r.nodes[0].Global()
+	if !ok || g.Sum[0] != 42 {
+		t.Fatalf("single-node global = %v ok=%v", g.Sum, ok)
+	}
+	if !r.nodes[0].IsRoot() {
+		t.Fatal("single node must be root")
+	}
+	if !strings.Contains(r.nodes[0].String(), "id=0") {
+		t.Fatalf("String() = %q", r.nodes[0].String())
+	}
+}
+
+func TestSetLocalShorterVectorZeroFills(t *testing.T) {
+	n := NewNode(0, -1, nil, 3, func(NodeID, interface{}) {}, func() time.Duration { return 0 })
+	n.SetLocal([]float64{1, 2, 3})
+	n.SetLocal([]float64{9})
+	n.Tick()
+	g, _, _ := n.Global()
+	if g.Sum[0] != 9 || g.Sum[1] != 0 || g.Sum[2] != 0 {
+		t.Fatalf("sum = %v", g.Sum)
+	}
+}
+
+func TestAggregateCombineMismatchedLengths(t *testing.T) {
+	a := FromLocal([]float64{1, 2})
+	b := FromLocal([]float64{10})
+	a.Combine(b)
+	if a.Sum[0] != 11 || a.Sum[1] != 2 {
+		t.Fatalf("sum = %v", a.Sum)
+	}
+}
+
+func TestUnknownMessageIgnored(t *testing.T) {
+	n := NewNode(0, -1, nil, 1, func(NodeID, interface{}) {}, func() time.Duration { return 0 })
+	n.OnMessage(5, "garbage")
+	if _, _, ok := n.Global(); ok {
+		t.Fatal("garbage message produced a global view")
+	}
+	if _, heard := n.LastHeard(5); heard {
+		t.Fatal("garbage message counted as heard")
+	}
+}
+
+func TestOutOfOrderMessagesIgnored(t *testing.T) {
+	n := NewNode(0, -1, []NodeID{1}, 1, func(NodeID, interface{}) {},
+		func() time.Duration { return 0 })
+	n.OnMessage(1, Report{Epoch: 5, Agg: FromLocal([]float64{50})})
+	n.OnMessage(1, Report{Epoch: 3, Agg: FromLocal([]float64{999})}) // reordered
+	n.Tick()
+	g, _, _ := n.Global()
+	if g.Sum[0] != 50 {
+		t.Fatalf("stale report overwrote fresher data: %v", g.Sum)
+	}
+
+	leaf := NewNode(1, 0, nil, 1, func(NodeID, interface{}) {},
+		func() time.Duration { return 0 })
+	leaf.OnMessage(0, Broadcast{Epoch: 9, Agg: FromLocal([]float64{9})})
+	leaf.OnMessage(0, Broadcast{Epoch: 2, Agg: FromLocal([]float64{2})})
+	g, _, _ = leaf.Global()
+	if g.Sum[0] != 9 {
+		t.Fatalf("stale broadcast accepted: %v", g.Sum)
+	}
+}
+
+func TestLastHeardTracksNeighbors(t *testing.T) {
+	at := 7 * time.Second
+	n := NewNode(0, -1, []NodeID{1}, 1, func(NodeID, interface{}) {},
+		func() time.Duration { return at })
+	if _, heard := n.LastHeard(1); heard {
+		t.Fatal("unheard neighbor reported heard")
+	}
+	n.OnMessage(1, Report{Agg: FromLocal([]float64{1})})
+	if lh, heard := n.LastHeard(1); !heard || lh != 7*time.Second {
+		t.Fatalf("LastHeard = %v,%v", lh, heard)
+	}
+	if n.ID() != 0 {
+		t.Fatal("ID wrong")
+	}
+}
+
+func BenchmarkTreeEpoch(b *testing.B) {
+	r := newRig(b, 31, 4, 2, 0)
+	for i := 0; i < 31; i++ {
+		r.nodes[NodeID(i)].SetLocal([]float64{1, 2, 3, 4})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.tickAll()
+		r.clock.RunFor(time.Millisecond)
+	}
+}

@@ -1,0 +1,29 @@
+package combining_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/combining"
+)
+
+// A two-node tree with an in-process transport: the leaf reports its queue
+// vector, the root combines and broadcasts the global view.
+func Example() {
+	var root, leaf *combining.Node
+	now := func() time.Duration { return 0 }
+	// Deliver messages synchronously for the example.
+	toRoot := func(to combining.NodeID, msg interface{}) { root.OnMessage(1, msg) }
+	toLeaf := func(to combining.NodeID, msg interface{}) { leaf.OnMessage(0, msg) }
+	root = combining.NewNode(0, -1, []combining.NodeID{1}, 2, toLeaf, now)
+	leaf = combining.NewNode(1, 0, nil, 2, toRoot, now)
+
+	root.SetLocal([]float64{10, 0})
+	leaf.SetLocal([]float64{5, 20})
+	leaf.Tick() // report up
+	root.Tick() // combine + broadcast down
+
+	g, _, _ := leaf.Global()
+	fmt.Printf("global queues: %v across %d nodes\n", g.Sum, g.Count)
+	// Output: global queues: [15 20] across 2 nodes
+}

@@ -1,0 +1,176 @@
+// Package config loads JSON deployment descriptions for the command-line
+// tools: the agreement system, the scheduling mode, and the Layer-7/Layer-4
+// front-end wiring. It exists so a multi-process deployment (cmd/backend,
+// cmd/redirector, cmd/webbench) can share one scenario file.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+)
+
+// ErrConfig reports an invalid configuration file.
+var ErrConfig = errors.New("config: invalid configuration")
+
+// PrincipalSpec declares one principal and its physical capacity in
+// requests/second.
+type PrincipalSpec struct {
+	Name     string  `json:"name"`
+	Capacity float64 `json:"capacity"`
+}
+
+// AgreementSpec declares one direct agreement by principal names.
+type AgreementSpec struct {
+	Owner string  `json:"owner"`
+	User  string  `json:"user"`
+	LB    float64 `json:"lb"`
+	UB    float64 `json:"ub"`
+}
+
+// TreeSpec wires this process into the combining tree.
+type TreeSpec struct {
+	NodeID     int               `json:"node_id"`
+	Parent     int               `json:"parent"` // -1 for root
+	Children   []int             `json:"children"`
+	Peers      map[string]string `json:"peers"` // node id (decimal) → addr
+	ListenAddr string            `json:"listen_addr"`
+}
+
+// L7Spec configures a Layer-7 redirector front-end.
+type L7Spec struct {
+	Addr string `json:"addr"`
+	// Orgs maps the URL org segment to a principal name.
+	Orgs map[string]string `json:"orgs"`
+	// Backends maps an owner principal name to backend base URLs.
+	Backends map[string][]string `json:"backends"`
+}
+
+// L4Spec configures a Layer-4 redirector front-end.
+type L4Spec struct {
+	// Services maps a principal name to its listen address (VIP analogue).
+	Services map[string]string `json:"services"`
+	// Backends maps an owner principal name to backend TCP addresses.
+	Backends map[string][]string `json:"backends"`
+}
+
+// File is the root of a scenario description.
+type File struct {
+	Mode           string             `json:"mode"` // "community" or "provider"
+	WindowMS       int                `json:"window_ms"`
+	NumRedirectors int                `json:"num_redirectors"`
+	StalenessMS    int                `json:"staleness_ms"`
+	Principals     []PrincipalSpec    `json:"principals"`
+	Agreements     []AgreementSpec    `json:"agreements"`
+	Provider       string             `json:"provider"`
+	Prices         map[string]float64 `json:"prices"`
+	L7             *L7Spec            `json:"l7"`
+	L4             *L4Spec            `json:"l4"`
+	Tree           *TreeSpec          `json:"tree"`
+}
+
+// Parse decodes and sanity-checks a scenario.
+func Parse(data []byte) (*File, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if f.Mode != "community" && f.Mode != "provider" {
+		return nil, fmt.Errorf("%w: mode must be community or provider, got %q", ErrConfig, f.Mode)
+	}
+	if len(f.Principals) == 0 {
+		return nil, fmt.Errorf("%w: no principals", ErrConfig)
+	}
+	if f.Mode == "provider" && f.Provider == "" {
+		return nil, fmt.Errorf("%w: provider mode needs a provider name", ErrConfig)
+	}
+	return &f, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// BuildSystem materializes the agreement system.
+func (f *File) BuildSystem() (*agreement.System, error) {
+	s := agreement.New()
+	for _, p := range f.Principals {
+		if _, err := s.AddPrincipal(p.Name, p.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range f.Agreements {
+		owner, ok := s.Lookup(a.Owner)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown owner %q", ErrConfig, a.Owner)
+		}
+		user, ok := s.Lookup(a.User)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown user %q", ErrConfig, a.User)
+		}
+		if err := s.SetAgreement(owner, user, a.LB, a.UB); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// BuildEngine materializes the enforcement engine.
+func (f *File) BuildEngine() (*core.Engine, error) {
+	s, err := f.BuildSystem()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		System:         s,
+		Window:         time.Duration(f.WindowMS) * time.Millisecond,
+		NumRedirectors: f.NumRedirectors,
+		Staleness:      time.Duration(f.StalenessMS) * time.Millisecond,
+	}
+	switch f.Mode {
+	case "community":
+		cfg.Mode = core.Community
+	case "provider":
+		cfg.Mode = core.Provider
+		p, ok := s.Lookup(f.Provider)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown provider %q", ErrConfig, f.Provider)
+		}
+		cfg.ProviderPrincipal = p
+		if len(f.Prices) > 0 {
+			cfg.Prices = make(map[agreement.Principal]float64, len(f.Prices))
+			for name, price := range f.Prices {
+				cp, ok := s.Lookup(name)
+				if !ok {
+					return nil, fmt.Errorf("%w: price for unknown principal %q", ErrConfig, name)
+				}
+				cfg.Prices[cp] = price
+			}
+		}
+	}
+	return core.NewEngine(cfg)
+}
+
+// ResolvePrincipals maps a name-keyed map to principal-keyed, validating
+// every name against the system.
+func ResolvePrincipals(s *agreement.System, byName map[string][]string) (map[agreement.Principal][]string, error) {
+	out := make(map[agreement.Principal][]string, len(byName))
+	for name, v := range byName {
+		p, ok := s.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown principal %q", ErrConfig, name)
+		}
+		out[p] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `{
+  "mode": "provider",
+  "window_ms": 50,
+  "num_redirectors": 2,
+  "staleness_ms": 0,
+  "principals": [
+    {"name": "S", "capacity": 320},
+    {"name": "A", "capacity": 0},
+    {"name": "B", "capacity": 0}
+  ],
+  "agreements": [
+    {"owner": "S", "user": "A", "lb": 0.2, "ub": 1.0},
+    {"owner": "S", "user": "B", "lb": 0.8, "ub": 1.0}
+  ],
+  "provider": "S",
+  "prices": {"A": 2, "B": 1},
+  "l7": {
+    "addr": "127.0.0.1:0",
+    "orgs": {"alpha": "A", "beta": "B"},
+    "backends": {"S": ["http://127.0.0.1:9000"]}
+  }
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	f, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPrincipals() != 3 {
+		t.Fatalf("principals = %d", sys.NumPrincipals())
+	}
+	sp, _ := sys.Lookup("S")
+	a, _ := sys.Lookup("A")
+	lb, ub, ok := sys.AgreementBetween(sp, a)
+	if !ok || lb != 0.2 || ub != 1.0 {
+		t.Fatalf("agreement = %v %v %v", lb, ub, ok)
+	}
+	eng, err := f.BuildEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Window().Milliseconds() != 50 {
+		t.Fatalf("window = %v", eng.Window())
+	}
+	if got := len(eng.Customers()); got != 2 {
+		t.Fatalf("customers = %d", got)
+	}
+	backends, err := ResolvePrincipals(sys, f.L7.Backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(backends[sp]) != 1 {
+		t.Fatalf("backends = %v", backends)
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mode != "provider" || f.L7 == nil || f.L7.Orgs["alpha"] != "A" {
+		t.Fatalf("loaded = %+v", f)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"mode": "weird", "principals": [{"name":"A"}]}`,
+		`{"mode": "community", "principals": []}`,
+		`{"mode": "provider", "principals": [{"name":"A"}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	f, err := Parse([]byte(`{
+	  "mode": "community",
+	  "principals": [{"name": "A", "capacity": 10}],
+	  "agreements": [{"owner": "A", "user": "ghost", "lb": 0.1, "ub": 0.5}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.BuildSystem(); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+
+	f2, err := Parse([]byte(`{
+	  "mode": "provider", "provider": "ghost",
+	  "principals": [{"name": "A", "capacity": 10}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.BuildEngine(); err == nil {
+		t.Fatal("unknown provider accepted")
+	}
+
+	f3, err := Parse([]byte(`{
+	  "mode": "provider", "provider": "A",
+	  "principals": [{"name": "A", "capacity": 10}],
+	  "prices": {"ghost": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f3.BuildEngine(); err == nil {
+		t.Fatal("price for unknown principal accepted")
+	}
+}
+
+func TestResolvePrincipalsUnknown(t *testing.T) {
+	f, err := Parse([]byte(`{"mode":"community","principals":[{"name":"A","capacity":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolvePrincipals(sys, map[string][]string{"ghost": {"x"}}); err == nil {
+		t.Fatal("unknown principal resolved")
+	}
+}

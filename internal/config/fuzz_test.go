@@ -1,0 +1,30 @@
+package config
+
+import (
+	"testing"
+)
+
+// FuzzParse must never panic and, when parsing succeeds, BuildSystem and
+// BuildEngine must either succeed or fail cleanly.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte(`{"mode":"community","principals":[{"name":"A","capacity":1}]}`))
+	f.Add([]byte(`{"mode":"provider","provider":"A","principals":[{"name":"A","capacity":1}],"prices":{"A":2}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"mode":"community","principals":[{"name":"A","capacity":-5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if cfg.Mode != "community" && cfg.Mode != "provider" {
+			t.Fatalf("Parse accepted invalid mode %q", cfg.Mode)
+		}
+		// Building may fail (bad names, bad bounds) but must not panic.
+		if sys, err := cfg.BuildSystem(); err == nil && sys.NumPrincipals() == 0 {
+			t.Fatal("BuildSystem returned an empty system without error")
+		}
+		_, _ = cfg.BuildEngine()
+	})
+}

@@ -1,0 +1,232 @@
+// Package container implements server-side resource containers in the
+// style of Cluster Reserves (Aron, Druschel, Zwaenepoel — the mechanism the
+// paper names in §2 and §6 as the orthogonal support needed to extend
+// agreement enforcement to long-lived requests such as media streams or
+// parallel jobs).
+//
+// A Manager partitions one server's capacity among service classes: each
+// class holds a guaranteed share, unused reservations are redistributed
+// work-conservingly, and the jobs inside a class progress under processor
+// sharing. Combined with the edge admission control in internal/core, this
+// closes the loop the paper describes: redirectors shape which requests
+// reach a server; containers ensure a long-lived request consumes only its
+// class's allocation once there.
+package container
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+// Errors reported by Manager operations.
+var (
+	ErrShareRange    = errors.New("container: share must be in (0, 1]")
+	ErrOverCommitted = errors.New("container: class shares exceed 100%")
+	ErrDuplicate     = errors.New("container: duplicate class name")
+	ErrBadWork       = errors.New("container: job work must be positive")
+)
+
+// Job is one long-lived request executing inside a class.
+type Job struct {
+	class     *Class
+	total     float64
+	remaining float64
+	onDone    func(at time.Duration)
+	done      bool
+}
+
+// Done reports whether the job has completed.
+func (j *Job) Done() bool { return j.done }
+
+// Progress reports completed work as a fraction in [0, 1].
+func (j *Job) Progress() float64 {
+	if j.total <= 0 {
+		return 1
+	}
+	return 1 - j.remaining/j.total
+}
+
+// Class is one service class: a container with a guaranteed capacity share.
+type Class struct {
+	name  string
+	share float64
+	jobs  []*Job
+
+	// ConsumedWork accumulates the capacity·time this class actually used.
+	ConsumedWork float64
+	// CompletedJobs counts finished jobs.
+	CompletedJobs int
+}
+
+// Name returns the class display name.
+func (c *Class) Name() string { return c.name }
+
+// Share returns the guaranteed capacity fraction.
+func (c *Class) Share() float64 { return c.share }
+
+// ActiveJobs reports the number of unfinished jobs.
+func (c *Class) ActiveJobs() int { return len(c.jobs) }
+
+// Manager multiplexes one server's capacity among classes over virtual
+// time. It is not safe for concurrent use; the simulation loop owns it.
+type Manager struct {
+	clock    *vclock.Clock
+	capacity float64 // work units per second
+	window   time.Duration
+	classes  []*Class
+	ticker   *vclock.Ticker
+	lastTick time.Duration
+}
+
+// NewManager creates a container manager draining capacity work-units/sec,
+// re-dividing allocations every window (the paper's fine-grained
+// enforcement granularity, versus Océano's minutes).
+func NewManager(clock *vclock.Clock, capacity float64, window time.Duration) *Manager {
+	if capacity <= 0 || window <= 0 {
+		panic("container: capacity and window must be positive")
+	}
+	m := &Manager{clock: clock, capacity: capacity, window: window, lastTick: clock.Now()}
+	m.ticker = clock.ScheduleEvery(window, m.tick)
+	return m
+}
+
+// AddClass registers a service class with a guaranteed share of capacity.
+// The sum of shares across classes may not exceed 1.
+func (m *Manager) AddClass(name string, share float64) (*Class, error) {
+	if share <= 0 || share > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrShareRange, share)
+	}
+	total := share
+	for _, c := range m.classes {
+		if c.name == name {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+		}
+		total += c.share
+	}
+	if total > 1+1e-12 {
+		return nil, fmt.Errorf("%w: %.3f", ErrOverCommitted, total)
+	}
+	c := &Class{name: name, share: share}
+	m.classes = append(m.classes, c)
+	return c, nil
+}
+
+// SetShare adjusts a class's guarantee at runtime (agreement changes are
+// dynamic in the paper's model). The over-commit rule still applies.
+func (m *Manager) SetShare(c *Class, share float64) error {
+	if share <= 0 || share > 1 {
+		return fmt.Errorf("%w: %v", ErrShareRange, share)
+	}
+	total := share
+	for _, other := range m.classes {
+		if other != c {
+			total += other.share
+		}
+	}
+	if total > 1+1e-12 {
+		return fmt.Errorf("%w: %.3f", ErrOverCommitted, total)
+	}
+	c.share = share
+	return nil
+}
+
+// Submit enqueues a job of the given total work (in capacity·seconds of
+// the whole server — a work of 10 on a 100-unit/s server takes 0.1 s at
+// full machine) into class c. onDone may be nil.
+func (m *Manager) Submit(c *Class, work float64, onDone func(at time.Duration)) (*Job, error) {
+	if work <= 0 {
+		return nil, fmt.Errorf("%w: %v", ErrBadWork, work)
+	}
+	j := &Job{class: c, total: work, remaining: work, onDone: onDone}
+	c.jobs = append(c.jobs, j)
+	return j, nil
+}
+
+// tick advances every class by one window's allocation.
+func (m *Manager) tick() {
+	now := m.clock.Now()
+	elapsed := (now - m.lastTick).Seconds()
+	m.lastTick = now
+	if elapsed <= 0 {
+		return
+	}
+	budget := m.capacity * elapsed
+
+	demand := make([]float64, len(m.classes))
+	shares := make([]float64, len(m.classes))
+	for i, c := range m.classes {
+		shares[i] = c.share
+		for _, j := range c.jobs {
+			demand[i] += j.remaining
+		}
+		if demand[i] > budget {
+			demand[i] = budget
+		}
+	}
+	// Cluster-Reserves behavior: guaranteed shares first, unused
+	// reservations redistributed to busy classes.
+	alloc := cluster.EnforceShares(demand, shares, budget)
+
+	for i, c := range m.classes {
+		m.advanceClass(c, alloc[i], now)
+	}
+}
+
+// advanceClass spends the class's allocation across its jobs under
+// processor sharing: equal rates, with early finishers' leftover flowing to
+// the rest within the same window.
+func (m *Manager) advanceClass(c *Class, alloc float64, now time.Duration) {
+	for alloc > 1e-12 && len(c.jobs) > 0 {
+		perJob := alloc / float64(len(c.jobs))
+		kept := c.jobs[:0]
+		for _, j := range c.jobs {
+			spend := perJob
+			if spend > j.remaining {
+				spend = j.remaining
+			}
+			j.remaining -= spend
+			alloc -= spend
+			c.ConsumedWork += spend
+			if j.remaining <= 1e-12 {
+				j.done = true
+				c.CompletedJobs++
+				if j.onDone != nil {
+					j.onDone(now)
+				}
+				continue
+			}
+			kept = append(kept, j)
+		}
+		c.jobs = kept
+		// Each pass either spends the whole allocation or completes at
+		// least one job, so this loop runs at most len(jobs)+1 times.
+	}
+}
+
+// Stop halts the manager's window ticker.
+func (m *Manager) Stop() { m.ticker.Stop() }
+
+// SharesFromAccess derives class shares from agreement entitlements: each
+// principal's guaranteed fraction of this server is its mandatory
+// entitlement on owner `owner` divided by the owner's capacity. This is
+// the glue between edge enforcement and server containers.
+func SharesFromAccess(mi [][]float64, owner int, capacity float64) []float64 {
+	shares := make([]float64, len(mi))
+	if capacity <= 0 {
+		return shares
+	}
+	for i := range shares {
+		shares[i] = mi[owner][i] / capacity
+		if shares[i] < 0 {
+			shares[i] = 0
+		}
+		if shares[i] > 1 {
+			shares[i] = 1
+		}
+	}
+	return shares
+}

@@ -1,0 +1,204 @@
+package container
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/vclock"
+)
+
+func TestSharesEnforcedUnderContention(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, 100*time.Millisecond)
+	gold, err := m.AddClass("gold", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bronze, err := m.AddClass("bronze", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both classes saturated with long jobs.
+	if _, err := m.Submit(gold, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(bronze, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(10 * time.Second)
+	// 10 s at 100 units/s: gold 700 units, bronze 300.
+	if math.Abs(gold.ConsumedWork-700) > 1 || math.Abs(bronze.ConsumedWork-300) > 1 {
+		t.Fatalf("consumed = %.1f/%.1f, want 700/300", gold.ConsumedWork, bronze.ConsumedWork)
+	}
+}
+
+func TestWorkConservingRedistribution(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, 100*time.Millisecond)
+	gold, _ := m.AddClass("gold", 0.7)
+	bronze, _ := m.AddClass("bronze", 0.3)
+	// Only bronze has work: it gets the whole machine.
+	done := time.Duration(-1)
+	if _, err := m.Submit(bronze, 500, func(at time.Duration) { done = at }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(20 * time.Second)
+	if gold.ConsumedWork != 0 {
+		t.Fatalf("idle gold consumed %v", gold.ConsumedWork)
+	}
+	// 500 units at the full 100/s: done at ≈5 s (window quantization ≤100 ms).
+	if done < 4900*time.Millisecond || done > 5200*time.Millisecond {
+		t.Fatalf("bronze finished at %v, want ≈5 s", done)
+	}
+	if bronze.CompletedJobs != 1 {
+		t.Fatalf("CompletedJobs = %d", bronze.CompletedJobs)
+	}
+}
+
+func TestProcessorSharingWithinClass(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, 100*time.Millisecond)
+	c, _ := m.AddClass("only", 1.0)
+	j1, _ := m.Submit(c, 100, nil)
+	j2, _ := m.Submit(c, 300, nil)
+	clock.RunUntil(2 * time.Second)
+	// 200 units delivered, split equally: j1 (100) done, j2 at 100/300.
+	if !j1.Done() {
+		t.Fatal("j1 should be done")
+	}
+	if p := j2.Progress(); math.Abs(p-1.0/3) > 0.02 {
+		t.Fatalf("j2 progress = %.3f, want ≈0.333", p)
+	}
+	clock.RunUntil(4 * time.Second)
+	if !j2.Done() {
+		t.Fatal("j2 should finish once alone at full class rate")
+	}
+	if c.ActiveJobs() != 0 {
+		t.Fatalf("ActiveJobs = %d", c.ActiveJobs())
+	}
+}
+
+func TestEarlyFinisherLeftoverFlowsWithinWindow(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, 100*time.Millisecond)
+	c, _ := m.AddClass("only", 1.0)
+	// j1 needs 1 unit; the 10-unit window splits 5/5, j1 finishes with 4
+	// spare that must flow to j2 in the same window.
+	j1, _ := m.Submit(c, 1, nil)
+	j2, _ := m.Submit(c, 100, nil)
+	clock.RunUntil(100 * time.Millisecond)
+	if !j1.Done() {
+		t.Fatal("j1 not done")
+	}
+	if math.Abs(c.ConsumedWork-10) > 1e-9 {
+		t.Fatalf("window consumed %.2f, want 10", c.ConsumedWork)
+	}
+	if got := j2.Progress() * 100; math.Abs(got-9) > 1e-9 {
+		t.Fatalf("j2 got %.2f units, want 9", got)
+	}
+}
+
+func TestShareValidation(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, time.Second)
+	if _, err := m.AddClass("x", 0); err == nil {
+		t.Error("zero share accepted")
+	}
+	if _, err := m.AddClass("x", 1.5); err == nil {
+		t.Error("share > 1 accepted")
+	}
+	a, err := m.AddClass("a", 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddClass("a", 0.1); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := m.AddClass("b", 0.5); err == nil {
+		t.Error("over-commit accepted")
+	}
+	b, err := m.AddClass("b", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetShare(a, 0.7); err == nil {
+		t.Error("SetShare over-commit accepted")
+	}
+	if err := m.SetShare(b, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetShare(a, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(a, -1, nil); err == nil {
+		t.Error("negative work accepted")
+	}
+}
+
+func TestDynamicShareChangeTakesEffect(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, 100*time.Millisecond)
+	a, _ := m.AddClass("a", 0.5)
+	b, _ := m.AddClass("b", 0.5)
+	m.Submit(a, 10_000, nil) //nolint:errcheck
+	m.Submit(b, 10_000, nil) //nolint:errcheck
+	clock.RunUntil(2 * time.Second)
+	if math.Abs(a.ConsumedWork-100) > 1 {
+		t.Fatalf("a consumed %.1f before change", a.ConsumedWork)
+	}
+	if err := m.SetShare(b, 0.1); err != nil { // shrink before growing a
+		t.Fatal(err)
+	}
+	if err := m.SetShare(a, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(4 * time.Second)
+	// Second 2 s: a gains 180, b gains 20.
+	if math.Abs(a.ConsumedWork-280) > 2 || math.Abs(b.ConsumedWork-120) > 2 {
+		t.Fatalf("after change consumed = %.1f/%.1f, want 280/120", a.ConsumedWork, b.ConsumedWork)
+	}
+}
+
+func TestManagerStop(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, 100*time.Millisecond)
+	c, _ := m.AddClass("a", 1)
+	j, _ := m.Submit(c, 50, nil)
+	clock.RunUntil(200 * time.Millisecond)
+	m.Stop()
+	clock.RunUntil(10 * time.Second)
+	if j.Done() {
+		t.Fatal("job progressed after Stop")
+	}
+}
+
+func TestSharesFromAccess(t *testing.T) {
+	// Figure 9 community: A's mandatory entitlement on B's server is half
+	// of B's capacity.
+	s := agreement.New()
+	a := s.MustAddPrincipal("A", 320)
+	b := s.MustAddPrincipal("B", 320)
+	s.MustSetAgreement(b, a, 0.5, 0.5)
+	acc, err := s.SystemAccess()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := SharesFromAccess(acc.MI, int(b), 320)
+	if math.Abs(shares[a]-0.5) > 1e-9 || math.Abs(shares[b]-0.5) > 1e-9 {
+		t.Fatalf("shares = %v, want [0.5 0.5]", shares)
+	}
+	if got := SharesFromAccess(acc.MI, int(b), 0); got[a] != 0 {
+		t.Fatal("zero capacity should yield zero shares")
+	}
+}
+
+func TestBadManagerConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewManager(vclock.New(), 0, time.Second)
+}

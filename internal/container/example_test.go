@@ -1,0 +1,33 @@
+package container_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/vclock"
+)
+
+// Two service classes share a 100 units/s server 70/30; after ten seconds
+// of contention each has consumed exactly its guaranteed share.
+func Example() {
+	clock := vclock.New()
+	m := container.NewManager(clock, 100, 100*time.Millisecond)
+	gold, err := m.AddClass("gold", 0.7)
+	if err != nil {
+		panic(err)
+	}
+	bronze, err := m.AddClass("bronze", 0.3)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := m.Submit(gold, 1e6, nil); err != nil {
+		panic(err)
+	}
+	if _, err := m.Submit(bronze, 1e6, nil); err != nil {
+		panic(err)
+	}
+	clock.RunUntil(10 * time.Second)
+	fmt.Printf("gold %.0f, bronze %.0f\n", gold.ConsumedWork, bronze.ConsumedWork)
+	// Output: gold 700, bronze 300
+}

@@ -1,0 +1,438 @@
+// Package core implements the paper's agreement-enforcement engine: the
+// piece each redirector runs to decide, window by window, which incoming
+// requests to forward to which servers so that the aggregate system honors
+// the resource sharing agreements.
+//
+// An Engine captures the static side — the agreement graph folded into
+// entitlements (internal/agreement) and the scheduling model
+// (internal/sched) — and stamps out one Redirector per admission point.
+// Each Redirector implements the credit scheme of §4.1 (implicit queuing):
+// at every window boundary it solves the LP on *global* queue estimates,
+// scales the plan to its local share (§3.2), and converts the result into
+// per-principal credits that admit or self-redirect individual requests
+// with O(1) work per request.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/sched"
+)
+
+// Mode selects the optimization context of §3.1.2.
+type Mode int
+
+const (
+	// Community minimizes the maximum response time across participants
+	// (max–min served fraction).
+	Community Mode = iota
+	// Provider maximizes a service provider's income.
+	Provider
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Community {
+		return "community"
+	}
+	return "provider"
+}
+
+// ErrConfig reports invalid engine configuration.
+var ErrConfig = errors.New("core: invalid config")
+
+// Config parameterizes an Engine.
+type Config struct {
+	Mode   Mode
+	System *agreement.System
+	// Window is the scheduling time window; the paper uses 100 ms.
+	Window time.Duration
+	// NumRedirectors is how many admission points share enforcement; a
+	// redirector lacking global information conservatively claims only
+	// 1/NumRedirectors of each mandatory entitlement (§5.1, Figure 8).
+	NumRedirectors int
+	// Staleness bounds how old global queue information may be before a
+	// redirector falls back to conservative mode; 0 means never (the paper
+	// tolerates arbitrarily lagged estimates once received).
+	Staleness time.Duration
+	// EWMAAlpha smooths the per-window arrival estimator (0 < α ≤ 1);
+	// the default 0.7 favors responsiveness to phase changes.
+	EWMAAlpha float64
+
+	// ProviderPrincipal is the owner of the servers in Provider mode.
+	ProviderPrincipal agreement.Principal
+	// Prices maps customers to the per-request price beyond their
+	// mandatory level (Provider mode); missing customers default to 1.
+	Prices map[agreement.Principal]float64
+
+	// LocalityCaps optionally bounds, per owner, the requests one
+	// redirector may push per window (Community mode, §3.1.2 extension).
+	LocalityCaps []float64
+
+	// AggressiveWhenBlind makes a redirector without global information
+	// claim each principal's FULL mandatory entitlement instead of the
+	// 1/NumRedirectors share. Exists for the ablation that shows why the
+	// paper's conservative rule matters: with a principal's demand split
+	// across blind redirectors, aggressive claiming admits multiples of
+	// the mandatory rate and overloads servers. Never enable in production.
+	AggressiveWhenBlind bool
+
+	// MultiResource switches Community mode to the multi-dimensional
+	// scheduler of §3.1.1 ("in case of multiple resource types, above
+	// quantities should be represented as vectors"). When set, the
+	// System's scalar capacities are ignored: flows are capacity
+	// independent, and entitlements come from these vectors instead.
+	MultiResource *MultiResourceConfig
+}
+
+// MultiResourceConfig declares vector capacities and per-request costs.
+type MultiResourceConfig struct {
+	// Capacities[d][p] is principal p's capacity in dimension d, in
+	// units/second (for example requests/s and KB/s).
+	Capacities [][]float64
+	// Costs[p][d] is how many units of dimension d one request of
+	// principal p consumes.
+	Costs [][]float64
+}
+
+// Engine holds the precomputed enforcement state shared by redirectors.
+// Entitlements fold the agreement graph once; capacity changes re-scale
+// them cheaply via UpdateCapacities (the paper's dynamic interpretation of
+// agreements, §2.2). The mutex makes scheduler swaps safe against
+// concurrently running redirector windows in the socket front-ends.
+type Engine struct {
+	cfg     Config
+	n       int
+	windowS float64
+	flows   *agreement.Flows
+
+	mu        sync.RWMutex
+	access    *agreement.Access // entitlements in requests/window
+	community *sched.Community
+	multi     *sched.MultiCommunity
+	provider  *sched.Provider
+	customers []agreement.Principal // Provider mode: LP index → principal
+	provTotal float64               // provider capacity per window
+}
+
+// NewEngine validates cfg, folds the agreement graph, and builds the window
+// scheduler.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.System == nil || cfg.System.NumPrincipals() == 0 {
+		return nil, fmt.Errorf("%w: nil or empty system", ErrConfig)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 100 * time.Millisecond
+	}
+	if cfg.NumRedirectors <= 0 {
+		cfg.NumRedirectors = 1
+	}
+	if cfg.EWMAAlpha <= 0 || cfg.EWMAAlpha > 1 {
+		cfg.EWMAAlpha = 0.7
+	}
+	n := cfg.System.NumPrincipals()
+	if cfg.Mode != Community && cfg.Mode != Provider {
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrConfig, int(cfg.Mode))
+	}
+	if cfg.Mode == Provider {
+		if p := cfg.ProviderPrincipal; int(p) < 0 || int(p) >= n {
+			return nil, fmt.Errorf("%w: provider principal %d out of range", ErrConfig, int(p))
+		}
+	}
+	if cfg.Mode == Community && cfg.LocalityCaps != nil && len(cfg.LocalityCaps) != n {
+		return nil, fmt.Errorf("%w: locality caps length %d, want %d", ErrConfig, len(cfg.LocalityCaps), n)
+	}
+	if cfg.MultiResource != nil {
+		if cfg.Mode != Community {
+			return nil, fmt.Errorf("%w: multi-resource requires Community mode", ErrConfig)
+		}
+		if len(cfg.MultiResource.Capacities) == 0 {
+			return nil, fmt.Errorf("%w: multi-resource needs at least one dimension", ErrConfig)
+		}
+	}
+
+	flows, err := cfg.System.Flows()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, n: n, windowS: cfg.Window.Seconds(), flows: flows}
+	if err := e.rebuild(cfg.System.Capacities()); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// rebuild derives entitlements and a fresh scheduler from the given
+// capacity vector (requests/second). Callers hold e.mu or own e exclusively.
+func (e *Engine) rebuild(capacities []float64) error {
+	rateAccess, err := e.flows.Access(capacities)
+	if err != nil {
+		return err
+	}
+	access := scaleAccess(rateAccess, e.windowS)
+
+	switch e.cfg.Mode {
+	case Community:
+		if e.cfg.MultiResource != nil {
+			return e.rebuildMulti()
+		}
+		capWin := make([]float64, e.n)
+		for i := 0; i < e.n; i++ {
+			capWin[i] = capacities[i] * e.windowS
+		}
+		var loc []float64
+		if e.cfg.LocalityCaps != nil {
+			loc = make([]float64, e.n)
+			for i, c := range e.cfg.LocalityCaps {
+				loc[i] = c * e.windowS
+			}
+		}
+		community, err := sched.NewCommunity(access, capWin, loc)
+		if err != nil {
+			return err
+		}
+		e.access, e.community = access, community
+	case Provider:
+		p := e.cfg.ProviderPrincipal
+		var customers []agreement.Principal
+		var mc, oc, prices []float64
+		for i := 0; i < e.n; i++ {
+			if agreement.Principal(i) == p {
+				continue
+			}
+			customers = append(customers, agreement.Principal(i))
+			mc = append(mc, access.MC[i])
+			oc = append(oc, access.OC[i])
+			price := 1.0
+			if v, ok := e.cfg.Prices[agreement.Principal(i)]; ok {
+				price = v
+			}
+			prices = append(prices, price)
+		}
+		provTotal := capacities[p] * e.windowS
+		provider, err := sched.NewProvider(mc, oc, prices, provTotal)
+		if err != nil {
+			return err
+		}
+		e.access, e.customers, e.provTotal, e.provider = access, customers, provTotal, provider
+	}
+	return nil
+}
+
+// rebuildMulti builds the multi-dimensional scheduler and a synthetic
+// request-denominated Access (the binding minimum across dimensions) used
+// for conservative fallback and introspection.
+func (e *Engine) rebuildMulti() error {
+	mr := e.cfg.MultiResource
+	dims := len(mr.Capacities)
+	capWin := make([][]float64, dims)
+	for d := range mr.Capacities {
+		if len(mr.Capacities[d]) != e.n {
+			return fmt.Errorf("%w: multi capacity dim %d has %d principals, want %d",
+				ErrConfig, d, len(mr.Capacities[d]), e.n)
+		}
+		capWin[d] = make([]float64, e.n)
+		for p, v := range mr.Capacities[d] {
+			capWin[d][p] = v * e.windowS
+		}
+	}
+	accs, err := e.flows.MultiAccess(capWin)
+	if err != nil {
+		return err
+	}
+	multi, err := sched.NewMultiCommunity(accs, capWin, mr.Costs)
+	if err != nil {
+		return err
+	}
+
+	// Synthetic per-request entitlements: per pair, the binding minimum
+	// across dimensions of entitlement/cost.
+	access := &agreement.Access{
+		MI: make([][]float64, e.n),
+		OI: make([][]float64, e.n),
+		MC: make([]float64, e.n),
+		OC: make([]float64, e.n),
+	}
+	reqLimit := func(get func(a *agreement.Access) float64, i int) float64 {
+		lim := -1.0
+		for d := 0; d < dims; d++ {
+			if e.cfg.MultiResource.Costs[i][d] <= 0 {
+				continue
+			}
+			v := get(accs[d]) / e.cfg.MultiResource.Costs[i][d]
+			if lim < 0 || v < lim {
+				lim = v
+			}
+		}
+		if lim < 0 {
+			return 0
+		}
+		return lim
+	}
+	for k := 0; k < e.n; k++ {
+		access.MI[k] = make([]float64, e.n)
+		access.OI[k] = make([]float64, e.n)
+	}
+	for i := 0; i < e.n; i++ {
+		for k := 0; k < e.n; k++ {
+			k := k
+			mi := reqLimit(func(a *agreement.Access) float64 { return a.MI[k][i] }, i)
+			total := reqLimit(func(a *agreement.Access) float64 { return a.MI[k][i] + a.OI[k][i] }, i)
+			if total < mi {
+				total = mi
+			}
+			access.MI[k][i] = mi
+			access.OI[k][i] = total - mi
+			access.MC[i] += mi
+			access.OC[i] += total - mi
+		}
+	}
+	e.access, e.multi = access, multi
+	return nil
+}
+
+// UpdateMultiResource re-interprets the agreements against new capacity
+// vectors in multi-resource mode (the §2.2 dynamic property, vectorized).
+func (e *Engine) UpdateMultiResource(capacities [][]float64) error {
+	if e.cfg.MultiResource == nil {
+		return fmt.Errorf("%w: engine is not multi-resource", ErrConfig)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.cfg.MultiResource.Capacities
+	e.cfg.MultiResource.Capacities = capacities
+	if err := e.rebuildMulti(); err != nil {
+		e.cfg.MultiResource.Capacities = old
+		return err
+	}
+	return nil
+}
+
+// UpdateCapacities re-interprets the agreements against new physical
+// resource levels (requests/second, indexed by principal) without
+// re-enumerating agreement paths — the paper's §2.2 dynamic-interpretation
+// property. The system object is kept in sync. Safe to call while
+// redirectors are running; the next StartWindow uses the new entitlements.
+func (e *Engine) UpdateCapacities(capacities []float64) error {
+	if e.cfg.MultiResource != nil {
+		return fmt.Errorf("%w: use UpdateMultiResource on a multi-resource engine", ErrConfig)
+	}
+	if len(capacities) != e.n {
+		return fmt.Errorf("%w: %d capacities for %d principals", ErrConfig, len(capacities), e.n)
+	}
+	for i, v := range capacities {
+		if err := e.cfg.System.SetCapacity(agreement.Principal(i), v); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rebuild(capacities)
+}
+
+// UpdateSystem refolds the agreement graph after structural changes
+// (SetAgreement calls on the engine's System). More expensive than
+// UpdateCapacities: the simple-path enumeration reruns.
+func (e *Engine) UpdateSystem() error {
+	flows, err := e.cfg.System.Flows()
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flows = flows
+	return e.rebuild(e.cfg.System.Capacities())
+}
+
+// schedState is the immutable per-window view a redirector schedules
+// against.
+type schedState struct {
+	access    *agreement.Access
+	community *sched.Community
+	multi     *sched.MultiCommunity
+	provider  *sched.Provider
+	customers []agreement.Principal
+}
+
+// snapshot returns the current scheduling state under the read lock.
+func (e *Engine) snapshot() schedState {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return schedState{
+		access:    e.access,
+		community: e.community,
+		multi:     e.multi,
+		provider:  e.provider,
+		customers: e.customers,
+	}
+}
+
+func scaleAccess(a *agreement.Access, f float64) *agreement.Access {
+	n := len(a.MC)
+	out := &agreement.Access{
+		MI:    make([][]float64, n),
+		OI:    make([][]float64, n),
+		MC:    make([]float64, n),
+		OC:    make([]float64, n),
+		Gross: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		out.MI[i] = make([]float64, n)
+		out.OI[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out.MI[i][j] = a.MI[i][j] * f
+			out.OI[i][j] = a.OI[i][j] * f
+		}
+		out.MC[i] = a.MC[i] * f
+		out.OC[i] = a.OC[i] * f
+		out.Gross[i] = a.Gross[i] * f
+	}
+	return out
+}
+
+// NumPrincipals reports the number of principals in the system.
+func (e *Engine) NumPrincipals() int { return e.n }
+
+// Window returns the scheduling window.
+func (e *Engine) Window() time.Duration { return e.cfg.Window }
+
+// Mode returns the optimization context.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Access exposes the per-window entitlements (MI/OI/MC/OC scaled to the
+// window) for inspection and tests.
+func (e *Engine) Access() *agreement.Access {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.access
+}
+
+// Customers returns, in LP order, the customer principals of a Provider
+// engine (nil for Community engines).
+func (e *Engine) Customers() []agreement.Principal {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]agreement.Principal(nil), e.customers...)
+}
+
+// DescribeEntitlements renders the folded per-principal entitlements in
+// requests/second — the operator-facing summary cmd/redirector logs at
+// startup so a deployment's effective guarantees are visible at a glance.
+func (e *Engine) DescribeEntitlements() string {
+	e.mu.RLock()
+	access := e.access
+	e.mu.RUnlock()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "entitlements (%s mode, %v windows):\n", e.cfg.Mode, e.cfg.Window)
+	for i := 0; i < e.n; i++ {
+		name := e.cfg.System.Name(agreement.Principal(i))
+		fmt.Fprintf(&sb, "  %-12s mandatory %8.1f req/s, optional %8.1f req/s\n",
+			name, access.MC[i]/e.windowS, access.OC[i]/e.windowS)
+	}
+	return sb.String()
+}

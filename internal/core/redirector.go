@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/sched"
+)
+
+// Redirector is one admission point. It is not safe for concurrent use;
+// callers (the simulation loop, or the network front-ends which serialize
+// through a mutex) own it.
+type Redirector struct {
+	e  *Engine
+	id int
+
+	arrivals []float64 // submissions observed in the current window
+	estimate []float64 // EWMA of per-window demand ("estimated queue length")
+
+	global   []float64 // latest global queue aggregate (requests/window)
+	globalAt time.Duration
+	haveGlob bool
+
+	// credits[p][k]: remaining admissions for principal p toward owner k's
+	// servers this window (Community). Provider mode uses creditsTotal only.
+	credits      [][]float64
+	creditsTotal []float64
+
+	// Window telemetry.
+	Admitted     int
+	Rejected     int
+	Windows      int
+	Conservative int // windows run in conservative fallback
+}
+
+// NewRedirector stamps out admission state for one redirector node.
+func (e *Engine) NewRedirector(id int) *Redirector {
+	r := &Redirector{
+		e:            e,
+		id:           id,
+		arrivals:     make([]float64, e.n),
+		estimate:     make([]float64, e.n),
+		creditsTotal: make([]float64, e.n),
+		credits:      make([][]float64, e.n),
+	}
+	for i := range r.credits {
+		r.credits[i] = make([]float64, e.n)
+	}
+	return r
+}
+
+// ID returns the redirector's identity.
+func (r *Redirector) ID() int { return r.id }
+
+// LocalEstimate returns the redirector's current per-principal demand
+// estimate in requests per window — the vector it contributes to the
+// combining tree.
+func (r *Redirector) LocalEstimate() []float64 {
+	return append([]float64(nil), r.estimate...)
+}
+
+// SetGlobal installs the latest global queue-length aggregate (the Sum
+// vector broadcast by the combining tree) with its generation time.
+func (r *Redirector) SetGlobal(queues []float64, at time.Duration) {
+	if r.global == nil {
+		r.global = make([]float64, r.e.n)
+	}
+	copy(r.global, queues)
+	r.globalAt = at
+	r.haveGlob = true
+}
+
+// HasGlobal reports whether any global aggregate has been received.
+func (r *Redirector) HasGlobal() bool { return r.haveGlob }
+
+// StartWindow closes the previous scheduling window and computes admission
+// credits for the next one. now is the current (virtual or wall) time used
+// for staleness checks.
+func (r *Redirector) StartWindow(now time.Duration) error {
+	r.Windows++
+	// Fold the finished window's arrivals into the demand estimate.
+	alpha := r.e.cfg.EWMAAlpha
+	for i := 0; i < r.e.n; i++ {
+		r.estimate[i] = alpha*r.arrivals[i] + (1-alpha)*r.estimate[i]
+		if r.estimate[i] < 1e-9 {
+			r.estimate[i] = 0
+		}
+		r.arrivals[i] = 0
+	}
+
+	st := r.e.snapshot()
+	stale := !r.haveGlob
+	if r.e.cfg.Staleness > 0 && r.haveGlob && now-r.globalAt > r.e.cfg.Staleness {
+		stale = true
+	}
+	if stale {
+		r.Conservative++
+		r.conservativeCredits(st)
+		return nil
+	}
+
+	// Global n_i, with self-inclusion: the aggregate lags, so a principal's
+	// global figure can miss this redirector's own fresh demand. Using
+	// max(global, local) keeps the local fraction ≤ 1.
+	n := make([]float64, r.e.n)
+	for i := 0; i < r.e.n; i++ {
+		n[i] = r.global[i]
+		if r.estimate[i] > n[i] {
+			n[i] = r.estimate[i]
+		}
+	}
+
+	switch r.e.cfg.Mode {
+	case Community:
+		var plan *sched.Plan
+		var err error
+		if st.multi != nil {
+			plan, err = st.multi.Schedule(n)
+		} else {
+			plan, err = st.community.Schedule(n)
+		}
+		if err != nil {
+			return fmt.Errorf("core: window schedule: %w", err)
+		}
+		for i := 0; i < r.e.n; i++ {
+			frac := 0.0
+			if n[i] > 0 {
+				frac = r.estimate[i] / n[i]
+			}
+			for k := 0; k < r.e.n; k++ {
+				r.credits[i][k] = plan.X[i][k]*frac + carry(r.credits[i][k])
+			}
+		}
+	case Provider:
+		// Map global queues onto customer indices.
+		q := make([]float64, len(st.customers))
+		for ci, p := range st.customers {
+			q[ci] = n[p]
+		}
+		plan, err := st.provider.Schedule(q)
+		if err != nil {
+			return fmt.Errorf("core: window schedule: %w", err)
+		}
+		for i := range r.creditsTotal {
+			r.creditsTotal[i] = carry(r.creditsTotal[i])
+		}
+		for ci, p := range st.customers {
+			frac := 0.0
+			if q[ci] > 0 {
+				frac = r.estimate[p] / q[ci]
+			}
+			r.creditsTotal[p] += plan.X[ci] * frac
+		}
+	}
+	return nil
+}
+
+// carry preserves up to one request of unused credit across windows so that
+// fractional per-window allocations (for example 13.5 requests/window) are
+// not systematically rounded away.
+func carry(remaining float64) float64 {
+	if remaining < 0 {
+		return 0
+	}
+	if remaining > 1 {
+		return 1
+	}
+	return remaining
+}
+
+// conservativeCredits claims 1/R of every mandatory entitlement — the safe
+// allocation when a redirector does not know what the rest of the system is
+// doing (Figure 8, phase 1).
+func (r *Redirector) conservativeCredits(st schedState) {
+	share := 1 / float64(r.e.cfg.NumRedirectors)
+	if r.e.cfg.AggressiveWhenBlind {
+		share = 1 // ablation only; see Config.AggressiveWhenBlind
+	}
+	switch r.e.cfg.Mode {
+	case Community:
+		for i := 0; i < r.e.n; i++ {
+			for k := 0; k < r.e.n; k++ {
+				r.credits[i][k] = st.access.MI[k][i]*share + carry(r.credits[i][k])
+			}
+		}
+	case Provider:
+		for _, p := range st.customers {
+			r.creditsTotal[p] = st.access.MC[p]*share + carry(r.creditsTotal[p])
+		}
+	}
+}
+
+// Decision is the outcome of admitting one request.
+type Decision struct {
+	// Admitted is false when the request must be turned away for this
+	// window (HTTP self-redirect at Layer 7, kernel queue at Layer 4).
+	Admitted bool
+	// Owner is the principal whose servers should process the request
+	// (meaningful only when Admitted).
+	Owner agreement.Principal
+}
+
+// Admit decides one request from principal p within the current window and
+// records the arrival for demand estimation. In Community mode the request
+// is directed at the owner with the most remaining credit; in Provider mode
+// all servers belong to the provider.
+func (r *Redirector) Admit(p agreement.Principal) Decision {
+	return r.AdmitCost(p, -1, 1)
+}
+
+// AdmitPreferring is Admit with connection affinity: when the preferred
+// owner still has credit for p this window, the request sticks to it;
+// otherwise the best-funded owner is used — affinity "to the extent allowed
+// by the sharing agreements" (§4.2). A negative preference means none.
+func (r *Redirector) AdmitPreferring(p, preferred agreement.Principal) Decision {
+	return r.AdmitCost(p, preferred, 1)
+}
+
+// AdmitCost is the general admission primitive: a request consuming cost
+// units of the average request ("large requests are treated as multiple
+// small ones for the purpose of scheduling", §4). Non-positive costs are
+// treated as 1.
+func (r *Redirector) AdmitCost(p, preferred agreement.Principal, cost float64) Decision {
+	if int(p) < 0 || int(p) >= r.e.n {
+		return Decision{}
+	}
+	if cost <= 0 {
+		cost = 1
+	}
+	r.arrivals[p] += cost
+	need := cost - 1e-9
+	switch r.e.cfg.Mode {
+	case Provider:
+		if r.creditsTotal[p] >= need {
+			r.creditsTotal[p] -= cost
+			r.Admitted++
+			return Decision{Admitted: true, Owner: r.e.cfg.ProviderPrincipal}
+		}
+	case Community:
+		if int(preferred) >= 0 && int(preferred) < r.e.n && r.credits[p][preferred] >= need {
+			r.credits[p][preferred] -= cost
+			r.Admitted++
+			return Decision{Admitted: true, Owner: preferred}
+		}
+		best, bestCredit := -1, 0.0
+		for k := 0; k < r.e.n; k++ {
+			if c := r.credits[p][k]; c > bestCredit {
+				best, bestCredit = k, c
+			}
+		}
+		if best >= 0 && bestCredit >= need {
+			r.credits[p][best] -= cost
+			r.Admitted++
+			return Decision{Admitted: true, Owner: agreement.Principal(best)}
+		}
+	}
+	r.Rejected++
+	return Decision{}
+}
+
+// CreditsRemaining reports the remaining admissions for principal p across
+// all owners this window (diagnostics and tests).
+func (r *Redirector) CreditsRemaining(p agreement.Principal) float64 {
+	if int(p) < 0 || int(p) >= r.e.n {
+		return 0
+	}
+	if r.e.cfg.Mode == Provider {
+		return r.creditsTotal[p]
+	}
+	total := 0.0
+	for k := 0; k < r.e.n; k++ {
+		total += r.credits[p][k]
+	}
+	return total
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/agreement"
+	"repro/internal/cluster"
+	"repro/internal/sched"
+)
+
+// Fig1 reproduces the introduction's motivating example: end-point (per
+// server, uncoordinated) enforcement versus coordinated enforcement.
+//
+// Provider S has servers S1 and S2 (50 req/s each) and SLAs A 20%, B 80%.
+// Redirectors R1 and R2 see loads (A:20, B:20) and (A:20, B:60) and split
+// them 75/25 and 25/75 across the servers for locality. Independent
+// enforcement yields aggregate (A:30, B:70) — violating B's 80% — while
+// coordinated scheduling yields (A:20, B:80).
+func Fig1() (*Result, error) {
+	const (
+		v1, v2 = 50.0, 50.0
+		shareA = 0.2
+		shareB = 0.8
+	)
+	// Redirector loads and locality biases from Figure 1.
+	r1 := []float64{20, 20} // A, B at R1
+	r2 := []float64{20, 60} // A, B at R2
+	// Per-server demand after the 75/25 locality split.
+	s1Demand := []float64{r1[0]*0.75 + r2[0]*0.25, r1[1]*0.75 + r2[1]*0.25}
+	s2Demand := []float64{r1[0]*0.25 + r2[0]*0.75, r1[1]*0.25 + r2[1]*0.75}
+
+	// End-point enforcement: each server applies the shares independently.
+	a1 := cluster.EnforceShares(s1Demand, []float64{shareA, shareB}, v1)
+	a2 := cluster.EnforceShares(s2Demand, []float64{shareA, shareB}, v2)
+	endpointA := a1[0] + a2[0]
+	endpointB := a1[1] + a2[1]
+
+	// Coordinated enforcement: the provider LP on aggregate demand and
+	// aggregate capacity.
+	p, err := sched.NewProvider(
+		[]float64{shareA * (v1 + v2), shareB * (v1 + v2)},
+		[]float64{0, 0},
+		[]float64{1, 1}, v1+v2)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := p.Schedule([]float64{r1[0] + r2[0], r1[1] + r2[1]})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:    "fig1",
+		Title: "End-point vs coordinated agreement enforcement (intro example)",
+		Values: map[string]float64{
+			"A@endpoint":    endpointA,
+			"B@endpoint":    endpointB,
+			"A@coordinated": plan.X[0],
+			"B@coordinated": plan.X[1],
+		},
+		Expected: []Expectation{
+			{Phase: "endpoint", Series: "A", Paper: 30, AbsTol: 0.01},
+			{Phase: "endpoint", Series: "B", Paper: 70, AbsTol: 0.01},
+			{Phase: "coordinated", Series: "A", Paper: 20, AbsTol: 0.01},
+			{Phase: "coordinated", Series: "B", Paper: 80, AbsTol: 0.01},
+		},
+		Notes: []string{
+			fmt.Sprintf("per-server end-point allocations: S1 (A:%.0f, B:%.0f), S2 (A:%.0f, B:%.0f)",
+				a1[0], a1[1], a2[0], a2[1]),
+			"end-point enforcement gives B only 70% of the pool despite its 80% SLA",
+		},
+	}
+	return res, nil
+}
+
+// Fig3 reproduces the worked currency-valuation example of §2.3: the chain
+// A (1000 u/s) —[0.4,0.6]→ B (1500 u/s) —[0.6,1.0]→ C.
+func Fig3() (*Result, error) {
+	s := agreement.New()
+	a := s.MustAddPrincipal("A", 1000)
+	b := s.MustAddPrincipal("B", 1500)
+	c := s.MustAddPrincipal("C", 0)
+	s.MustSetAgreement(a, b, 0.4, 0.6)
+	s.MustSetAgreement(b, c, 0.6, 1.0)
+
+	acc, err := s.SystemAccess()
+	if err != nil {
+		return nil, err
+	}
+	curr, err := s.Currencies(100)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:     "fig3",
+		Title:  "Ticket and currency valuation (worked example)",
+		Values: map[string]float64{},
+		Notes: []string{
+			fmt.Sprintf("gross mandatory currency values: A %.0f, B %.0f, C %.0f",
+				acc.Gross[a], acc.Gross[b], acc.Gross[c]),
+		},
+	}
+	names := []string{"A", "B", "C"}
+	want := [][2]float64{{600, 400}, {760, 1340}, {1140, 960}}
+	for i, name := range names {
+		res.Values["mc."+name+"@final"] = acc.MC[i]
+		res.Values["oc."+name+"@final"] = acc.OC[i]
+		res.Expected = append(res.Expected,
+			Expectation{Phase: "final", Series: "mc." + name, Paper: want[i][0], AbsTol: 0.01},
+			Expectation{Phase: "final", Series: "oc." + name, Paper: want[i][1], AbsTol: 0.01},
+		)
+	}
+	// Ticket real values from the paper's walkthrough.
+	tickets := map[string]float64{}
+	for _, cur := range curr {
+		for _, tk := range cur.Issued {
+			key := fmt.Sprintf("%v.%s->%s", tk.Kind, cur.Name, names[tk.Holder])
+			tickets[key] = tk.Real
+		}
+	}
+	for key, real := range tickets {
+		res.Values[key+"@tickets"] = real
+	}
+	res.Expected = append(res.Expected,
+		Expectation{Phase: "tickets", Series: "M-Ticket.A->B", Paper: 400, AbsTol: 0.01},
+		Expectation{Phase: "tickets", Series: "O-Ticket.A->B", Paper: 200, AbsTol: 0.01},
+		Expectation{Phase: "tickets", Series: "M-Ticket.B->C", Paper: 1140, AbsTol: 0.01},
+		Expectation{Phase: "tickets", Series: "O-Ticket.B->C", Paper: 960, AbsTol: 0.01},
+	)
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// runAndCheck executes an experiment and fails on any shape violation,
+// printing the paper-vs-measured summary for the log.
+func runAndCheck(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	t.Logf("\n%s", res.Summary())
+	if v := res.Violations(); len(v) > 0 {
+		t.Fatalf("%s does not reproduce the paper: %v", id, v)
+	}
+	return res
+}
+
+func TestFig1EndpointViolation(t *testing.T) {
+	res := runAndCheck(t, "fig1")
+	// The headline claim: end-point enforcement under-serves B.
+	if res.Values["B@endpoint"] >= res.Values["B@coordinated"] {
+		t.Fatal("end-point enforcement did not under-serve B")
+	}
+}
+
+func TestFig3CurrencyValues(t *testing.T) {
+	runAndCheck(t, "fig3")
+}
+
+func TestFig6ProviderL7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	runAndCheck(t, "fig6")
+}
+
+func TestFig7CommunityThetaL7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "fig7")
+	// A must be served at about twice B's rate.
+	a, _ := res.Measured("steady", "A")
+	b, _ := res.Measured("steady", "B")
+	if a < 1.7*b || a > 2.3*b {
+		t.Fatalf("A/B ratio = %.2f, want ≈2", a/b)
+	}
+}
+
+func TestFig8NetworkDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "fig8")
+	// Phase 3 (lag window) must show contention: B still above its
+	// post-enforcement rate while A ramps.
+	b3, _ := res.Measured("phase3", "B")
+	b4, _ := res.Measured("phase4", "B")
+	if b3 <= b4 {
+		t.Fatalf("no competition during the lag: B phase3 %.1f <= phase4 %.1f", b3, b4)
+	}
+}
+
+func TestFig9CommunityL4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	runAndCheck(t, "fig9")
+}
+
+func TestFig10ProviderIncomeL4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	runAndCheck(t, "fig10")
+}
+
+func TestAblationQueuing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "abl-queue")
+	// The qualitative claim: implicit beats explicit well before saturation.
+	if res.Values["implicit@T=32"] < 1.5*res.Values["explicit@T=32"] {
+		t.Fatalf("implicit %.0f vs explicit %.0f at T=32: anomaly not visible",
+			res.Values["implicit@T=32"], res.Values["explicit@T=32"])
+	}
+}
+
+func TestAblationTree(t *testing.T) {
+	runAndCheck(t, "abl-tree")
+}
+
+func TestExtHierarchicalReselling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	runAndCheck(t, "ext-hier")
+}
+
+func TestExtLocalityCaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "ext-local")
+	// The cap must actually shift load: B gains, A loses.
+	if res.Values["B@capped"] <= res.Values["B@uncapped"] {
+		t.Fatalf("locality cap had no effect: %v", res.Values)
+	}
+}
+
+func TestExtDynamicCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	runAndCheck(t, "ext-dynamic")
+}
+
+func TestExtFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "ext-failover")
+	if res.Values["reconfigurations@failed"] < 1 {
+		t.Fatal("tree never reconfigured")
+	}
+}
+
+func TestAblationWindowSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "abl-window")
+	// Longer windows must track the post-change target more loosely.
+	short := res.Values["error@w=100ms"]
+	long := res.Values["error@w=2s"]
+	if long <= short {
+		t.Fatalf("window sweep not monotone: err(100ms)=%.1f err(2s)=%.1f", short, long)
+	}
+	if short > 40 {
+		t.Fatalf("100 ms window error = %.1f req/s, too loose", short)
+	}
+}
+
+func TestAblationConservativeFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "abl-conservative")
+	if res.Values["B@aggressive"] < 1.6*res.Values["B@conservative"] {
+		t.Fatalf("aggressive claiming did not over-serve B: %v", res.Values)
+	}
+}
+
+// TestExperimentsAreDeterministic: the virtual-time harness must produce
+// bit-identical series on repeated runs — the property that makes every
+// figure reproduction exactly repeatable.
+func TestExperimentsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	run := func() string {
+		res, err := Run("fig9")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.Recorder.WriteTable(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := run()
+	second := run()
+	if first != second {
+		t.Fatal("fig9 series differ between identical runs")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 15 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if _, err := Run("nope"); err == nil || !strings.Contains(err.Error(), "unknown id") {
+		t.Fatalf("unknown id error = %v", err)
+	}
+}
+
+func TestResultMeasuredMissing(t *testing.T) {
+	res := &Result{}
+	if _, ok := res.Measured("x", "y"); ok {
+		t.Fatal("Measured on empty result succeeded")
+	}
+	res.Expected = []Expectation{{Phase: "x", Series: "y", Paper: 1}}
+	if v := res.Violations(); len(v) != 1 || !strings.Contains(v[0], "no measurement") {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(res.Summary(), "MISMATCH") {
+		t.Fatal("Summary must surface mismatches")
+	}
+}

@@ -1,0 +1,120 @@
+package l4
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is a capacity-limited request/response TCP server standing in for
+// the paper's web servers behind the Layer-4 switch. Each connection
+// carries one request line; the reply is sent after the server's next free
+// service slot, bounding throughput at the configured rate.
+type Backend struct {
+	ln       net.Listener
+	interval time.Duration
+
+	mu       sync.Mutex
+	nextSlot time.Time
+
+	served int64 // atomic
+	wg     sync.WaitGroup
+	done   chan struct{}
+}
+
+// NewBackend starts a backend on addr with the given capacity in
+// requests/second.
+func NewBackend(addr string, capacity float64) (*Backend, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("l4: backend capacity must be positive, got %v", capacity)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("l4: backend listen %s: %w", addr, err)
+	}
+	b := &Backend{
+		ln:       ln,
+		interval: time.Duration(float64(time.Second) / capacity),
+		done:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the backend's listen address.
+func (b *Backend) Addr() string { return b.ln.Addr().String() }
+
+// Served reports completed requests.
+func (b *Backend) Served() int64 { return atomic.LoadInt64(&b.served) }
+
+func (b *Backend) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+			line, err := bufio.NewReader(conn).ReadString('\n')
+			if err != nil || line == "" {
+				return
+			}
+			// Wait for the next service slot: fixed-rate server.
+			b.mu.Lock()
+			now := time.Now()
+			slot := b.nextSlot
+			if slot.Before(now) {
+				slot = now
+			}
+			b.nextSlot = slot.Add(b.interval)
+			b.mu.Unlock()
+			select {
+			case <-time.After(time.Until(slot)):
+			case <-b.done:
+				return
+			}
+			atomic.AddInt64(&b.served, 1)
+			fmt.Fprintf(conn, "OK %s", line)
+		}()
+	}
+}
+
+// Close shuts the backend down.
+func (b *Backend) Close() error {
+	select {
+	case <-b.done:
+	default:
+		close(b.done)
+	}
+	err := b.ln.Close()
+	b.wg.Wait()
+	return err
+}
+
+// Do performs one request against a backend through addr (typically a
+// redirector service address) and reports whether a well-formed reply
+// arrived. It is the unit of load generation for Layer-4 tests and tools.
+func Do(addr string, payload string, timeout time.Duration) (bool, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", payload); err != nil {
+		return false, err
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	return len(reply) >= 2 && reply[:2] == "OK", nil
+}

@@ -1,0 +1,401 @@
+// Package l4 is the transport-layer (Layer-4) prototype of §4.2 on real
+// sockets. The paper's implementation is a Linux Virtual Server kernel
+// module doing NAT; here the same scheduling-relevant behavior runs in user
+// space:
+//
+//   - one listener per principal plays the role of the per-customer virtual
+//     IP the NAT switch matches on;
+//   - an accepted connection is the SYN: admission is decided at accept
+//     time against the window credits;
+//   - admitted connections are spliced byte-for-byte to a backend (the NAT
+//     rewrite), preserving client→server affinity to the extent the
+//     agreements allow;
+//   - connections over quota are parked in a per-principal pending queue
+//     and reinjected in later windows, exactly like the paper's kernel
+//     thread re-queuing packets.
+package l4
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/combining"
+	"repro/internal/core"
+	"repro/internal/treenet"
+)
+
+// ServiceSpec binds a listener (virtual IP analogue) to a principal.
+type ServiceSpec struct {
+	Principal agreement.Principal
+	// Addr is the listen address; use "127.0.0.1:0" for tests.
+	Addr string
+}
+
+// Config parameterizes a Layer-4 redirector.
+type Config struct {
+	Engine *core.Engine
+	ID     int
+	// Services lists the per-principal listeners.
+	Services []ServiceSpec
+	// Backends maps owner principals to backend TCP addresses.
+	Backends map[agreement.Principal][]string
+	// MaxPending bounds each principal's pending-connection queue
+	// (default 512); beyond it new over-quota connections are dropped.
+	MaxPending int
+	// PendingTimeout closes connections parked longer than this
+	// (default 5 s).
+	PendingTimeout time.Duration
+	// AffinityTTL is how long a client address stays pinned to an owner
+	// (default 30 s).
+	AffinityTTL time.Duration
+	// Tree, if non-nil, joins a combining tree of redirectors.
+	Tree *treenet.Spec
+}
+
+type heldConn struct {
+	conn     net.Conn
+	client   string
+	parkedAt time.Time
+}
+
+// Redirector is the Layer-4 switch.
+type Redirector struct {
+	cfg       Config
+	start     time.Time
+	listeners []net.Listener
+	svcAddrs  map[agreement.Principal]string
+
+	mu       sync.Mutex
+	red      *core.Redirector
+	pending  map[agreement.Principal][]heldConn
+	affinity map[string]affinityEntry
+	rr       map[agreement.Principal]int
+
+	tree      *combining.Node
+	transport *treenet.Transport
+
+	ticker    *time.Ticker
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// Stats (under mu).
+	Forwarded int
+	Parked    int
+	Dropped   int
+	Expired   int
+}
+
+type affinityEntry struct {
+	owner agreement.Principal
+	at    time.Time
+}
+
+// NewRedirector starts the listeners and the window loop.
+func NewRedirector(cfg Config) (*Redirector, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("l4: nil engine")
+	}
+	if len(cfg.Services) == 0 || len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("l4: need services and backends")
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 512
+	}
+	if cfg.PendingTimeout <= 0 {
+		cfg.PendingTimeout = 5 * time.Second
+	}
+	if cfg.AffinityTTL <= 0 {
+		cfg.AffinityTTL = 30 * time.Second
+	}
+	r := &Redirector{
+		cfg:      cfg,
+		start:    time.Now(),
+		svcAddrs: make(map[agreement.Principal]string),
+		red:      cfg.Engine.NewRedirector(cfg.ID),
+		pending:  make(map[agreement.Principal][]heldConn),
+		affinity: make(map[string]affinityEntry),
+		rr:       make(map[agreement.Principal]int),
+		done:     make(chan struct{}),
+	}
+
+	if cfg.Tree != nil {
+		addr := cfg.Tree.ListenAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		r.transport, err = treenet.Listen(cfg.Tree.NodeID, addr, r.onTreeMessage)
+		if err != nil {
+			return nil, err
+		}
+		for id, peerAddr := range cfg.Tree.Peers {
+			r.transport.SetPeer(id, peerAddr)
+		}
+		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
+			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
+	}
+
+	for _, svc := range cfg.Services {
+		ln, err := net.Listen("tcp", svc.Addr)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("l4: listen %s: %w", svc.Addr, err)
+		}
+		r.listeners = append(r.listeners, ln)
+		r.svcAddrs[svc.Principal] = ln.Addr().String()
+		p := svc.Principal
+		r.wg.Add(1)
+		go r.acceptLoop(ln, p)
+	}
+
+	r.ticker = time.NewTicker(cfg.Engine.Window())
+	r.wg.Add(1)
+	go r.windowLoop()
+	return r, nil
+}
+
+// Addr returns the listen address serving principal p.
+func (r *Redirector) Addr(p agreement.Principal) string { return r.svcAddrs[p] }
+
+// TreeAddr returns the tree transport address ("" without a tree).
+func (r *Redirector) TreeAddr() string {
+	if r.transport == nil {
+		return ""
+	}
+	return r.transport.Addr()
+}
+
+// SetTreePeer registers a peer address after construction (tests wire nodes
+// once all transports are listening).
+func (r *Redirector) SetTreePeer(id combining.NodeID, addr string) {
+	if r.transport != nil {
+		r.transport.SetPeer(id, addr)
+	}
+}
+
+func (r *Redirector) elapsed() time.Duration { return time.Since(r.start) }
+
+func (r *Redirector) onTreeMessage(from combining.NodeID, msg interface{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tree.OnMessage(from, msg)
+	if _, ok := msg.(combining.Broadcast); ok {
+		r.pushGlobalLocked()
+	}
+}
+
+func (r *Redirector) pushGlobalLocked() {
+	if agg, at, ok := r.tree.Global(); ok {
+		r.red.SetGlobal(agg.Sum, at)
+	}
+}
+
+func (r *Redirector) acceptLoop(ln net.Listener, p agreement.Principal) {
+	defer r.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		r.handleConn(conn, p)
+	}
+}
+
+// handleConn is the SYN-time decision: forward now, park, or drop.
+func (r *Redirector) handleConn(conn net.Conn, p agreement.Principal) {
+	client := clientKey(conn)
+	r.mu.Lock()
+	preferred := agreement.Principal(-1)
+	if e, ok := r.affinity[client]; ok && time.Since(e.at) < r.cfg.AffinityTTL {
+		preferred = e.owner
+	}
+	d := r.red.AdmitPreferring(p, preferred)
+	if !d.Admitted {
+		if len(r.pending[p]) >= r.cfg.MaxPending {
+			r.Dropped++
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		r.pending[p] = append(r.pending[p], heldConn{conn: conn, client: client, parkedAt: time.Now()})
+		r.Parked++
+		r.mu.Unlock()
+		return
+	}
+	backend := r.chooseBackendLocked(d.Owner)
+	r.affinity[client] = affinityEntry{owner: d.Owner, at: time.Now()}
+	r.Forwarded++
+	r.mu.Unlock()
+
+	if backend == "" {
+		conn.Close()
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		splice(conn, backend)
+	}()
+}
+
+func (r *Redirector) chooseBackendLocked(owner agreement.Principal) string {
+	backends := r.cfg.Backends[owner]
+	if len(backends) == 0 {
+		return ""
+	}
+	idx := r.rr[owner] % len(backends)
+	r.rr[owner]++
+	return backends[idx]
+}
+
+// splice is the NAT analogue: copy bytes both ways until either side closes.
+func splice(client net.Conn, backendAddr string) {
+	defer client.Close()
+	backend, err := net.DialTimeout("tcp", backendAddr, 2*time.Second)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	done := make(chan struct{})
+	go func() {
+		_, _ = io.Copy(backend, client)
+		if tc, ok := backend.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		close(done)
+	}()
+	_, _ = io.Copy(client, backend)
+	<-done
+}
+
+// windowLoop drives scheduling windows and reinjects parked connections.
+func (r *Redirector) windowLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.ticker.C:
+			r.runWindow()
+		}
+	}
+}
+
+func (r *Redirector) runWindow() {
+	type launch struct {
+		conn    net.Conn
+		backend string
+	}
+	var launches []launch
+
+	r.mu.Lock()
+	// Pending connections count as demand for the estimator.
+	if r.tree != nil {
+		est := r.red.LocalEstimate()
+		r.tree.SetLocal(est)
+		r.tree.Tick()
+		if r.tree.IsRoot() {
+			r.pushGlobalLocked()
+		}
+	} else {
+		r.red.SetGlobal(r.red.LocalEstimate(), r.elapsed())
+	}
+	if err := r.red.StartWindow(r.elapsed()); err != nil {
+		r.mu.Unlock()
+		return
+	}
+	// Reinjection: oldest parked connections first, while credits last.
+	now := time.Now()
+	for p, queue := range r.pending {
+		kept := queue[:0]
+		for _, hc := range queue {
+			if now.Sub(hc.parkedAt) > r.cfg.PendingTimeout {
+				hc.conn.Close()
+				r.Expired++
+				continue
+			}
+			preferred := agreement.Principal(-1)
+			if e, ok := r.affinity[hc.client]; ok && time.Since(e.at) < r.cfg.AffinityTTL {
+				preferred = e.owner
+			}
+			d := r.red.AdmitPreferring(p, preferred)
+			if !d.Admitted {
+				kept = append(kept, hc)
+				continue
+			}
+			backend := r.chooseBackendLocked(d.Owner)
+			r.affinity[hc.client] = affinityEntry{owner: d.Owner, at: now}
+			r.Forwarded++
+			launches = append(launches, launch{conn: hc.conn, backend: backend})
+		}
+		r.pending[p] = kept
+	}
+	// Affinity table hygiene.
+	for k, e := range r.affinity {
+		if time.Since(e.at) > r.cfg.AffinityTTL {
+			delete(r.affinity, k)
+		}
+	}
+	r.mu.Unlock()
+
+	for _, l := range launches {
+		if l.backend == "" {
+			l.conn.Close()
+			continue
+		}
+		l := l
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			splice(l.conn, l.backend)
+		}()
+	}
+}
+
+// Stats returns the forwarding counters.
+func (r *Redirector) Stats() (forwarded, parked, dropped, expired int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Forwarded, r.Parked, r.Dropped, r.Expired
+}
+
+// Close stops all listeners, the window loop, and parked connections. It
+// waits for in-flight spliced connections to drain, so callers should close
+// or deadline long-lived client connections first.
+func (r *Redirector) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.done)
+		if r.ticker != nil {
+			r.ticker.Stop()
+		}
+		for _, ln := range r.listeners {
+			ln.Close()
+		}
+		r.mu.Lock()
+		for _, queue := range r.pending {
+			for _, hc := range queue {
+				hc.conn.Close()
+			}
+		}
+		r.pending = make(map[agreement.Principal][]heldConn)
+		r.mu.Unlock()
+		if r.transport != nil {
+			r.transport.Close()
+		}
+	})
+	r.wg.Wait()
+	return nil
+}
+
+func clientKey(conn net.Conn) string {
+	host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+	if err != nil {
+		return conn.RemoteAddr().String()
+	}
+	return host
+}

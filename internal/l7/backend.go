@@ -1,0 +1,91 @@
+// Package l7 is the application-layer (Layer-7) prototype of §4.1 on real
+// sockets: an HTTP redirector that enforces sharing agreements by answering
+// each request with a 302 redirect — to an assigned backend server when the
+// request falls within its principal's window quota, or to the redirector
+// itself (an implicit queue: the client retries) when it does not.
+//
+// The package also provides a capacity-limited backend server standing in
+// for the paper's Apache boxes, and a redirect-following client used by the
+// load generator.
+package l7
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is an HTTP server that serves synthetic payloads at a bounded
+// rate (requests per second), modeling the paper's fixed-capacity Apache
+// servers. Requests beyond the rate are delayed FIFO-style, exactly like a
+// single-threaded server draining a queue.
+type Backend struct {
+	srv      *http.Server
+	ln       net.Listener
+	interval time.Duration
+
+	mu       sync.Mutex
+	nextSlot time.Time
+
+	served int64 // atomic
+}
+
+// NewBackend starts a backend on addr (use "127.0.0.1:0" for an ephemeral
+// port) with the given capacity in requests/second.
+func NewBackend(addr string, capacity float64) (*Backend, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("l7: backend capacity must be positive, got %v", capacity)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("l7: backend listen %s: %w", addr, err)
+	}
+	b := &Backend{
+		ln:       ln,
+		interval: time.Duration(float64(time.Second) / capacity),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", b.handle)
+	b.srv = &http.Server{Handler: mux}
+	go func() { _ = b.srv.Serve(ln) }()
+	return b, nil
+}
+
+// URL returns the backend's base URL.
+func (b *Backend) URL() string { return "http://" + b.ln.Addr().String() }
+
+// Served reports how many requests completed.
+func (b *Backend) Served() int64 { return atomic.LoadInt64(&b.served) }
+
+func (b *Backend) handle(w http.ResponseWriter, r *http.Request) {
+	// Reserve the next service slot and wait for it: a deterministic
+	// fixed-rate server.
+	b.mu.Lock()
+	now := time.Now()
+	slot := b.nextSlot
+	if slot.Before(now) {
+		slot = now
+	}
+	b.nextSlot = slot.Add(b.interval)
+	b.mu.Unlock()
+	time.Sleep(time.Until(slot))
+
+	size := 1024
+	if s := r.URL.Query().Get("size"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 && v <= 1<<20 {
+			size = v
+		}
+	}
+	atomic.AddInt64(&b.served, 1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Backend", b.ln.Addr().String())
+	payload := make([]byte, size)
+	_, _ = w.Write(payload)
+}
+
+// Close shuts the backend down.
+func (b *Backend) Close() error { return b.srv.Close() }

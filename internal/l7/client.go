@@ -1,0 +1,105 @@
+package l7
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client fetches URLs through a Layer-7 redirector, following backend
+// redirects and retrying self-redirects after a short pause — the behavior
+// the paper obtained by putting a redirect-handling proxy in front of
+// WebBench.
+type Client struct {
+	// HTTP is the underlying client; redirect following is handled here,
+	// not by net/http.
+	HTTP *http.Client
+	// RetryDelay is the pause before re-requesting after a self-redirect
+	// (default 10 ms).
+	RetryDelay time.Duration
+	// MaxAttempts bounds total attempts per Fetch (default 50).
+	MaxAttempts int
+
+	// Fetched counts completed requests; SelfRedirects counts implicit-queue
+	// retries observed.
+	Fetched       int64
+	SelfRedirects int64
+}
+
+// NewClient returns a client with test-friendly defaults.
+func NewClient() *Client {
+	return &Client{
+		HTTP: &http.Client{
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse // surface 302s to Fetch
+			},
+			Timeout: 10 * time.Second,
+		},
+		RetryDelay:  10 * time.Millisecond,
+		MaxAttempts: 50,
+	}
+}
+
+// Fetch requests url, following redirects until a 200 arrives or attempts
+// run out. It returns the number of payload bytes read.
+func (c *Client) Fetch(url string) (int, error) {
+	cur := url
+	for attempt := 0; attempt < c.MaxAttempts; attempt++ {
+		resp, err := c.HTTP.Get(cur)
+		if err != nil {
+			return 0, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			n, err := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return 0, err
+			}
+			c.Fetched++
+			return int(n), nil
+		case http.StatusServiceUnavailable:
+			// Proxy-mode over-quota answer: retry like a self-redirect.
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+			resp.Body.Close()
+			c.SelfRedirects++
+			time.Sleep(c.RetryDelay)
+		case http.StatusFound, http.StatusMovedPermanently, http.StatusTemporaryRedirect:
+			loc := resp.Header.Get("Location")
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+			resp.Body.Close()
+			if loc == "" {
+				return 0, fmt.Errorf("l7: redirect without Location from %s", cur)
+			}
+			if sameEndpoint(loc, cur) {
+				// Implicit queue: wait and retry.
+				c.SelfRedirects++
+				time.Sleep(c.RetryDelay)
+				continue
+			}
+			cur = loc
+		default:
+			resp.Body.Close()
+			return 0, fmt.Errorf("l7: unexpected status %d from %s", resp.StatusCode, cur)
+		}
+	}
+	return 0, fmt.Errorf("l7: gave up on %s after %d attempts", url, c.MaxAttempts)
+}
+
+// sameEndpoint reports whether two URLs share scheme://host (a self-redirect).
+func sameEndpoint(a, b string) bool {
+	return hostOf(a) == hostOf(b)
+}
+
+func hostOf(u string) string {
+	rest := u
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	if i := strings.IndexAny(rest, "/?"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}

@@ -1,0 +1,128 @@
+package l7
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+)
+
+// proxyRig builds one backend plus a redirector in the requested mode.
+func proxyRig(t testing.TB, proxyMode bool, capacity float64) (*Redirector, agreement.Principal) {
+	t.Helper()
+	s := agreement.New()
+	sp := s.MustAddPrincipal("S", capacity)
+	a := s.MustAddPrincipal("A", 0)
+	s.MustSetAgreement(sp, a, 0.9, 1)
+	eng, err := core.NewEngine(core.Config{
+		Mode: core.Provider, System: s, ProviderPrincipal: sp,
+		Window: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewBackend("127.0.0.1:0", capacity*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { backend.Close() })
+	r, err := NewRedirector(RedirectorConfig{
+		Engine: eng, Addr: "127.0.0.1:0",
+		Orgs:     map[string]agreement.Principal{"acme": a},
+		Backends: map[agreement.Principal][]string{sp: {backend.URL()}},
+		Proxy:    proxyMode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, a
+}
+
+func TestProxyModeSingleRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	r, _ := proxyRig(t, true, 500)
+	time.Sleep(150 * time.Millisecond) // let credits accumulate
+
+	// A raw GET must return the payload directly — no redirect involved.
+	resp, err := http.Get(r.URL() + "/svc/acme/page?size=333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusFound {
+		t.Fatal("proxy mode answered with a redirect")
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Quota may not have warmed yet; retry through the client.
+		c := NewClient()
+		n, err := c.Fetch(r.URL() + "/svc/acme/page?size=333")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 333 {
+			t.Fatalf("payload = %d", n)
+		}
+		return
+	}
+	buf := make([]byte, 4096)
+	total := 0
+	for {
+		n, err := resp.Body.Read(buf)
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total != 333 {
+		t.Fatalf("payload = %d bytes through proxy", total)
+	}
+	if got := resp.Header.Get("X-Backend"); got == "" {
+		t.Fatal("backend headers not relayed")
+	}
+}
+
+func TestProxyModeOverQuotaRetries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	r, _ := proxyRig(t, true, 100)
+	c := NewClient()
+	c.RetryDelay = 5 * time.Millisecond
+	// Hammer sequentially: some requests must hit 503 and be retried, yet
+	// all eventually complete.
+	for i := 0; i < 30; i++ {
+		if _, err := c.Fetch(r.URL() + "/svc/acme/x?size=64"); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if c.Fetched != 30 {
+		t.Fatalf("Fetched = %d", c.Fetched)
+	}
+}
+
+// BenchmarkRedirectVsProxyRoundTrips quantifies §4.1's observation that the
+// HTTP 302 scheme doubles round trips: proxy mode should complete a request
+// in roughly one client round trip instead of two.
+func BenchmarkRedirectVsProxyRoundTrips(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		proxy bool
+	}{{"redirect", false}, {"proxy", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			r, _ := proxyRig(b, mode.proxy, 100000)
+			time.Sleep(100 * time.Millisecond)
+			c := NewClient()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Fetch(r.URL() + "/svc/acme/x?size=64"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,296 @@
+package l7
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/combining"
+	"repro/internal/core"
+	"repro/internal/treenet"
+)
+
+// TreeConfig wires a redirector into a combining tree of redirector
+// processes. Peers maps node ids to treenet addresses.
+type TreeConfig = treenet.Spec
+
+// RedirectorConfig parameterizes a Layer-7 redirector.
+type RedirectorConfig struct {
+	Engine *core.Engine
+	// ID distinguishes redirectors of the same engine.
+	ID int
+	// Addr is the HTTP bind address (use "127.0.0.1:0" for tests).
+	Addr string
+	// Orgs maps the first URL path segment under /svc/ to a principal,
+	// e.g. {"acme": A}. Requests for unknown orgs get 404.
+	Orgs map[string]agreement.Principal
+	// Backends maps owner principals to backend base URLs.
+	Backends map[agreement.Principal][]string
+	// Tree, if non-nil, connects this redirector to its peers; when nil the
+	// redirector coordinates with nobody (single-node enforcement) and
+	// feeds its own estimate back as the global view.
+	Tree *TreeConfig
+	// Proxy selects single-round-trip operation: instead of answering with
+	// a 302, the redirector forwards admitted requests to the backend
+	// itself and relays the response. This is the SOAP-redirector variant
+	// §4.1 mentions to avoid HTTP's doubled round trips; over-quota
+	// requests get 503 + Retry-After instead of a self-redirect.
+	Proxy bool
+}
+
+// Redirector is the Layer-7 switch: an HTTP server answering every request
+// for /svc/<org>/... with a 302 — either to a backend of the owner chosen
+// by the scheduler, or to itself when the principal is over quota this
+// window (the implicit-queue self-redirect of §4.1).
+type Redirector struct {
+	cfg   RedirectorConfig
+	srv   *http.Server
+	ln    net.Listener
+	start time.Time
+
+	mu   sync.Mutex
+	red  *core.Redirector
+	tree *combining.Node
+	rr   map[agreement.Principal]int // round-robin per owner
+
+	transport *treenet.Transport
+	ticker    *time.Ticker
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewRedirector starts a Layer-7 redirector.
+func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("l7: nil engine")
+	}
+	if len(cfg.Orgs) == 0 || len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("l7: need org and backend maps")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("l7: listen %s: %w", cfg.Addr, err)
+	}
+	r := &Redirector{
+		cfg:   cfg,
+		ln:    ln,
+		start: time.Now(),
+		red:   cfg.Engine.NewRedirector(cfg.ID),
+		rr:    make(map[agreement.Principal]int),
+		done:  make(chan struct{}),
+	}
+
+	if cfg.Tree != nil {
+		addr := cfg.Tree.ListenAddr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		r.transport, err = treenet.Listen(cfg.Tree.NodeID, addr, r.onTreeMessage)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		for id, peerAddr := range cfg.Tree.Peers {
+			r.transport.SetPeer(id, peerAddr)
+		}
+		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
+			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/svc/", r.handle)
+	mux.HandleFunc("/stats", r.handleStats)
+	r.srv = &http.Server{Handler: mux}
+	go func() { _ = r.srv.Serve(ln) }()
+
+	r.ticker = time.NewTicker(cfg.Engine.Window())
+	go r.windowLoop()
+	return r, nil
+}
+
+// URL returns the redirector's base URL.
+func (r *Redirector) URL() string { return "http://" + r.ln.Addr().String() }
+
+// TreeAddr returns the tree transport address ("" without a tree).
+func (r *Redirector) TreeAddr() string {
+	if r.transport == nil {
+		return ""
+	}
+	return r.transport.Addr()
+}
+
+func (r *Redirector) elapsed() time.Duration { return time.Since(r.start) }
+
+func (r *Redirector) onTreeMessage(from combining.NodeID, msg interface{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tree.OnMessage(from, msg)
+	if _, ok := msg.(combining.Broadcast); ok {
+		r.pushGlobalLocked()
+	}
+}
+
+func (r *Redirector) pushGlobalLocked() {
+	if agg, at, ok := r.tree.Global(); ok {
+		r.red.SetGlobal(agg.Sum, at)
+	}
+}
+
+func (r *Redirector) windowLoop() {
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.ticker.C:
+			r.mu.Lock()
+			if r.tree != nil {
+				r.tree.SetLocal(r.red.LocalEstimate())
+				r.tree.Tick()
+				if r.tree.IsRoot() {
+					r.pushGlobalLocked()
+				}
+			} else {
+				// Single redirector: its own estimate is the global truth.
+				r.red.SetGlobal(r.red.LocalEstimate(), r.elapsed())
+			}
+			if err := r.red.StartWindow(r.elapsed()); err != nil {
+				// Scheduling failures leave last window's credits in
+				// place; enforcement degrades gracefully.
+				_ = err
+			}
+			r.mu.Unlock()
+		}
+	}
+}
+
+// handle answers /svc/<org>/<rest> with a redirect (or, in proxy mode, the
+// proxied backend response).
+func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
+	rest := strings.TrimPrefix(req.URL.Path, "/svc/")
+	org, tail, _ := strings.Cut(rest, "/")
+	p, ok := r.cfg.Orgs[org]
+	if !ok {
+		http.NotFound(w, req)
+		return
+	}
+
+	r.mu.Lock()
+	d := r.red.Admit(p)
+	var target string
+	if d.Admitted {
+		backends := r.cfg.Backends[d.Owner]
+		if len(backends) > 0 {
+			idx := r.rr[d.Owner] % len(backends)
+			r.rr[d.Owner]++
+			target = backends[idx]
+		}
+	}
+	r.mu.Unlock()
+
+	if target == "" {
+		if r.cfg.Proxy {
+			// Single-round-trip variant: tell the client to retry.
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "over quota this window", http.StatusServiceUnavailable)
+			return
+		}
+		// Self-redirect: the client retries the same URL (implicit queuing).
+		w.Header().Set("Retry-After", "0")
+		http.Redirect(w, req, r.URL()+req.URL.RequestURI(), http.StatusFound)
+		return
+	}
+	dest := target + "/" + tail
+	if q := req.URL.RawQuery; q != "" {
+		dest += "?" + q
+	}
+	if r.cfg.Proxy {
+		r.proxy(w, req, dest)
+		return
+	}
+	http.Redirect(w, req, dest, http.StatusFound)
+}
+
+// proxy relays the request to the backend and the response to the client —
+// one client round trip instead of two.
+func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, dest string) {
+	out, err := http.NewRequest(req.Method, dest, req.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	out.Header = req.Header.Clone()
+	resp, err := http.DefaultClient.Do(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// Stats reports admission counters.
+func (r *Redirector) Stats() (admitted, rejected int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.red.Admitted, r.red.Rejected
+}
+
+// statsPayload is the JSON shape served at /stats.
+type statsPayload struct {
+	ID           int    `json:"id"`
+	Mode         string `json:"mode"`
+	WindowMS     int64  `json:"window_ms"`
+	Admitted     int    `json:"admitted"`
+	Rejected     int    `json:"rejected"`
+	Windows      int    `json:"windows"`
+	Conservative int    `json:"conservative_windows"`
+	HasGlobal    bool   `json:"has_global"`
+}
+
+// handleStats serves operational counters for monitoring.
+func (r *Redirector) handleStats(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	p := statsPayload{
+		ID:           r.cfg.ID,
+		Mode:         r.cfg.Engine.Mode().String(),
+		WindowMS:     r.cfg.Engine.Window().Milliseconds(),
+		Admitted:     r.red.Admitted,
+		Rejected:     r.red.Rejected,
+		Windows:      r.red.Windows,
+		Conservative: r.red.Conservative,
+		HasGlobal:    r.red.HasGlobal(),
+	}
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(p); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Close stops the redirector.
+func (r *Redirector) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		close(r.done)
+		r.ticker.Stop()
+		err = r.srv.Close()
+		if r.transport != nil {
+			if cerr := r.transport.Close(); err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}

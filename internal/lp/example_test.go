@@ -1,0 +1,40 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// Maximize 3x + 2y subject to x+y ≤ 4 and x+3y ≤ 6.
+func ExampleSolve() {
+	sol, err := lp.Solve(&lp.Problem{
+		Objective: []float64{3, 2},
+		Constraints: []lp.Constraint{
+			{Coeffs: []float64{1, 1}, Rel: lp.LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Rel: lp.LE, RHS: 6},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v objective=%.0f x=%.0f y=%.0f\n", sol.Status, sol.Objective, sol.X[0], sol.X[1])
+	// Output: optimal objective=12 x=4 y=0
+}
+
+// The Builder names variables so scheduling models read like the paper's
+// formulations.
+func ExampleBuilder() {
+	b := lp.NewBuilder()
+	theta := b.Var("theta", 1)
+	x := b.Var("x", 0)
+	b.Bound(theta, 0, 1)
+	b.Constrain(lp.GE, 0, lp.T(x, 1), lp.T(theta, -100)) // x ≥ θ·100
+	b.Constrain(lp.LE, 80, lp.T(x, 1))                   // capacity 80
+	sol, err := b.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("theta=%.1f x=%.0f\n", b.Value(sol, theta), b.Value(sol, x))
+	// Output: theta=0.8 x=80
+}

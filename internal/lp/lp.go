@@ -1,0 +1,150 @@
+// Package lp implements a small, dependency-free linear programming solver
+// based on the two-phase primal simplex method over dense tableaus.
+//
+// The solver targets the scheduling problems that arise in agreement
+// enforcement (see internal/sched): a few dozen variables and constraints per
+// 100 ms scheduling window. At that scale an exact dense simplex with Bland's
+// anti-cycling rule is both fast and numerically dependable.
+//
+// Problems are stated in the form
+//
+//	maximize  c·x
+//	subject to a_i·x (≤|=|≥) b_i   for each constraint i
+//	           x ≥ 0
+//
+// Variables are implicitly non-negative; use two variables (x = x⁺ − x⁻) for
+// a free variable, or the Builder helpers which do such rewrites.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the comparison operator of a constraint row.
+type Relation int
+
+const (
+	// LE constrains a·x ≤ b.
+	LE Relation = iota
+	// GE constrains a·x ≥ b.
+	GE
+	// EQ constrains a·x = b.
+	EQ
+)
+
+// String returns the conventional symbol for the relation.
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Constraint is a single row a·x (≤|=|≥) b. Coeffs shorter than the number of
+// problem variables are implicitly zero-padded.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program in maximization form.
+type Problem struct {
+	// Objective holds c in "maximize c·x". Its length fixes the number of
+	// structural variables.
+	Objective []float64
+	// Constraints are the rows of the program.
+	Constraints []Constraint
+}
+
+// Status reports the outcome of a Solve call.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set has no solution with x ≥ 0.
+	Infeasible
+	// Unbounded means the objective can be made arbitrarily large.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// X is the optimal assignment (length = len(Problem.Objective)).
+	// Meaningful only when Status == Optimal.
+	X []float64
+	// Objective is c·X. Meaningful only when Status == Optimal.
+	Objective float64
+}
+
+// ErrBadProblem reports a structurally invalid problem (for example a
+// constraint row longer than the objective vector).
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex method on p. The returned error is non-nil
+// only for malformed input; infeasibility and unboundedness are reported via
+// Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > n {
+			return nil, fmt.Errorf("%w: constraint %d has %d coefficients for %d variables",
+				ErrBadProblem, i, len(c.Coeffs), n)
+		}
+		for _, v := range c.Coeffs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: constraint %d has non-finite coefficient", ErrBadProblem, i)
+			}
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return nil, fmt.Errorf("%w: constraint %d has non-finite RHS", ErrBadProblem, i)
+		}
+	}
+	for _, v := range p.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite objective coefficient", ErrBadProblem)
+		}
+	}
+
+	t := newTableau(p)
+	t.obj2 = p.Objective
+	if !t.phase1() {
+		return &Solution{Status: Infeasible}, nil
+	}
+	if !t.phase2() {
+		return &Solution{Status: Unbounded}, nil
+	}
+	x := t.extract(n)
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}

@@ -1,0 +1,510 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func wantOptimal(t *testing.T, sol *Solution, obj float64, x []float64) {
+	t.Helper()
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-obj) > 1e-6 {
+		t.Fatalf("objective = %g, want %g", sol.Objective, obj)
+	}
+	if x != nil {
+		for j := range x {
+			if math.Abs(sol.X[j]-x[j]) > 1e-6 {
+				t.Fatalf("x = %v, want %v", sol.X, x)
+			}
+		}
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x+y ≤ 4, x+3y ≤ 6 → x=4, y=0, obj 12.
+	p := &Problem{
+		Objective: []float64{3, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Rel: LE, RHS: 6},
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), 12, []float64{4, 0})
+}
+
+func TestClassicTwoVar(t *testing.T) {
+	// max 5x + 4y s.t. 6x+4y ≤ 24, x+2y ≤ 6 → x=3, y=1.5, obj 21.
+	p := &Problem{
+		Objective: []float64{5, 4},
+		Constraints: []Constraint{
+			{Coeffs: []float64{6, 4}, Rel: LE, RHS: 24},
+			{Coeffs: []float64{1, 2}, Rel: LE, RHS: 6},
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), 21, []float64{3, 1.5})
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + y s.t. x + y = 5, x ≤ 3 → obj 5.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 5},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 3},
+		},
+	}
+	sol := mustSolve(t, p)
+	wantOptimal(t, sol, 5, nil)
+	if sol.X[0] > 3+1e-9 {
+		t.Fatalf("x exceeds bound: %v", sol.X)
+	}
+}
+
+func TestGEConstraintNeedsPhase1(t *testing.T) {
+	// min x+y s.t. x+y ≥ 4, i.e. max −x−y → obj −4.
+	p := &Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: GE, RHS: 4},
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), -4, nil)
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: GE, RHS: 5},
+			{Coeffs: []float64{1}, Rel: LE, RHS: 3},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 1},
+		},
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x − y ≤ −2 with max x, x,y ≥ 0 and y ≤ 10 → x = 8.
+	p := &Problem{
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Rel: LE, RHS: -2},
+			{Coeffs: []float64{0, 1}, Rel: LE, RHS: 10},
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), 8, []float64{8, 10})
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality rows force evictArtificials to drop a redundant row.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Rel: EQ, RHS: 4},
+			{Coeffs: []float64{2, 2}, Rel: EQ, RHS: 8},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), 4, nil)
+}
+
+func TestDegenerateCyclingGuard(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	p := &Problem{
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Rel: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Rel: LE, RHS: 1},
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), 0.05, nil)
+}
+
+func TestZeroRHSEquality(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Rel: EQ, RHS: 0},
+			{Coeffs: []float64{1, 0}, Rel: LE, RHS: 7},
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), 0, nil)
+}
+
+func TestShortCoeffRowsArePadded(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1, 1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Rel: LE, RHS: 2},       // x0 ≤ 2
+			{Coeffs: []float64{0, 1, 1}, Rel: LE, RHS: 3}, // x1+x2 ≤ 3
+		},
+	}
+	wantOptimal(t, mustSolve(t, p), 5, nil)
+}
+
+func TestMalformedProblems(t *testing.T) {
+	cases := []*Problem{
+		{Objective: nil},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Rel: LE, RHS: 1}}},
+		{Objective: []float64{math.NaN()}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{math.Inf(1)}, Rel: LE, RHS: 1}}},
+		{Objective: []float64{1}, Constraints: []Constraint{{Coeffs: []float64{1}, Rel: LE, RHS: math.NaN()}}},
+	}
+	for i, p := range cases {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d: want error for malformed problem", i)
+		}
+	}
+}
+
+func TestBuilderEndToEnd(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 3)
+	y := b.Var("y", 2)
+	b.Constrain(LE, 4, T(x, 1), T(y, 1))
+	b.Constrain(LE, 6, T(x, 1), T(y, 3))
+	sol, err := b.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	wantOptimal(t, sol, 12, nil)
+	if got := b.Value(sol, x); math.Abs(got-4) > 1e-6 {
+		t.Fatalf("Value(x) = %g, want 4", got)
+	}
+	if b.String() == "" {
+		t.Fatal("String() should render the model")
+	}
+}
+
+func TestBuilderBounds(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 1)
+	b.Bound(x, 2, 5)
+	sol, err := b.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	wantOptimal(t, sol, 5, []float64{5})
+
+	b2 := NewBuilder()
+	y := b2.Var("y", -1) // minimize y with y ≥ 2
+	b2.Bound(y, 2, math.Inf(1))
+	sol2, err := b2.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	wantOptimal(t, sol2, -2, []float64{2})
+}
+
+func TestBuilderDuplicateTermsAccumulate(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 1)
+	b.Constrain(LE, 6, T(x, 1), T(x, 2)) // 3x ≤ 6
+	sol, err := b.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	wantOptimal(t, sol, 2, []float64{2})
+}
+
+func TestBuilderProblemIsACopy(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", 1)
+	b.Constrain(LE, 1, T(x, 1))
+	p := b.Problem()
+	b.Constrain(LE, 0, T(x, 1)) // mutate builder afterwards
+	if len(p.Constraints) != 1 {
+		t.Fatal("Problem snapshot should not see later constraints")
+	}
+}
+
+// feasibility checks a solution against the original constraints.
+func feasible(p *Problem, x []float64, tol float64) bool {
+	for _, c := range p.Constraints {
+		dot := 0.0
+		for j, v := range c.Coeffs {
+			dot += v * x[j]
+		}
+		switch c.Rel {
+		case LE:
+			if dot > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if dot < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(dot-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickRandomBoundedLPs property-tests the solver on random problems that
+// are feasible by construction (x=0 satisfies every row) and bounded by a box.
+func TestQuickRandomBoundedLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*4 - 2
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()*4 - 2
+			}
+			// RHS ≥ 0 keeps x=0 feasible for LE rows.
+			p.Constraints = append(p.Constraints,
+				Constraint{Coeffs: row, Rel: LE, RHS: rng.Float64() * 10})
+		}
+		for j := 0; j < n; j++ { // bounding box ⇒ never unbounded
+			row := make([]float64, n)
+			row[j] = 1
+			p.Constraints = append(p.Constraints,
+				Constraint{Coeffs: row, Rel: LE, RHS: 50})
+		}
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		if !feasible(p, sol.X, 1e-6) {
+			return false
+		}
+		// Optimality sanity: the solution must beat a handful of random
+		// feasible points.
+		for trial := 0; trial < 20; trial++ {
+			cand := make([]float64, n)
+			for j := range cand {
+				cand[j] = rng.Float64() * 5
+			}
+			if !feasible(p, cand, 0) {
+				continue
+			}
+			obj := 0.0
+			for j := range cand {
+				obj += p.Objective[j] * cand[j]
+			}
+			if obj > sol.Objective+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEqualityFeasible property-tests phase-1 handling: random equality
+// systems built from a known solution must be solved and remain feasible.
+func TestQuickEqualityFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(n) // fewer equalities than variables
+		x0 := make([]float64, n)
+		for j := range x0 {
+			x0[j] = rng.Float64() * 5
+		}
+		p := &Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*2 - 1
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			rhs := 0.0
+			for j := range row {
+				row[j] = rng.Float64()*4 - 2
+				rhs += row[j] * x0[j]
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: EQ, RHS: rhs})
+		}
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: LE, RHS: 100})
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		if sol.Status != Optimal {
+			return false // x0 is feasible by construction
+		}
+		return feasible(p, sol.X, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForce2D finds the optimum of a 2-variable LP by enumerating all
+// vertices of the feasible polygon: intersections of constraint boundary
+// lines (including the axes x=0, y=0) filtered for feasibility. An
+// independent geometric oracle for the simplex implementation.
+func bruteForce2D(p *Problem) (best float64, found bool) {
+	type line struct{ a, b, c float64 } // a·x + b·y = c
+	var lines []line
+	for _, con := range p.Constraints {
+		a, b := 0.0, 0.0
+		if len(con.Coeffs) > 0 {
+			a = con.Coeffs[0]
+		}
+		if len(con.Coeffs) > 1 {
+			b = con.Coeffs[1]
+		}
+		lines = append(lines, line{a, b, con.RHS})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+
+	best = math.Inf(-1)
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			det := lines[i].a*lines[j].b - lines[j].a*lines[i].b
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (lines[i].c*lines[j].b - lines[j].c*lines[i].b) / det
+			y := (lines[i].a*lines[j].c - lines[j].a*lines[i].c) / det
+			if !feasible(p, []float64{x, y}, 1e-7) {
+				continue
+			}
+			found = true
+			if v := p.Objective[0]*x + p.Objective[1]*y; v > best {
+				best = v
+			}
+		}
+	}
+	return best, found
+}
+
+// TestQuickAgainstVertexEnumeration cross-checks simplex optima against the
+// geometric vertex oracle on random bounded 2-variable programs.
+func TestQuickAgainstVertexEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Problem{Objective: []float64{rng.Float64()*8 - 4, rng.Float64()*8 - 4}}
+		rows := 1 + rng.Intn(4)
+		for i := 0; i < rows; i++ {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2},
+				Rel:    LE,
+				RHS:    rng.Float64() * 20,
+			})
+		}
+		// Bounding box keeps the polygon finite.
+		p.Constraints = append(p.Constraints,
+			Constraint{Coeffs: []float64{1, 0}, Rel: LE, RHS: 30},
+			Constraint{Coeffs: []float64{0, 1}, Rel: LE, RHS: 30},
+		)
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		want, found := bruteForce2D(p)
+		switch sol.Status {
+		case Optimal:
+			return found && math.Abs(sol.Objective-want) < 1e-5*(1+math.Abs(want))
+		case Infeasible:
+			return !found
+		default:
+			return false // boxed: unbounded impossible
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveSmall(b *testing.B) {
+	p := &Problem{
+		Objective: []float64{5, 4},
+		Constraints: []Constraint{
+			{Coeffs: []float64{6, 4}, Rel: LE, RHS: 24},
+			{Coeffs: []float64{1, 2}, Rel: LE, RHS: 6},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSchedulerSized(b *testing.B) {
+	// A community-LP-sized instance: 5 principals ⇒ 26 variables (θ + 25 x_ik),
+	// with capacity, agreement and queue rows — representative of one
+	// scheduling window.
+	rng := rand.New(rand.NewSource(1))
+	n := 26
+	p := &Problem{Objective: make([]float64, n)}
+	p.Objective[0] = 1
+	for i := 0; i < 5; i++ {
+		// Σ_k x_ik − θ·n_i ≥ 0
+		row := make([]float64, n)
+		row[0] = -float64(50 + rng.Intn(100))
+		for k := 0; k < 5; k++ {
+			row[1+i*5+k] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: GE, RHS: 0})
+		// capacity Σ_k x_ki ≤ V_i
+		cap := make([]float64, n)
+		for k := 0; k < 5; k++ {
+			cap[1+k*5+i] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{Coeffs: cap, Rel: LE, RHS: float64(100 + rng.Intn(200))})
+		for k := 0; k < 5; k++ {
+			up := make([]float64, n)
+			up[1+i*5+k] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: up, Rel: LE, RHS: float64(20 + rng.Intn(80))})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("status=%v err=%v", sol.Status, err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// latencyBuckets are logarithmic bucket upper bounds from 1 ms to ~137 s.
+const numLatencyBuckets = 18
+
+// Latency accumulates response-time distributions per series — the metric
+// the community scheduler optimizes ("minimize the maximum response time").
+// It is not safe for concurrent use.
+type Latency struct {
+	names  []string
+	count  []int
+	sum    []time.Duration
+	max    []time.Duration
+	bucket [][]int // [series][bucket]
+}
+
+// NewLatency creates a recorder with one distribution per name.
+func NewLatency(names []string) *Latency {
+	l := &Latency{
+		names:  append([]string(nil), names...),
+		count:  make([]int, len(names)),
+		sum:    make([]time.Duration, len(names)),
+		max:    make([]time.Duration, len(names)),
+		bucket: make([][]int, len(names)),
+	}
+	for i := range l.bucket {
+		l.bucket[i] = make([]int, numLatencyBuckets)
+	}
+	return l
+}
+
+// bucketFor maps a duration to its logarithmic bucket: bucket b holds
+// latencies ≤ 1ms·2^b.
+func bucketFor(d time.Duration) int {
+	if d <= time.Millisecond {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(float64(d) / float64(time.Millisecond))))
+	if b >= numLatencyBuckets {
+		return numLatencyBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the inclusive upper bound of bucket b.
+func bucketUpper(b int) time.Duration {
+	return time.Millisecond << uint(b)
+}
+
+// Observe records one response time for series i.
+func (l *Latency) Observe(i int, d time.Duration) {
+	if i < 0 || i >= len(l.count) || d < 0 {
+		return
+	}
+	l.count[i]++
+	l.sum[i] += d
+	if d > l.max[i] {
+		l.max[i] = d
+	}
+	l.bucket[i][bucketFor(d)]++
+}
+
+// Count reports observations for series i.
+func (l *Latency) Count(i int) int {
+	if i < 0 || i >= len(l.count) {
+		return 0
+	}
+	return l.count[i]
+}
+
+// Mean reports the average response time of series i (0 when empty).
+func (l *Latency) Mean(i int) time.Duration {
+	if i < 0 || i >= len(l.count) || l.count[i] == 0 {
+		return 0
+	}
+	return l.sum[i] / time.Duration(l.count[i])
+}
+
+// Max reports the largest observed response time of series i.
+func (l *Latency) Max(i int) time.Duration {
+	if i < 0 || i >= len(l.max) {
+		return 0
+	}
+	return l.max[i]
+}
+
+// Quantile reports an upper bound on the q-quantile (0 < q ≤ 1) of series
+// i, at bucket resolution (powers of two of 1 ms).
+func (l *Latency) Quantile(i int, q float64) time.Duration {
+	if i < 0 || i >= len(l.count) || l.count[i] == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int(math.Ceil(q * float64(l.count[i])))
+	seen := 0
+	for b := 0; b < numLatencyBuckets; b++ {
+		seen += l.bucket[i][b]
+		if seen >= need {
+			return bucketUpper(b)
+		}
+	}
+	return bucketUpper(numLatencyBuckets - 1)
+}
+
+// String renders a compact per-series summary.
+func (l *Latency) String() string {
+	var sb strings.Builder
+	for i, name := range l.names {
+		fmt.Fprintf(&sb, "%s: n=%d mean=%v p95≤%v max=%v\n",
+			name, l.Count(i), l.Mean(i), l.Quantile(i, 0.95), l.Max(i))
+	}
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	l := NewLatency([]string{"A"})
+	l.Observe(0, 10*time.Millisecond)
+	l.Observe(0, 20*time.Millisecond)
+	l.Observe(0, 90*time.Millisecond)
+	if l.Count(0) != 3 {
+		t.Fatalf("Count = %d", l.Count(0))
+	}
+	if got := l.Mean(0); got != 40*time.Millisecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := l.Max(0); got != 90*time.Millisecond {
+		t.Fatalf("Max = %v", got)
+	}
+	if !strings.Contains(l.String(), "A: n=3") {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	l := NewLatency([]string{"A"})
+	for i := 0; i < 90; i++ {
+		l.Observe(0, 2*time.Millisecond) // bucket ≤ 2 ms
+	}
+	for i := 0; i < 10; i++ {
+		l.Observe(0, 900*time.Millisecond) // slow tail
+	}
+	if q := l.Quantile(0, 0.5); q > 4*time.Millisecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := l.Quantile(0, 0.99); q < 512*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≥ 512ms bucket", q)
+	}
+	if q := l.Quantile(0, 2); q < 512*time.Millisecond {
+		t.Fatalf("clamped q>1 = %v", q)
+	}
+}
+
+func TestLatencyEdgeCases(t *testing.T) {
+	l := NewLatency([]string{"A"})
+	l.Observe(-1, time.Second)
+	l.Observe(5, time.Second)
+	l.Observe(0, -time.Second)
+	if l.Count(0) != 0 || l.Count(5) != 0 {
+		t.Fatal("invalid observations recorded")
+	}
+	if l.Mean(0) != 0 || l.Max(9) != 0 || l.Quantile(0, 0.5) != 0 || l.Quantile(0, 0) != 0 {
+		t.Fatal("empty accessors not zero")
+	}
+	// Very large latencies land in the last bucket without panicking.
+	l.Observe(0, 10*time.Hour)
+	if l.Quantile(0, 1) <= 0 {
+		t.Fatal("overflow bucket broken")
+	}
+}
+
+func TestBucketMonotonicity(t *testing.T) {
+	prev := -1
+	for d := time.Millisecond; d < 200*time.Second; d *= 2 {
+		b := bucketFor(d)
+		if b < prev {
+			t.Fatalf("bucketFor not monotone at %v", d)
+		}
+		prev = b
+		if bucketUpper(b) < d {
+			t.Fatalf("bucketUpper(%d) = %v < %v", b, bucketUpper(b), d)
+		}
+	}
+}

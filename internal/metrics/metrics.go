@@ -1,0 +1,170 @@
+// Package metrics collects per-principal request-rate time series, bucketed
+// over (virtual or wall) time — the data behind every figure in the paper's
+// evaluation: processed requests/second per organization as phases change.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Recorder accumulates event counts into fixed-width time buckets per
+// series. It is not safe for concurrent use.
+type Recorder struct {
+	bucket time.Duration
+	names  []string
+	counts [][]float64 // [series][bucket]
+}
+
+// NewRecorder creates a recorder with the given bucket width (typically one
+// second, like the paper's plots) and one series per name.
+func NewRecorder(bucket time.Duration, names []string) *Recorder {
+	if bucket <= 0 {
+		panic("metrics: bucket width must be positive")
+	}
+	r := &Recorder{bucket: bucket, names: append([]string(nil), names...)}
+	r.counts = make([][]float64, len(names))
+	return r
+}
+
+// NumSeries reports the number of series.
+func (r *Recorder) NumSeries() int { return len(r.names) }
+
+// Name returns the display name of series i.
+func (r *Recorder) Name(i int) string { return r.names[i] }
+
+// Add records n events on series i at time now.
+func (r *Recorder) Add(now time.Duration, i int, n float64) {
+	if i < 0 || i >= len(r.counts) || now < 0 {
+		return
+	}
+	b := int(now / r.bucket)
+	for len(r.counts[i]) <= b {
+		r.counts[i] = append(r.counts[i], 0)
+	}
+	r.counts[i][b] += n
+}
+
+// NumBuckets reports the highest bucket count across series.
+func (r *Recorder) NumBuckets() int {
+	max := 0
+	for _, s := range r.counts {
+		if len(s) > max {
+			max = len(s)
+		}
+	}
+	return max
+}
+
+// Rate returns series i's event rate (events per second) in bucket b.
+func (r *Recorder) Rate(i, b int) float64 {
+	if i < 0 || i >= len(r.counts) || b < 0 || b >= len(r.counts[i]) {
+		return 0
+	}
+	return r.counts[i][b] / r.bucket.Seconds()
+}
+
+// Series returns the full per-bucket rate series for series i, padded to
+// NumBuckets.
+func (r *Recorder) Series(i int) []float64 {
+	n := r.NumBuckets()
+	out := make([]float64, n)
+	for b := 0; b < n; b++ {
+		out[b] = r.Rate(i, b)
+	}
+	return out
+}
+
+// MeanRate returns the average rate of series i over buckets [from, to).
+// Buckets outside the recorded range count as zero.
+func (r *Recorder) MeanRate(i, from, to int) float64 {
+	if to <= from {
+		return 0
+	}
+	total := 0.0
+	for b := from; b < to; b++ {
+		total += r.Rate(i, b)
+	}
+	return total / float64(to-from)
+}
+
+// MeanRateBetween averages series i over the half-open time interval
+// [from, to), expressed in recorder time.
+func (r *Recorder) MeanRateBetween(i int, from, to time.Duration) float64 {
+	return r.MeanRate(i, int(from/r.bucket), int(to/r.bucket))
+}
+
+// WriteTable renders all series as a tab-separated table: one row per
+// bucket, one column per series — the same rows the paper plots.
+func (r *Recorder) WriteTable(w io.Writer) error {
+	header := append([]string{"t(s)"}, r.names...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	secondsPerBucket := r.bucket.Seconds()
+	for b := 0; b < r.NumBuckets(); b++ {
+		row := []string{fmt.Sprintf("%.0f", float64(b)*secondsPerBucket)}
+		for i := range r.names {
+			row = append(row, fmt.Sprintf("%.1f", r.Rate(i, b)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PhaseStat summarizes one series over one phase.
+type PhaseStat struct {
+	Series string
+	Phase  string
+	Mean   float64
+}
+
+// Phase is a labeled time interval of an experiment.
+type Phase struct {
+	Name     string
+	From, To time.Duration
+}
+
+// PhaseMeans computes the mean rate of every series over each phase,
+// ordered by phase then series.
+func (r *Recorder) PhaseMeans(phases []Phase) []PhaseStat {
+	var out []PhaseStat
+	for _, p := range phases {
+		for i := range r.names {
+			out = append(out, PhaseStat{
+				Series: r.names[i],
+				Phase:  p.Name,
+				Mean:   r.MeanRateBetween(i, p.From, p.To),
+			})
+		}
+	}
+	return out
+}
+
+// FormatPhaseMeans renders phase means as an aligned text table.
+func FormatPhaseMeans(stats []PhaseStat) string {
+	byPhase := make(map[string][]PhaseStat)
+	var order []string
+	for _, s := range stats {
+		if _, ok := byPhase[s.Phase]; !ok {
+			order = append(order, s.Phase)
+		}
+		byPhase[s.Phase] = append(byPhase[s.Phase], s)
+	}
+	var sb strings.Builder
+	for _, ph := range order {
+		row := byPhase[ph]
+		sort.Slice(row, func(i, j int) bool { return row[i].Series < row[j].Series })
+		fmt.Fprintf(&sb, "%-10s", ph)
+		for _, s := range row {
+			fmt.Fprintf(&sb, " %s=%7.1f", s.Series, s.Mean)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

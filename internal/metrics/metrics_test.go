@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRatesAndBuckets(t *testing.T) {
+	r := NewRecorder(time.Second, []string{"A", "B"})
+	r.Add(0, 0, 5)
+	r.Add(500*time.Millisecond, 0, 5)
+	r.Add(1500*time.Millisecond, 0, 3)
+	r.Add(0, 1, 1)
+	if r.NumSeries() != 2 || r.Name(0) != "A" {
+		t.Fatal("series metadata wrong")
+	}
+	if r.Rate(0, 0) != 10 || r.Rate(0, 1) != 3 {
+		t.Fatalf("rates = %v %v", r.Rate(0, 0), r.Rate(0, 1))
+	}
+	if r.Rate(1, 1) != 0 || r.Rate(9, 0) != 0 || r.Rate(0, -1) != 0 {
+		t.Fatal("out-of-range rates should be 0")
+	}
+	if r.NumBuckets() != 2 {
+		t.Fatalf("NumBuckets = %d", r.NumBuckets())
+	}
+	s := r.Series(1)
+	if len(s) != 2 || s[0] != 1 || s[1] != 0 {
+		t.Fatalf("Series(1) = %v", s)
+	}
+}
+
+func TestSubSecondBuckets(t *testing.T) {
+	r := NewRecorder(100*time.Millisecond, []string{"A"})
+	r.Add(50*time.Millisecond, 0, 2)
+	// 2 events in a 100 ms bucket = 20 events/second.
+	if r.Rate(0, 0) != 20 {
+		t.Fatalf("rate = %v, want 20", r.Rate(0, 0))
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	r := NewRecorder(time.Second, []string{"A"})
+	for s := 0; s < 10; s++ {
+		r.Add(time.Duration(s)*time.Second, 0, float64(s))
+	}
+	if got := r.MeanRate(0, 0, 10); got != 4.5 {
+		t.Fatalf("MeanRate = %v", got)
+	}
+	if got := r.MeanRateBetween(0, 2*time.Second, 4*time.Second); got != 2.5 {
+		t.Fatalf("MeanRateBetween = %v", got)
+	}
+	if r.MeanRate(0, 5, 5) != 0 {
+		t.Fatal("empty interval should be 0")
+	}
+	// Interval extending past recorded data counts missing buckets as zero.
+	if got := r.MeanRate(0, 8, 12); got != (8+9)/4.0 {
+		t.Fatalf("padded MeanRate = %v", got)
+	}
+}
+
+func TestNegativeAndUnknownAddIgnored(t *testing.T) {
+	r := NewRecorder(time.Second, []string{"A"})
+	r.Add(-time.Second, 0, 5)
+	r.Add(0, 7, 5)
+	if r.NumBuckets() != 0 {
+		t.Fatal("invalid Add calls recorded data")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	r := NewRecorder(time.Second, []string{"A", "B"})
+	r.Add(0, 0, 3)
+	r.Add(time.Second, 1, 7)
+	var sb strings.Builder
+	if err := r.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table = %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "t(s)\tA\tB") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "3.0") || !strings.Contains(lines[2], "7.0") {
+		t.Fatalf("rows = %q", lines[1:])
+	}
+}
+
+func TestPhaseMeansAndFormat(t *testing.T) {
+	r := NewRecorder(time.Second, []string{"A", "B"})
+	for s := 0; s < 4; s++ {
+		r.Add(time.Duration(s)*time.Second, 0, 10)
+		r.Add(time.Duration(s)*time.Second, 1, 20)
+	}
+	phases := []Phase{
+		{Name: "p1", From: 0, To: 2 * time.Second},
+		{Name: "p2", From: 2 * time.Second, To: 4 * time.Second},
+	}
+	stats := r.PhaseMeans(phases)
+	if len(stats) != 4 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0].Mean != 10 || stats[1].Mean != 20 {
+		t.Fatalf("phase means = %v", stats)
+	}
+	out := FormatPhaseMeans(stats)
+	if !strings.Contains(out, "p1") || !strings.Contains(out, "A=") {
+		t.Fatalf("formatted = %q", out)
+	}
+}
+
+func TestBadBucketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero bucket")
+		}
+	}()
+	NewRecorder(0, nil)
+}

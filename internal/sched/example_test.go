@@ -1,0 +1,44 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// The Figure 10 window decision: a 640 req/s provider, customer A [0.8, 1]
+// paying twice B's price [0.2, 1], both overloaded.
+func ExampleProvider_Schedule() {
+	p, err := sched.NewProvider(
+		[]float64{512, 128}, // mandatory rates
+		[]float64{128, 512}, // optional rates
+		[]float64{2, 1},     // prices beyond mandatory
+		640)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := p.Schedule([]float64{800, 400})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("A=%.0f B=%.0f income=%.0f\n", plan.X[0], plan.X[1], plan.Income)
+	// Output: A=512 B=128 income=0
+}
+
+// Waterfilling reproduces the Figure 7 community split without an LP
+// solver: A has twice B's load, so it is served at twice B's rate.
+func ExampleWaterfill_Schedule() {
+	w, err := sched.NewWaterfill(
+		[]float64{50, 50},   // mandatory
+		[]float64{200, 200}, // optional
+		250)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := w.Schedule([]float64{270, 135})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("A=%.1f B=%.1f theta=%.3f\n", plan.X[0], plan.X[1], plan.Theta)
+	// Output: A=166.7 B=83.3 theta=0.617
+}

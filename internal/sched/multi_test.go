@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agreement"
+)
+
+// multiRig builds a two-dimension (transactions/s, KB/s of bandwidth)
+// system: owner S with customers A and B, each holding [0.25, 1].
+// A's requests are bandwidth-heavy (10 KB each); B's are light (1 KB).
+func multiRig(t testing.TB, txCap, bwCap float64) *MultiCommunity {
+	t.Helper()
+	s := agreement.New()
+	sp := s.MustAddPrincipal("S", 0) // capacities supplied per dimension
+	a := s.MustAddPrincipal("A", 0)
+	bb := s.MustAddPrincipal("B", 0)
+	s.MustSetAgreement(sp, a, 0.25, 1)
+	s.MustSetAgreement(sp, bb, 0.25, 1)
+	f, err := s.Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := [][]float64{
+		{txCap, 0, 0}, // transactions per window
+		{bwCap, 0, 0}, // bandwidth per window
+	}
+	accs, err := f.MultiAccess(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := [][]float64{
+		{1, 1},  // S itself (unused: no queue)
+		{1, 10}, // A: 1 tx + 10 KB per request
+		{1, 1},  // B: 1 tx + 1 KB
+	}
+	m, err := NewMultiCommunity(accs, dims, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiBandwidthBound(t *testing.T) {
+	// Plenty of transaction capacity (1000) but scarce bandwidth (400 KB):
+	// A is bandwidth-bound, B transaction-entitlement-bound.
+	m := multiRig(t, 1000, 400)
+	plan, err := m.Schedule([]float64{0, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bandwidth check: 10·x_A + x_B ≤ 400; tx: x_A + x_B ≤ 1000.
+	if 10*plan.Total[1]+plan.Total[2] > 400+1e-6 {
+		t.Fatalf("bandwidth capacity violated: %v", plan.Total)
+	}
+	// Mandatory floors: A ≥ min(MC_tx=250, MC_bw/10=10) = 10;
+	// B ≥ min(250, 100) = 100 clipped to queue 100.
+	if plan.Total[1] < 10-1e-6 {
+		t.Fatalf("A below mandatory floor: %v", plan.Total[1])
+	}
+	if plan.Total[2] < 100-1e-6 {
+		t.Fatalf("B below its demand-clipped floor: %v", plan.Total)
+	}
+	// θ: A limited by bandwidth: (400−100)/10 = 30 ⇒ θ = 0.3.
+	if math.Abs(plan.Theta-0.3) > 1e-6 {
+		t.Fatalf("theta = %v, want 0.3", plan.Theta)
+	}
+}
+
+func TestMultiTransactionBound(t *testing.T) {
+	// Abundant bandwidth: the schedule degenerates to the single-resource
+	// max–min split.
+	m := multiRig(t, 200, 1e9)
+	plan, err := m.Schedule([]float64{0, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Total[1]-100) > 1e-6 || math.Abs(plan.Total[2]-100) > 1e-6 {
+		t.Fatalf("totals = %v, want both 100 (under capacity)", plan.Total)
+	}
+	plan, err = m.Schedule([]float64{0, 300, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Total[1]-100) > 1e-6 || math.Abs(plan.Total[2]-100) > 1e-6 {
+		t.Fatalf("overload totals = %v, want 100/100 split of 200", plan.Total)
+	}
+}
+
+func TestMultiValidation(t *testing.T) {
+	m := multiRig(t, 100, 100)
+	if _, err := m.Schedule([]float64{1}); err == nil {
+		t.Error("short queue vector accepted")
+	}
+	if _, err := m.Schedule([]float64{0, -1, 0}); err == nil {
+		t.Error("negative queue accepted")
+	}
+	if _, err := NewMultiCommunity(nil, nil, nil); err == nil {
+		t.Error("no dimensions accepted")
+	}
+
+	s := agreement.New()
+	s.MustAddPrincipal("S", 10)
+	f, _ := s.Flows()
+	accs, _ := f.MultiAccess([][]float64{{10}})
+	if _, err := NewMultiCommunity(accs, [][]float64{{10}, {10}}, [][]float64{{1}}); err == nil {
+		t.Error("mismatched capacity dimensions accepted")
+	}
+	if _, err := NewMultiCommunity(accs, [][]float64{{10}}, [][]float64{{0}}); err == nil {
+		t.Error("all-zero cost accepted")
+	}
+	if _, err := NewMultiCommunity(accs, [][]float64{{10}}, [][]float64{{-1}}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := NewMultiCommunity(accs, [][]float64{{10, 20}}, [][]float64{{1}}); err == nil {
+		t.Error("wrong capacity length accepted")
+	}
+}
+
+// TestQuickMultiInvariants property-checks plans against every dimension's
+// capacity and the per-pair entitlement bounds.
+func TestQuickMultiInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := agreement.New()
+		n := 2 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			s.MustAddPrincipal(string(rune('A'+i)), 0)
+		}
+		for i := 0; i < n; i++ {
+			budget := 1.0
+			for j := 0; j < n; j++ {
+				if j == i || rng.Float64() < 0.5 {
+					continue
+				}
+				lb := rng.Float64() * budget * 0.8
+				ub := lb + rng.Float64()*(1-lb)
+				if s.SetAgreement(agreement.Principal(i), agreement.Principal(j), lb, ub) != nil {
+					continue
+				}
+				budget -= lb
+			}
+		}
+		flows, err := s.Flows()
+		if err != nil {
+			return false
+		}
+		dims := 1 + rng.Intn(3)
+		capacity := make([][]float64, dims)
+		for d := range capacity {
+			capacity[d] = make([]float64, n)
+			for k := range capacity[d] {
+				capacity[d][k] = float64(rng.Intn(500))
+			}
+		}
+		accs, err := flows.MultiAccess(capacity)
+		if err != nil {
+			return false
+		}
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, dims)
+			for d := range cost[i] {
+				cost[i][d] = rng.Float64() * 3
+			}
+			cost[i][rng.Intn(dims)] += 0.1 // ensure some consumption
+		}
+		m, err := NewMultiCommunity(accs, capacity, cost)
+		if err != nil {
+			return false
+		}
+		queues := make([]float64, n)
+		for i := range queues {
+			queues[i] = float64(rng.Intn(500))
+		}
+		plan, err := m.Schedule(queues)
+		if err != nil {
+			return false
+		}
+		for d := 0; d < dims; d++ {
+			for k := 0; k < n; k++ {
+				load := 0.0
+				for i := 0; i < n; i++ {
+					load += plan.X[i][k] * cost[i][d]
+				}
+				if load > capacity[d][k]+1e-5 {
+					return false
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if plan.Total[i] > queues[i]+1e-5 || plan.Total[i] < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMultiSchedule(b *testing.B) {
+	m := multiRig(b, 1000, 400)
+	q := []float64{0, 100, 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Schedule(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

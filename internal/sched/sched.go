@@ -1,0 +1,324 @@
+// Package sched implements the window schedulers of §3.1.2: given the
+// per-principal entitlements computed by internal/agreement and the queue
+// lengths observed in the current time window, decide how many requests from
+// each principal's queue to forward to each owner's servers.
+//
+// Two optimization models are provided, matching the paper's two contexts:
+//
+//   - Community: maximize θ = min_i Σ_k x_ik / n_i, the minimum fraction of
+//     any queue served this window (a proxy for minimizing the maximum
+//     response time), subject to capacities and agreement bounds.
+//   - Provider: maximize the provider's income Σ_i p_i (x_i − MC_i) subject
+//     to capacity and agreement bounds.
+//
+// Both models are solved as linear programs (internal/lp) and then re-solved
+// lexicographically to maximize total throughput at the optimal primary
+// objective, so the plans are work-conserving: no server capacity is left
+// idle while admissible requests wait.
+//
+// All quantities are in requests per time window: callers scale rate
+// entitlements (req/s) by the window duration before building a scheduler.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/agreement"
+	"repro/internal/lp"
+)
+
+// ErrInput reports malformed scheduler input.
+var ErrInput = errors.New("sched: invalid input")
+
+// Community schedules a community context. Construct with NewCommunity.
+type Community struct {
+	n        int
+	acc      *agreement.Access
+	capacity []float64 // per-owner server capacity, requests/window
+	locality []float64 // optional per-owner push caps c_i (nil: none)
+}
+
+// NewCommunity builds a community scheduler. capacity[k] is owner k's server
+// capacity in requests per window; acc must come from the same principal
+// numbering. locality, if non-nil, caps the requests this redirector may
+// push to each owner's servers per window (the paper's c_i extension).
+func NewCommunity(acc *agreement.Access, capacity, locality []float64) (*Community, error) {
+	n := len(acc.MC)
+	if len(capacity) != n {
+		return nil, fmt.Errorf("%w: capacity length %d, want %d", ErrInput, len(capacity), n)
+	}
+	if locality != nil && len(locality) != n {
+		return nil, fmt.Errorf("%w: locality length %d, want %d", ErrInput, len(locality), n)
+	}
+	return &Community{n: n, acc: acc, capacity: capacity, locality: locality}, nil
+}
+
+// Plan is the result of a community scheduling decision.
+type Plan struct {
+	// X[i][k] is the number of requests from principal i's queue to forward
+	// to owner k's servers this window. Fractional values are expected; the
+	// admission layer (internal/window) carries remainders across windows.
+	X [][]float64
+	// Total[i] = Σ_k X[i][k].
+	Total []float64
+	// Theta is the achieved minimum served fraction min_i Total[i]/n_i.
+	Theta float64
+}
+
+// Schedule solves the community LP for the given global queue lengths
+// (requests per window, indexed by principal).
+func (c *Community) Schedule(queues []float64) (*Plan, error) {
+	if len(queues) != c.n {
+		return nil, fmt.Errorf("%w: queues length %d, want %d", ErrInput, len(queues), c.n)
+	}
+	for i, q := range queues {
+		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+			return nil, fmt.Errorf("%w: queue[%d] = %v", ErrInput, i, q)
+		}
+	}
+
+	plan, err := c.solve(queues, true)
+	if err == nil {
+		return plan, nil
+	}
+	// Mandatory floors can only be infeasible if entitlements exceed
+	// capacities (possible when the caller's Access and capacity vectors
+	// disagree); degrade gracefully rather than stalling the window.
+	return c.solve(queues, false)
+}
+
+func (c *Community) solve(queues []float64, floors bool) (*Plan, error) {
+	n := c.n
+	b := lp.NewBuilder()
+	theta := b.Var("theta", 1)
+	b.Bound(theta, 0, 1)
+
+	// x[i][k] variables only where an entitlement exists.
+	x := make([][]lp.Var, n)
+	for i := 0; i < n; i++ {
+		x[i] = make([]lp.Var, n)
+		for k := 0; k < n; k++ {
+			x[i][k] = -1
+			if queues[i] <= 0 {
+				continue
+			}
+			if hi := c.acc.MI[k][i] + c.acc.OI[k][i]; hi > 0 {
+				x[i][k] = b.Var(fmt.Sprintf("x_%d_%d", i, k), 0)
+				b.Bound(x[i][k], 0, hi)
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if queues[i] <= 0 {
+			continue
+		}
+		terms := []lp.Term{lp.T(theta, -queues[i])}
+		var sum []lp.Term
+		for k := 0; k < n; k++ {
+			if x[i][k] >= 0 {
+				terms = append(terms, lp.T(x[i][k], 1))
+				sum = append(sum, lp.T(x[i][k], 1))
+			}
+		}
+		if len(sum) == 0 {
+			// No entitlement anywhere: θ must account for an unserved queue.
+			b.Constrain(lp.LE, 0, lp.T(theta, queues[i]))
+			continue
+		}
+		// Σ_k x_ik − θ n_i ≥ 0.
+		b.Constrain(lp.GE, 0, terms...)
+		// Σ_k x_ik ≤ n_i.
+		b.Constrain(lp.LE, queues[i], sum...)
+		// Mandatory floor Σ_k x_ik ≥ min(n_i, MC_i) — the paper's lower
+		// bound, clipped to demand instead of dropped so a principal whose
+		// queue is below its mandatory level is still served in full.
+		if floors {
+			if floor := math.Min(queues[i], c.acc.MC[i]); floor > 0 {
+				b.Constrain(lp.GE, floor, sum...)
+			}
+		}
+	}
+
+	// Server capacity: Σ_i x_ik ≤ V_k, and locality caps.
+	for k := 0; k < n; k++ {
+		var load []lp.Term
+		for i := 0; i < n; i++ {
+			if x[i][k] >= 0 {
+				load = append(load, lp.T(x[i][k], 1))
+			}
+		}
+		if len(load) == 0 {
+			continue
+		}
+		b.Constrain(lp.LE, c.capacity[k], load...)
+		if c.locality != nil && !math.IsInf(c.locality[k], 1) {
+			b.Constrain(lp.LE, c.locality[k], load...)
+		}
+	}
+
+	sol, err := b.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("sched: community LP %v", sol.Status)
+	}
+	thetaStar := b.Value(sol, theta)
+
+	// Lexicographic pass: hold θ at its optimum, maximize total throughput.
+	b.Constrain(lp.GE, thetaStar-1e-9, lp.T(theta, 1))
+	b2 := b.Problem()
+	for j := 1; j < len(b2.Objective); j++ {
+		b2.Objective[j] = 1 // every x variable
+	}
+	b2.Objective[0] = 0
+	sol2, err := lp.Solve(b2)
+	if err == nil && sol2.Status == lp.Optimal {
+		sol = sol2
+	}
+
+	plan := &Plan{
+		X:     make([][]float64, n),
+		Total: make([]float64, n),
+		Theta: thetaStar,
+	}
+	for i := 0; i < n; i++ {
+		plan.X[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			if x[i][k] >= 0 {
+				v := b.Value(sol, x[i][k])
+				if v < 0 {
+					v = 0
+				}
+				plan.X[i][k] = v
+				plan.Total[i] += v
+			}
+		}
+	}
+	return plan, nil
+}
+
+// Provider schedules a single service provider's servers across customers.
+type Provider struct {
+	n        int
+	mc, oc   []float64 // per-customer entitlements, requests/window
+	prices   []float64
+	capacity float64 // aggregate server capacity, requests/window
+}
+
+// NewProvider builds a provider scheduler. mc/oc are the customers'
+// mandatory/optional processing rates per window (from agreement.Access,
+// excluding the provider itself), prices[i] is the per-request price paid by
+// customer i beyond its mandatory level, and capacity is the provider's
+// total server capacity per window.
+func NewProvider(mc, oc, prices []float64, capacity float64) (*Provider, error) {
+	n := len(mc)
+	if len(oc) != n || len(prices) != n {
+		return nil, fmt.Errorf("%w: mc/oc/prices lengths %d/%d/%d", ErrInput, n, len(oc), len(prices))
+	}
+	if capacity < 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("%w: capacity %v", ErrInput, capacity)
+	}
+	for i := 0; i < n; i++ {
+		if mc[i] < 0 || oc[i] < 0 || prices[i] < 0 {
+			return nil, fmt.Errorf("%w: negative entitlement or price for customer %d", ErrInput, i)
+		}
+	}
+	return &Provider{n: n, mc: mc, oc: oc, prices: prices, capacity: capacity}, nil
+}
+
+// ProviderPlan is the result of a provider scheduling decision.
+type ProviderPlan struct {
+	// X[i] is the number of customer i's requests to admit this window.
+	X []float64
+	// Income is Σ_i p_i (X[i] − MC_i), the paper's objective value.
+	Income float64
+}
+
+// Schedule solves the provider LP for the given per-customer queue lengths.
+func (p *Provider) Schedule(queues []float64) (*ProviderPlan, error) {
+	if len(queues) != p.n {
+		return nil, fmt.Errorf("%w: queues length %d, want %d", ErrInput, len(queues), p.n)
+	}
+	b := lp.NewBuilder()
+	xs := make([]lp.Var, p.n)
+	var all []lp.Term
+	for i := 0; i < p.n; i++ {
+		q := queues[i]
+		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+			return nil, fmt.Errorf("%w: queue[%d] = %v", ErrInput, i, q)
+		}
+		xs[i] = b.Var(fmt.Sprintf("x_%d", i), p.prices[i])
+		lo := math.Min(p.mc[i], q)                               // mandatory, clipped to demand
+		hi := math.Min(math.Min(p.mc[i]+p.oc[i], q), p.capacity) // agreement + demand
+		if hi < lo {
+			hi = lo
+		}
+		b.Bound(xs[i], lo, hi)
+		all = append(all, lp.T(xs[i], 1))
+	}
+	b.Constrain(lp.LE, p.capacity, all...)
+
+	sol, err := b.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		// Mandatory floors exceed capacity: serve mandatory shares scaled
+		// proportionally instead of failing the window.
+		return p.scaledMandatory(queues), nil
+	}
+	incomeStar := sol.Objective
+
+	// Lexicographic pass: hold income, maximize throughput (relevant when
+	// some prices are zero or equal).
+	b.Constrain(lp.GE, incomeStar-1e-9, termsFor(xs, p.prices)...)
+	b2 := b.Problem()
+	for j := range b2.Objective {
+		b2.Objective[j] = 1
+	}
+	if sol2, err := lp.Solve(b2); err == nil && sol2.Status == lp.Optimal {
+		sol = sol2
+	}
+
+	plan := &ProviderPlan{X: make([]float64, p.n)}
+	for i := 0; i < p.n; i++ {
+		v := b.Value(sol, xs[i])
+		if v < 0 {
+			v = 0
+		}
+		plan.X[i] = v
+		plan.Income += p.prices[i] * (v - p.mc[i])
+	}
+	return plan, nil
+}
+
+func termsFor(xs []lp.Var, coeffs []float64) []lp.Term {
+	terms := make([]lp.Term, len(xs))
+	for i, v := range xs {
+		terms[i] = lp.T(v, coeffs[i])
+	}
+	return terms
+}
+
+// scaledMandatory distributes capacity proportionally to clipped mandatory
+// demands — the safe fallback when floors alone exceed capacity.
+func (p *Provider) scaledMandatory(queues []float64) *ProviderPlan {
+	plan := &ProviderPlan{X: make([]float64, p.n)}
+	total := 0.0
+	for i := 0; i < p.n; i++ {
+		total += math.Min(p.mc[i], queues[i])
+	}
+	if total <= 0 {
+		return plan
+	}
+	scale := math.Min(1, p.capacity/total)
+	for i := 0; i < p.n; i++ {
+		plan.X[i] = math.Min(p.mc[i], queues[i]) * scale
+		plan.Income += p.prices[i] * (plan.X[i] - p.mc[i])
+	}
+	return plan
+}

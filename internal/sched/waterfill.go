@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Waterfill is a direct (non-LP) max–min scheduler for a single capacity
+// pool: mandatory floors first, then a progressively rising common served
+// fraction until capacity or per-principal caps bind. It computes the same
+// allocation as the community LP restricted to one owner, in O(n log n)
+// — demonstrating the paper's claim (§3.1.2) that the architecture "is
+// general and flexible enough to host other optimization criteria and
+// solving methods".
+type Waterfill struct {
+	n        int
+	mc, oc   []float64
+	capacity float64
+}
+
+// NewWaterfill builds a waterfilling scheduler over one pool of capacity
+// (requests/window) with per-principal mandatory/optional entitlements.
+func NewWaterfill(mc, oc []float64, capacity float64) (*Waterfill, error) {
+	if len(mc) != len(oc) {
+		return nil, fmt.Errorf("%w: mc/oc lengths %d/%d", ErrInput, len(mc), len(oc))
+	}
+	if capacity < 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("%w: capacity %v", ErrInput, capacity)
+	}
+	for i := range mc {
+		if mc[i] < 0 || oc[i] < 0 {
+			return nil, fmt.Errorf("%w: negative entitlement for %d", ErrInput, i)
+		}
+	}
+	return &Waterfill{n: len(mc), mc: mc, oc: oc, capacity: capacity}, nil
+}
+
+// WaterfillPlan is the result of one waterfilling decision.
+type WaterfillPlan struct {
+	// X[i] is the number of principal i's requests to admit this window.
+	X []float64
+	// Theta is the achieved minimum served fraction among principals with
+	// demand.
+	Theta float64
+}
+
+// Schedule computes the max–min allocation for the given queue lengths.
+//
+// Allocation model: x_i(f) = clamp(max(floor_i, f·q_i), cap_i) where
+// floor_i = min(q_i, MC_i) and cap_i = min(q_i, MC_i + OC_i). Σ x_i(f) is
+// non-decreasing and piecewise linear in f, so the largest feasible f is
+// found over the sorted breakpoints; remaining slack beyond f = 1 is
+// impossible by construction (x_i ≤ q_i).
+func (w *Waterfill) Schedule(queues []float64) (*WaterfillPlan, error) {
+	if len(queues) != w.n {
+		return nil, fmt.Errorf("%w: queues length %d, want %d", ErrInput, len(queues), w.n)
+	}
+	floor := make([]float64, w.n)
+	cap := make([]float64, w.n)
+	sumFloor := 0.0
+	for i, q := range queues {
+		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+			return nil, fmt.Errorf("%w: queue[%d] = %v", ErrInput, i, q)
+		}
+		floor[i] = math.Min(q, w.mc[i])
+		cap[i] = math.Min(q, w.mc[i]+w.oc[i])
+		sumFloor += floor[i]
+	}
+
+	plan := &WaterfillPlan{X: make([]float64, w.n)}
+	if sumFloor > w.capacity {
+		// Overloaded mandatory floors: scale proportionally (the same
+		// degradation the LP schedulers fall back to).
+		scale := 0.0
+		if sumFloor > 0 {
+			scale = w.capacity / sumFloor
+		}
+		minFrac := math.Inf(1)
+		for i := range plan.X {
+			plan.X[i] = floor[i] * scale
+			if queues[i] > 0 {
+				minFrac = math.Min(minFrac, plan.X[i]/queues[i])
+			}
+		}
+		if !math.IsInf(minFrac, 1) {
+			plan.Theta = minFrac
+		}
+		return plan, nil
+	}
+
+	total := func(f float64) float64 {
+		s := 0.0
+		for i := range queues {
+			s += clampAlloc(f, queues[i], floor[i], cap[i])
+		}
+		return s
+	}
+
+	// Candidate breakpoints of Σx(f): where f·q_i crosses floor_i or cap_i.
+	bps := []float64{0, 1}
+	for i, q := range queues {
+		if q <= 0 {
+			continue
+		}
+		bps = append(bps, floor[i]/q, cap[i]/q)
+	}
+	sort.Float64s(bps)
+	fStar := 0.0
+	for _, f := range bps {
+		if f < 0 || f > 1 {
+			continue
+		}
+		if total(f) <= w.capacity+1e-9 {
+			fStar = f
+		}
+	}
+	// Interpolate within the segment above fStar if capacity remains.
+	if rem := w.capacity - total(fStar); rem > 1e-9 && fStar < 1 {
+		slope := 0.0
+		for i, q := range queues {
+			if q > 0 && fStar*q >= floor[i]-1e-12 && fStar*q < cap[i]-1e-12 {
+				slope += q
+			}
+		}
+		if slope > 0 {
+			fStar = math.Min(1, fStar+rem/slope)
+		}
+	}
+
+	minFrac := math.Inf(1)
+	for i, q := range queues {
+		plan.X[i] = clampAlloc(fStar, q, floor[i], cap[i])
+		if q > 0 {
+			minFrac = math.Min(minFrac, plan.X[i]/q)
+		}
+	}
+	if !math.IsInf(minFrac, 1) {
+		plan.Theta = minFrac
+	}
+	return plan, nil
+}
+
+func clampAlloc(f, q, floor, cap float64) float64 {
+	x := f * q
+	if x < floor {
+		x = floor
+	}
+	if x > cap {
+		x = cap
+	}
+	return x
+}

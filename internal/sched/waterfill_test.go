@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+func TestWaterfillBasicSplit(t *testing.T) {
+	// Figure 7 arithmetic: both [0.2,1] of 250, queues 270/135.
+	w, err := NewWaterfill([]float64{50, 50}, []float64{200, 200}, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := w.Schedule([]float64{270, 135})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, wantB := 250.0*270/405, 250.0*135/405
+	if math.Abs(plan.X[0]-wantA) > 1e-6 || math.Abs(plan.X[1]-wantB) > 1e-6 {
+		t.Fatalf("X = %v, want [%g %g]", plan.X, wantA, wantB)
+	}
+	if math.Abs(plan.Theta-250.0/405) > 1e-9 {
+		t.Fatalf("theta = %v", plan.Theta)
+	}
+}
+
+func TestWaterfillFloorsBind(t *testing.T) {
+	// Figure 6 arithmetic: B's 135 below its 256 floor, A absorbs the rest.
+	w, err := NewWaterfill([]float64{64, 256}, []float64{256, 64}, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := w.Schedule([]float64{270, 135})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.X[1]-135) > 1e-6 || math.Abs(plan.X[0]-185) > 1e-6 {
+		t.Fatalf("X = %v, want [185 135]", plan.X)
+	}
+}
+
+func TestWaterfillOverloadedFloorsScale(t *testing.T) {
+	w, err := NewWaterfill([]float64{300, 100}, []float64{0, 0}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := w.Schedule([]float64{300, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.X[0]-150) > 1e-6 || math.Abs(plan.X[1]-50) > 1e-6 {
+		t.Fatalf("X = %v, want proportional [150 50]", plan.X)
+	}
+}
+
+func TestWaterfillZeroAndEdgeInputs(t *testing.T) {
+	w, err := NewWaterfill([]float64{10}, []float64{10}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := w.Schedule([]float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.X[0] != 0 || plan.Theta != 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if _, err := w.Schedule([]float64{-1}); err == nil {
+		t.Fatal("negative queue accepted")
+	}
+	if _, err := w.Schedule([]float64{1, 2}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := NewWaterfill([]float64{1}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("mismatched entitlements accepted")
+	}
+	if _, err := NewWaterfill([]float64{-1}, []float64{1}, 10); err == nil {
+		t.Fatal("negative mc accepted")
+	}
+	if _, err := NewWaterfill([]float64{1}, []float64{1}, math.Inf(1)); err == nil {
+		t.Fatal("infinite capacity accepted")
+	}
+}
+
+// lpReference solves the same single-pool max–min problem with the simplex
+// solver: an independent oracle for the waterfilling algorithm.
+func lpReference(t *testing.T, mc, oc, queues []float64, capacity float64) []float64 {
+	t.Helper()
+	b := lp.NewBuilder()
+	theta := b.Var("theta", 1)
+	b.Bound(theta, 0, 1)
+	xs := make([]lp.Var, len(queues))
+	var sum []lp.Term
+	for i, q := range queues {
+		xs[i] = b.Var("x", 0)
+		lo := math.Min(q, mc[i])
+		hi := math.Min(q, mc[i]+oc[i])
+		b.Bound(xs[i], lo, hi)
+		if q > 0 {
+			b.Constrain(lp.GE, 0, lp.T(xs[i], 1), lp.T(theta, -q))
+		}
+		sum = append(sum, lp.T(xs[i], 1))
+	}
+	b.Constrain(lp.LE, capacity, sum...)
+	sol, err := b.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		t.Fatalf("reference LP: %v %v", err, sol)
+	}
+	// Lexicographic throughput pass at θ*.
+	b.Constrain(lp.GE, b.Value(sol, theta)-1e-9, lp.T(theta, 1))
+	p2 := b.Problem()
+	for j := 1; j < len(p2.Objective); j++ {
+		p2.Objective[j] = 1
+	}
+	p2.Objective[0] = 0
+	if sol2, err := lp.Solve(p2); err == nil && sol2.Status == lp.Optimal {
+		sol = sol2
+	}
+	out := make([]float64, len(queues))
+	for i := range out {
+		out[i] = b.Value(sol, xs[i])
+	}
+	return out
+}
+
+// TestQuickWaterfillMatchesLP differentially tests waterfilling against the
+// simplex solution of the identical model.
+func TestQuickWaterfillMatchesLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		capacity := float64(100 + rng.Intn(400))
+		mc := make([]float64, n)
+		oc := make([]float64, n)
+		queues := make([]float64, n)
+		budget := 1.0
+		for i := 0; i < n; i++ {
+			frac := rng.Float64() * budget
+			budget -= frac
+			mc[i] = frac * capacity
+			oc[i] = rng.Float64() * capacity
+			queues[i] = float64(rng.Intn(600))
+		}
+		w, err := NewWaterfill(mc, oc, capacity)
+		if err != nil {
+			return false
+		}
+		plan, err := w.Schedule(queues)
+		if err != nil {
+			return false
+		}
+		want := lpReference(t, mc, oc, queues, capacity)
+		totalGot, totalWant := 0.0, 0.0
+		minGot, minWant := math.Inf(1), math.Inf(1)
+		for i := range want {
+			totalGot += plan.X[i]
+			totalWant += want[i]
+			if queues[i] > 0 {
+				minGot = math.Min(minGot, plan.X[i]/queues[i])
+				minWant = math.Min(minWant, want[i]/queues[i])
+			}
+		}
+		// Same max–min value and same total throughput (the allocation
+		// itself may differ at ties).
+		if math.Abs(totalGot-totalWant) > 1e-4*(1+totalWant) {
+			return false
+		}
+		if !math.IsInf(minGot, 1) && math.Abs(minGot-minWant) > 1e-5 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWaterfill(b *testing.B) {
+	w, err := NewWaterfill(
+		[]float64{64, 256, 30, 10}, []float64{256, 64, 100, 40}, 320)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{270, 135, 50, 400}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Schedule(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package sim wires the enforcement engine, combining tree, simulated
+// servers and synthetic clients together over virtual time. It is the
+// harness behind every figure reproduction: the paper's multi-minute testbed
+// runs execute deterministically in milliseconds.
+//
+// Topology mirrors Figure 4: clients submit requests to redirector nodes;
+// each redirector runs a core.Redirector (window credits from the LP) and a
+// combining.Node (global queue aggregation); admitted requests go to the
+// least-loaded server of the owner the scheduler chose; completions are
+// recorded per principal per second.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/cluster"
+	"repro/internal/combining"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// ErrConfig reports invalid simulation configuration.
+var ErrConfig = errors.New("sim: invalid config")
+
+// ServerSpec places Count physical servers of the given capacity (req/s)
+// under an owner principal.
+type ServerSpec struct {
+	Owner    agreement.Principal
+	Capacity float64
+	Count    int
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	Engine      *core.Engine
+	Redirectors int
+	Servers     []ServerSpec
+	// TreeDelay is the one-way message delay on every combining-tree link
+	// (Figure 8 uses 10 s).
+	TreeDelay time.Duration
+	// TreeFanout is the combining-tree fan-out (default 2).
+	TreeFanout int
+	// Names labels the recorder series; defaults to P0, P1, ...
+	Names []string
+	// MaxBacklog bounds each server's queue (default 5000).
+	MaxBacklog int
+	// FailureTimeout, when positive, enables failure detection: a tree
+	// neighbor not heard from for this long is removed from the topology
+	// and its children are re-parented (the "dynamic" in the paper's
+	// dynamic combining tree). Must exceed the tree delay plus a few
+	// epochs to avoid false positives.
+	FailureTimeout time.Duration
+	// MeanRequestBytes, when positive, turns on size-aware scheduling:
+	// each request is charged Size/MeanRequestBytes credits and consumes
+	// the same multiple of server capacity — the paper's "large requests
+	// are treated as multiple small ones". Zero keeps the uniform-cost
+	// model used by the figure reproductions (WebBench reports averages).
+	MeanRequestBytes float64
+}
+
+// Sim is a running simulation.
+type Sim struct {
+	Clock    *vclock.Clock
+	Engine   *core.Engine
+	Net      *simnet.Network
+	Recorder *metrics.Recorder // completed requests per principal
+	Admit    *metrics.Recorder // admitted requests per principal
+	Latency  *metrics.Latency  // response times (first issue → completion)
+
+	Redirectors []*RNode
+	Servers     map[agreement.Principal][]*cluster.Server
+
+	topo           combining.Topology
+	failed         map[int]bool
+	failureTimeout time.Duration
+	lastReconfig   time.Duration
+	meanBytes      float64
+	windowTicker   *vclock.Ticker
+
+	// Reconfigurations counts topology rebuilds triggered by failure
+	// detection.
+	Reconfigurations int
+}
+
+// RNode is one redirector node: admission engine + tree participant. It
+// implements workload.Sink.
+type RNode struct {
+	sim  *Sim
+	Red  *core.Redirector
+	Tree *combining.Node
+}
+
+// New builds a simulation. The engine's window drives both scheduling and
+// tree epochs.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("%w: nil engine", ErrConfig)
+	}
+	if cfg.Redirectors <= 0 {
+		return nil, fmt.Errorf("%w: need at least one redirector", ErrConfig)
+	}
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("%w: need at least one server", ErrConfig)
+	}
+	if cfg.TreeFanout < 2 {
+		cfg.TreeFanout = 2
+	}
+	if cfg.MaxBacklog <= 0 {
+		cfg.MaxBacklog = 5000
+	}
+	n := cfg.Engine.NumPrincipals()
+	names := cfg.Names
+	if names == nil {
+		names = make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("P%d", i)
+		}
+	}
+	if len(names) != n {
+		return nil, fmt.Errorf("%w: %d names for %d principals", ErrConfig, len(names), n)
+	}
+
+	s := &Sim{
+		Clock:          vclock.New(),
+		Engine:         cfg.Engine,
+		Recorder:       metrics.NewRecorder(time.Second, names),
+		Admit:          metrics.NewRecorder(time.Second, names),
+		Latency:        metrics.NewLatency(names),
+		Servers:        make(map[agreement.Principal][]*cluster.Server),
+		failed:         make(map[int]bool),
+		failureTimeout: cfg.FailureTimeout,
+		meanBytes:      cfg.MeanRequestBytes,
+	}
+	s.Net = simnet.New(s.Clock, cfg.TreeDelay)
+
+	for _, spec := range cfg.Servers {
+		if spec.Capacity <= 0 || spec.Count <= 0 {
+			return nil, fmt.Errorf("%w: server spec %+v", ErrConfig, spec)
+		}
+		for c := 0; c < spec.Count; c++ {
+			name := fmt.Sprintf("%s-srv%d", names[spec.Owner], c)
+			srv := cluster.NewServer(name, s.Clock, spec.Capacity, cfg.MaxBacklog,
+				func(req cluster.Request, at time.Duration) {
+					s.Recorder.Add(at, req.Principal, 1)
+					s.Latency.Observe(req.Principal, at-req.IssuedAt)
+				})
+			s.Servers[spec.Owner] = append(s.Servers[spec.Owner], srv)
+		}
+	}
+
+	ids := make([]combining.NodeID, cfg.Redirectors)
+	for i := range ids {
+		ids[i] = combining.NodeID(i)
+	}
+	topo := combining.BuildTree(ids, cfg.TreeFanout)
+	s.topo = topo
+	for i := 0; i < cfg.Redirectors; i++ {
+		id := combining.NodeID(i)
+		send := func(to combining.NodeID, msg interface{}) {
+			s.Net.Send(simnet.NodeID(id), simnet.NodeID(to), msg)
+		}
+		rn := &RNode{
+			sim: s,
+			Red: cfg.Engine.NewRedirector(i),
+		}
+		rn.Tree = combining.NewNode(id, topo.Parent[id], topo.Children[id], n, send, s.Clock.Now)
+		s.Redirectors = append(s.Redirectors, rn)
+		s.Net.Handle(simnet.NodeID(id), func(from simnet.NodeID, msg interface{}) {
+			if s.failed[int(id)] {
+				return // a dead node processes nothing
+			}
+			rn.Tree.OnMessage(combining.NodeID(from), msg)
+			if _, ok := msg.(combining.Broadcast); ok {
+				rn.pushGlobal()
+			}
+		})
+	}
+
+	// Window driver: refresh tree locals, run a tree epoch, then start the
+	// new scheduling window once same-instant deliveries have drained.
+	s.windowTicker = s.Clock.ScheduleEvery(cfg.Engine.Window(), func() {
+		if s.failureTimeout > 0 {
+			s.detectFailures()
+		}
+		for i, rn := range s.Redirectors {
+			if s.failed[i] {
+				continue
+			}
+			rn.Tree.SetLocal(rn.Red.LocalEstimate())
+		}
+		for i, rn := range s.Redirectors {
+			if s.failed[i] {
+				continue
+			}
+			rn.Tree.Tick()
+		}
+		s.Clock.Schedule(0, func() {
+			for i, rn := range s.Redirectors {
+				if s.failed[i] {
+					continue
+				}
+				if rn.Tree.IsRoot() {
+					rn.pushGlobal() // root sees its own broadcast instantly
+				}
+				if err := rn.Red.StartWindow(s.Clock.Now()); err != nil {
+					panic(fmt.Sprintf("sim: window schedule failed: %v", err))
+				}
+			}
+		})
+	})
+	return s, nil
+}
+
+// FailRedirector kills redirector i: it stops participating in the tree
+// and refuses all client submissions. With FailureTimeout set, survivors
+// detect the silence and rebuild the tree around it.
+func (s *Sim) FailRedirector(i int) {
+	if i >= 0 && i < len(s.Redirectors) {
+		s.failed[i] = true
+	}
+}
+
+// liveNodes returns the tree nodes of non-failed redirectors.
+func (s *Sim) liveNodes() map[combining.NodeID]*combining.Node {
+	out := make(map[combining.NodeID]*combining.Node, len(s.Redirectors))
+	for i, rn := range s.Redirectors {
+		if !s.failed[i] {
+			out[combining.NodeID(i)] = rn.Tree
+		}
+	}
+	return out
+}
+
+// detectFailures removes tree members whose neighbors have observed
+// silence longer than the failure timeout. Detection uses only what live
+// nodes locally observed: parents miss child reports, children miss parent
+// broadcasts.
+func (s *Sim) detectFailures() {
+	now := s.Clock.Now()
+	if now-s.lastReconfig < s.failureTimeout {
+		return // grace period after startup or a rebuild: new edges are quiet
+	}
+	suspect := -1
+	for i, rn := range s.Redirectors {
+		if s.failed[i] {
+			continue
+		}
+		id := combining.NodeID(i)
+		for _, child := range s.topo.Children[id] {
+			lh, heard := rn.Tree.LastHeard(child)
+			if !heard || now-lh > s.failureTimeout {
+				suspect = int(child)
+			}
+		}
+		if p := s.topo.Parent[id]; p >= 0 {
+			lh, heard := rn.Tree.LastHeard(p)
+			if !heard || now-lh > s.failureTimeout {
+				suspect = int(p)
+			}
+		}
+	}
+	if suspect < 0 {
+		return
+	}
+	if _, present := s.topo.Parent[combining.NodeID(suspect)]; !present {
+		return // already removed
+	}
+	s.topo = s.topo.RemoveNode(combining.NodeID(suspect))
+	s.topo.Apply(s.liveNodes())
+	s.lastReconfig = now
+	s.Reconfigurations++
+}
+
+func (rn *RNode) pushGlobal() {
+	agg, at, ok := rn.Tree.Global()
+	if ok {
+		rn.Red.SetGlobal(agg.Sum, at)
+	}
+}
+
+// Submit implements workload.Sink: admit the request and forward it to the
+// least-loaded server of the chosen owner. A refused offer (full backlog)
+// counts as a denial so the client retries.
+func (rn *RNode) Submit(req workload.Request) bool {
+	if rn.sim.failed[rn.Red.ID()] {
+		return false // dead redirector: connection refused
+	}
+	cost := 1.0
+	if rn.sim.meanBytes > 0 && req.Size > 0 {
+		cost = float64(req.Size) / rn.sim.meanBytes
+	}
+	d := rn.Red.AdmitCost(agreement.Principal(req.Principal), -1, cost)
+	if !d.Admitted {
+		return false
+	}
+	srv := rn.sim.pickServer(d.Owner)
+	if srv == nil {
+		return false
+	}
+	if !srv.Offer(cluster.Request{
+		Principal: req.Principal,
+		ID:        req.ID,
+		Cost:      cost,
+		IssuedAt:  req.IssuedAt,
+	}) {
+		return false
+	}
+	rn.sim.Admit.Add(rn.sim.Clock.Now(), req.Principal, 1)
+	return true
+}
+
+// pickServer chooses the owner's least-backlogged server.
+func (s *Sim) pickServer(owner agreement.Principal) *cluster.Server {
+	servers := s.Servers[owner]
+	var best *cluster.Server
+	for _, srv := range servers {
+		if best == nil || srv.QueueLen() < best.QueueLen() {
+			best = srv
+		}
+	}
+	return best
+}
+
+// NewClient attaches a client machine to redirector ri.
+func (s *Sim) NewClient(ri int, cfg workload.Config) *workload.Client {
+	return workload.NewClient(s.Clock, s.Redirectors[ri], cfg)
+}
+
+// At schedules fn at absolute virtual time d (phase switches).
+func (s *Sim) At(d time.Duration, fn func()) {
+	s.Clock.Schedule(d-s.Clock.Now(), fn)
+}
+
+// Run advances the simulation until absolute virtual time end.
+func (s *Sim) Run(end time.Duration) { s.Clock.RunUntil(end) }
+
+// Stop halts the window driver (for tests that re-wire mid-run).
+func (s *Sim) Stop() { s.windowTicker.Stop() }
+
+// SetTreeDelay changes the delay on every tree link (before or during a
+// run).
+func (s *Sim) SetTreeDelay(d time.Duration) {
+	for i := range s.Redirectors {
+		for j := range s.Redirectors {
+			if i != j {
+				s.Net.SetDelay(simnet.NodeID(i), simnet.NodeID(j), d)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestDeliveryWithDefaultDelay(t *testing.T) {
+	c := vclock.New()
+	n := New(c, 5*time.Millisecond)
+	var got []string
+	var at time.Duration
+	n.Handle(2, func(from NodeID, msg interface{}) {
+		got = append(got, msg.(string))
+		at = c.Now()
+	})
+	n.Send(1, 2, "hello")
+	c.RunUntil(time.Second)
+	if len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("got = %v", got)
+	}
+	if at != 5*time.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", at)
+	}
+}
+
+func TestPerLinkDelayOverride(t *testing.T) {
+	c := vclock.New()
+	n := New(c, time.Millisecond)
+	n.SetDelay(1, 2, 10*time.Second)
+	var order []NodeID
+	handler := func(self NodeID) Handler {
+		return func(from NodeID, msg interface{}) { order = append(order, self) }
+	}
+	n.Handle(2, handler(2))
+	n.Handle(3, handler(3))
+	n.Send(1, 2, "slow")
+	n.Send(1, 3, "fast")
+	c.RunUntil(time.Minute)
+	if len(order) != 2 || order[0] != 3 || order[1] != 2 {
+		t.Fatalf("order = %v, want [3 2]", order)
+	}
+	if n.Delay(1, 2) != 10*time.Second || n.Delay(2, 1) != time.Millisecond {
+		t.Fatal("Delay lookup wrong")
+	}
+}
+
+func TestSymmetricDelay(t *testing.T) {
+	c := vclock.New()
+	n := New(c, 0)
+	n.SetSymmetricDelay(1, 2, 7*time.Millisecond)
+	if n.Delay(1, 2) != 7*time.Millisecond || n.Delay(2, 1) != 7*time.Millisecond {
+		t.Fatal("symmetric delay not applied both ways")
+	}
+}
+
+func TestNoHandlerCountsAsSentOnly(t *testing.T) {
+	c := vclock.New()
+	n := New(c, 0)
+	n.Send(1, 9, "void")
+	c.RunUntil(time.Second)
+	if n.Sent != 1 || n.Delivered != 0 {
+		t.Fatalf("sent=%d delivered=%d", n.Sent, n.Delivered)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	c := vclock.New()
+	n := New(c, 0)
+	n.Handle(2, func(NodeID, interface{}) {})
+	n.SetLossRate(0.5, 42)
+	const total = 1000
+	for i := 0; i < total; i++ {
+		n.Send(1, 2, i)
+	}
+	c.RunUntil(time.Second)
+	if n.Delivered == total || n.Delivered == 0 {
+		t.Fatalf("loss rate 0.5 delivered %d of %d", n.Delivered, total)
+	}
+	if n.Delivered < total/3 || n.Delivered > 2*total/3 {
+		t.Fatalf("delivered %d of %d, far from half", n.Delivered, total)
+	}
+	// Clamping.
+	n.SetLossRate(-1, 1)
+	n.SetLossRate(2, 1)
+}
+
+func TestBytesAccountingAndReset(t *testing.T) {
+	c := vclock.New()
+	n := New(c, 0)
+	n.SendSized(1, 2, "x", 128)
+	n.SendSized(1, 2, "y", 72)
+	if n.Bytes != 200 || n.Sent != 2 {
+		t.Fatalf("bytes=%d sent=%d", n.Bytes, n.Sent)
+	}
+	if !strings.Contains(n.String(), "sent=2") {
+		t.Fatalf("String() = %q", n.String())
+	}
+	n.ResetCounters()
+	if n.Bytes != 0 || n.Sent != 0 || n.Delivered != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	c := vclock.New()
+	n := New(c, 0)
+	n.SetDelay(1, 2, -time.Second)
+	if n.Delay(1, 2) != 0 {
+		t.Fatal("negative delay not clamped")
+	}
+}

@@ -1,0 +1,186 @@
+// Package treenet carries combining-tree messages between redirector
+// processes over TCP, one JSON-encoded message per connection. It is the
+// wide-area transport behind the real Layer-7/Layer-4 redirectors; the
+// virtual-time harness uses internal/simnet instead.
+//
+// Delivery is best effort, exactly like the paper's scheme assumes: a lost
+// report only means the parent aggregates slightly staler data for one
+// epoch.
+package treenet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/combining"
+)
+
+// Spec describes one node's place in a combining tree of redirector
+// processes, plus the transport addresses of its peers. Both the Layer-7
+// and Layer-4 redirectors take a Spec to join a tree.
+type Spec struct {
+	NodeID   combining.NodeID
+	Parent   combining.NodeID // -1 for the root
+	Children []combining.NodeID
+	Peers    map[combining.NodeID]string
+	// ListenAddr is the tree transport bind address (default 127.0.0.1:0).
+	ListenAddr string
+}
+
+// Handler receives decoded tree messages. It is called from connection
+// goroutines: implementations must synchronize access to the combining
+// node.
+type Handler func(from combining.NodeID, msg interface{})
+
+type envelope struct {
+	From  int                 `json:"from"`
+	Kind  string              `json:"kind"` // "report" or "broadcast"
+	Epoch int                 `json:"epoch"`
+	Agg   combining.Aggregate `json:"agg"`
+}
+
+// Transport is one node's endpoint.
+type Transport struct {
+	self    combining.NodeID
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	peers  map[combining.NodeID]string
+	closed bool
+
+	// SendErrors counts messages dropped because a peer was unreachable or
+	// unknown.
+	sendErrors int
+	wg         sync.WaitGroup
+}
+
+// Listen starts a transport for node self on addr (use "127.0.0.1:0" for an
+// ephemeral port) and dispatches inbound messages to handler.
+func Listen(self combining.NodeID, addr string, handler Handler) (*Transport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("treenet: listen %s: %w", addr, err)
+	}
+	t := &Transport{
+		self:    self,
+		ln:      ln,
+		handler: handler,
+		peers:   make(map[combining.NodeID]string),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound address for peer configuration.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeer registers (or updates) the address of a tree neighbor.
+func (t *Transport) SetPeer(id combining.NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = addr
+}
+
+// SendErrors reports how many sends were dropped so far.
+func (t *Transport) SendErrors() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sendErrors
+}
+
+func (t *Transport) dropSend() {
+	t.mu.Lock()
+	t.sendErrors++
+	t.mu.Unlock()
+}
+
+// Send transmits a combining.Report or combining.Broadcast to a peer. It
+// satisfies combining.SendFunc and never blocks the caller beyond a dial
+// timeout; failures are counted, not returned.
+func (t *Transport) Send(to combining.NodeID, msg interface{}) {
+	t.mu.Lock()
+	addr, ok := t.peers[to]
+	closed := t.closed
+	t.mu.Unlock()
+	if !ok || closed {
+		t.dropSend()
+		return
+	}
+	env := envelope{From: int(t.self)}
+	switch m := msg.(type) {
+	case combining.Report:
+		env.Kind, env.Epoch, env.Agg = "report", m.Epoch, m.Agg
+	case combining.Broadcast:
+		env.Kind, env.Epoch, env.Agg = "broadcast", m.Epoch, m.Agg
+	default:
+		t.dropSend()
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.dropSend()
+			return
+		}
+		defer conn.Close()
+		_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		if err := json.NewEncoder(conn).Encode(env); err != nil {
+			t.dropSend()
+		}
+	}()
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var env envelope
+			if err := json.NewDecoder(conn).Decode(&env); err != nil {
+				return
+			}
+			var msg interface{}
+			switch env.Kind {
+			case "report":
+				msg = combining.Report{Epoch: env.Epoch, Agg: env.Agg}
+			case "broadcast":
+				msg = combining.Broadcast{Epoch: env.Epoch, Agg: env.Agg}
+			default:
+				return
+			}
+			t.handler(combining.NodeID(env.From), msg)
+		}()
+	}
+}
+
+// Close shuts the listener down and waits for in-flight handlers and sends.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,164 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	c.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	c.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	c.RunUntil(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", c.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	c.RunFor(time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(-time.Second, func() { fired = true })
+	c.RunFor(0)
+	if !fired {
+		t.Fatal("negative-delay event did not fire at current instant")
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	c := New()
+	var times []time.Duration
+	var chain func()
+	chain = func() {
+		times = append(times, c.Now())
+		if len(times) < 3 {
+			c.Schedule(10*time.Millisecond, chain)
+		}
+	}
+	c.Schedule(10*time.Millisecond, chain)
+	c.RunUntil(time.Second)
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	fired := false
+	tm := c.Schedule(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	c.RunFor(time.Second)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if (&Timer{}).Stop() {
+		t.Fatal("Stop on zero Timer returned true")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	c := New()
+	n := 0
+	tk := c.ScheduleEvery(100*time.Millisecond, func() { n++ })
+	c.RunUntil(550 * time.Millisecond)
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+	tk.Stop()
+	c.RunUntil(2 * time.Second)
+	if n != 5 {
+		t.Fatalf("ticker fired after Stop: %d", n)
+	}
+}
+
+func TestTickerStopFromWithinTick(t *testing.T) {
+	c := New()
+	n := 0
+	var tk *Ticker
+	tk = c.ScheduleEvery(10*time.Millisecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	c.RunUntil(time.Second)
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestRunUntilDoesNotOvershoot(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(100*time.Millisecond, func() { fired = true })
+	c.RunUntil(50 * time.Millisecond)
+	if fired {
+		t.Fatal("future event fired early")
+	}
+	if c.Now() != 50*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.RunFor(50 * time.Millisecond)
+	if !fired {
+		t.Fatal("event did not fire at its time")
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	tm := c.Schedule(time.Millisecond, func() {})
+	c.Schedule(2*time.Millisecond, func() {})
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+	tm.Stop()
+	if c.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d", c.Pending())
+	}
+	if !c.Step() {
+		t.Fatal("Step skipped live event")
+	}
+	if c.Now() != 2*time.Millisecond {
+		t.Fatalf("Step advanced to %v, want 2ms", c.Now())
+	}
+}
+
+func TestScheduleEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive period")
+		}
+	}()
+	New().ScheduleEvery(0, func() {})
+}

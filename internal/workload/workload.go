@@ -1,0 +1,253 @@
+// Package workload models the paper's synthetic load generator (WebBench):
+// client machines that issue requests for one organization at a bounded
+// rate, follow redirections, and retry requests the redirector turned away
+// with a self-redirect. The paper's two client configurations are the
+// defaults: 400 req/s per machine raw (Layer-4 experiments) and 135 req/s
+// behind the modified Apache proxy (Layer-7 experiments).
+package workload
+
+import (
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Paper client rates (requests/second per client machine).
+const (
+	// RateL4 is a raw WebBench client machine.
+	RateL4 = 400.0
+	// RateL7 is a WebBench client behind the redirect-handling proxy the
+	// paper added, which drops per-machine load to 135 req/s.
+	RateL7 = 135.0
+)
+
+// Request is one client request traversing the system.
+type Request struct {
+	Principal int
+	ID        uint64
+	Attempts  int
+	// Size is the reply size in bytes, drawn from the paper's WebBench mix
+	// (200 B – 500 KB, ≈ 6 KB average). Informational for the simulator.
+	Size int
+	// IssuedAt is the virtual time of the first attempt; response-time
+	// accounting measures completion against it, so self-redirect retries
+	// count toward latency.
+	IssuedAt time.Duration
+}
+
+// Sink receives client requests; the redirector front-end in the harness.
+type Sink interface {
+	// Submit delivers a request. It returns true if the request was
+	// admitted toward a server, false if it was turned away (self-redirect)
+	// and should be retried by the client.
+	Submit(req Request) bool
+}
+
+// Client is one client machine generating requests for a single principal
+// at a fixed *attempt* rate over virtual time. Like the WebBench threads it
+// models, the machine is closed-loop with respect to denials: a request the
+// redirector turned away is retried on a later tick instead of additional
+// fresh requests being generated, so the machine's offered load never
+// exceeds its configured rate.
+type Client struct {
+	clock      *vclock.Clock
+	sink       Sink
+	principal  int
+	rate       float64
+	retryDelay time.Duration
+	maxRetries int
+	maxPending int
+	active     bool
+	ticker     *vclock.Ticker
+	nextID     uint64
+	sizes      *SizeMix
+	pending    []pendingReq
+
+	// Issued counts first-attempt requests; Retried counts re-submissions;
+	// Abandoned counts requests dropped after exhausting retries.
+	Issued    int
+	Retried   int
+	Abandoned int
+}
+
+type pendingReq struct {
+	req     Request
+	readyAt time.Duration
+}
+
+// Config parameterizes a client machine.
+type Config struct {
+	Principal int
+	// Rate is the request generation rate in requests/second.
+	Rate float64
+	// RetryDelay is how long the client waits before re-sending a request
+	// the redirector self-redirected. The default is 100 ms.
+	RetryDelay time.Duration
+	// MaxRetries bounds re-submissions per request; ≤ 0 means retry forever
+	// (WebBench keeps hammering).
+	MaxRetries int
+	// MaxPending bounds how many denied requests the machine holds for
+	// retry (its "thread pool"); the default is 64. The oldest pending
+	// request is abandoned when the pool overflows.
+	MaxPending int
+	// Sizes draws reply sizes; nil uses the paper's WebBench mix.
+	Sizes *SizeMix
+}
+
+// NewClient creates an inactive client machine; call SetActive(true) to
+// start it.
+func NewClient(clock *vclock.Clock, sink Sink, cfg Config) *Client {
+	if cfg.Rate <= 0 {
+		panic("workload: client rate must be positive")
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 100 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 1 << 30
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	if cfg.Sizes == nil {
+		cfg.Sizes = DefaultSizes()
+	}
+	return &Client{
+		clock:      clock,
+		sink:       sink,
+		principal:  cfg.Principal,
+		rate:       cfg.Rate,
+		retryDelay: cfg.RetryDelay,
+		maxRetries: cfg.MaxRetries,
+		maxPending: cfg.MaxPending,
+		sizes:      cfg.Sizes,
+	}
+}
+
+// Active reports whether the client is generating load.
+func (c *Client) Active() bool { return c.active }
+
+// Rate reports the configured attempt rate in requests/second.
+func (c *Client) Rate() float64 { return c.rate }
+
+// SetRate changes the attempt rate at runtime (the paper's "dynamically
+// changing request loads"). An active client is re-armed at the new pace
+// immediately, keeping its pending retries; non-positive rates are ignored.
+func (c *Client) SetRate(rate float64) {
+	if rate <= 0 {
+		return
+	}
+	c.rate = rate
+	if c.active && c.ticker != nil {
+		c.ticker.Stop()
+		c.arm()
+	}
+}
+
+func (c *Client) arm() {
+	interval := time.Duration(float64(time.Second) / c.rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	c.ticker = c.clock.ScheduleEvery(interval, c.emit)
+}
+
+// SetActive starts or stops request generation (the phase switches of the
+// paper's experiments).
+func (c *Client) SetActive(on bool) {
+	if on == c.active {
+		return
+	}
+	c.active = on
+	if on {
+		c.arm()
+	} else if c.ticker != nil {
+		c.ticker.Stop()
+		c.ticker = nil
+		c.Abandoned += len(c.pending)
+		c.pending = c.pending[:0]
+	}
+}
+
+// emit fires once per tick. A ripe denied request is retried in preference
+// to fresh work — the closed-loop property that keeps offered load at the
+// configured rate.
+func (c *Client) emit() {
+	if len(c.pending) > 0 && c.pending[0].readyAt <= c.clock.Now() {
+		p := c.pending[0]
+		c.pending = c.pending[1:]
+		c.Retried++
+		c.deliver(p.req)
+		return
+	}
+	c.nextID++
+	req := Request{
+		Principal: c.principal,
+		ID:        c.nextID,
+		Attempts:  1,
+		Size:      c.sizes.Next(),
+		IssuedAt:  c.clock.Now(),
+	}
+	c.Issued++
+	c.deliver(req)
+}
+
+func (c *Client) deliver(req Request) {
+	if c.sink.Submit(req) {
+		return
+	}
+	if req.Attempts >= c.maxRetries {
+		c.Abandoned++
+		return
+	}
+	req.Attempts++
+	if len(c.pending) >= c.maxPending {
+		c.pending = c.pending[1:]
+		c.Abandoned++
+	}
+	c.pending = append(c.pending, pendingReq{req: req, readyAt: c.clock.Now() + c.retryDelay})
+}
+
+// PendingRetries reports how many denied requests await retry.
+func (c *Client) PendingRetries() int { return len(c.pending) }
+
+// SizeMix is a deterministic reply-size generator approximating the paper's
+// WebBench configuration: sizes from 200 B to 500 KB with a ≈ 6 KB mean.
+// A small weighted table cycled deterministically keeps runs reproducible.
+type SizeMix struct {
+	table []int
+	idx   int
+}
+
+// DefaultSizes returns the WebBench-like mix. The table mixes many small
+// pages with occasional large transfers; its mean is ≈ 6 KB.
+func DefaultSizes() *SizeMix {
+	table := make([]int, 0, 176)
+	for i := 0; i < 150; i++ { // many small static pages, ≈2.4 KB average
+		table = append(table, 200+i*30)
+	}
+	for i := 0; i < 24; i++ { // mid-size dynamic replies
+		table = append(table, 4_000+i*250)
+	}
+	table = append(table, 500_000) // the rare large transfer
+	return &SizeMix{table: table}
+}
+
+// FixedSize returns a mix that always yields n bytes.
+func FixedSize(n int) *SizeMix { return &SizeMix{table: []int{n}} }
+
+// Next returns the next reply size.
+func (m *SizeMix) Next() int {
+	v := m.table[m.idx%len(m.table)]
+	m.idx++
+	return v
+}
+
+// Mean returns the average size of the mix.
+func (m *SizeMix) Mean() float64 {
+	total := 0
+	for _, v := range m.table {
+		total += v
+	}
+	return float64(total) / float64(len(m.table))
+}

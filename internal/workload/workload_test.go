@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func(Request) bool
+
+func (f sinkFunc) Submit(r Request) bool { return f(r) }
+
+func TestClientRate(t *testing.T) {
+	clock := vclock.New()
+	var got []Request
+	sink := sinkFunc(func(r Request) bool { got = append(got, r); return true })
+	c := NewClient(clock, sink, Config{Principal: 3, Rate: 100})
+	c.SetActive(true)
+	clock.RunUntil(time.Second)
+	if len(got) != 100 {
+		t.Fatalf("issued %d requests in 1s at rate 100", len(got))
+	}
+	for _, r := range got {
+		if r.Principal != 3 || r.Attempts != 1 || r.Size <= 0 {
+			t.Fatalf("bad request %+v", r)
+		}
+	}
+	if c.Issued != 100 || c.Retried != 0 {
+		t.Fatalf("counters: issued=%d retried=%d", c.Issued, c.Retried)
+	}
+}
+
+func TestSetActiveIdempotentAndStop(t *testing.T) {
+	clock := vclock.New()
+	n := 0
+	sink := sinkFunc(func(Request) bool { n++; return true })
+	c := NewClient(clock, sink, Config{Rate: 10})
+	c.SetActive(true)
+	c.SetActive(true) // no double ticker
+	clock.RunUntil(time.Second)
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+	c.SetActive(false)
+	c.SetActive(false)
+	clock.RunUntil(2 * time.Second)
+	if n != 10 {
+		t.Fatalf("client kept emitting after stop: %d", n)
+	}
+	if c.Active() {
+		t.Fatal("Active() after stop")
+	}
+}
+
+func TestRetryOnDenial(t *testing.T) {
+	clock := vclock.New()
+	denies := 3
+	var attempts []int
+	sink := sinkFunc(func(r Request) bool {
+		attempts = append(attempts, r.Attempts)
+		if denies > 0 {
+			denies--
+			return false
+		}
+		return true
+	})
+	c := NewClient(clock, sink, Config{Rate: 1, RetryDelay: 50 * time.Millisecond})
+	c.SetActive(true)
+	clock.RunUntil(4500 * time.Millisecond)
+	c.SetActive(false)
+	// The denied request is retried on subsequent ticks instead of new work:
+	// attempts 1,2,3 denied, attempt 4 admitted.
+	if len(attempts) != 4 {
+		t.Fatalf("attempts = %v", attempts)
+	}
+	for i := 0; i < 4; i++ {
+		if attempts[i] != i+1 {
+			t.Fatalf("attempts = %v", attempts)
+		}
+	}
+	if c.Retried != 3 {
+		t.Fatalf("Retried = %d", c.Retried)
+	}
+	// Closed-loop property: only one fresh request was generated while the
+	// retry was outstanding.
+	if c.Issued != 1 {
+		t.Fatalf("Issued = %d, want 1", c.Issued)
+	}
+}
+
+func TestOfferedLoadBoundedUnderDenial(t *testing.T) {
+	clock := vclock.New()
+	submits := 0
+	sink := sinkFunc(func(Request) bool { submits++; return false })
+	c := NewClient(clock, sink, Config{Rate: 100})
+	c.SetActive(true)
+	clock.RunUntil(10 * time.Second)
+	// Every submission is denied, yet the machine never exceeds its rate.
+	if submits > 1000 {
+		t.Fatalf("offered %d submissions in 10 s at rate 100", submits)
+	}
+	// The pool stabilizes near rate×retryDelay (10 here): once a denied
+	// request ripens it is retried in place of fresh work.
+	if c.PendingRetries() > 64 {
+		t.Fatalf("pending pool unbounded: %d", c.PendingRetries())
+	}
+}
+
+func TestPendingPoolOverflowAbandonsOldest(t *testing.T) {
+	clock := vclock.New()
+	sink := sinkFunc(func(Request) bool { return false })
+	// A long retry delay keeps denied requests unripe, so the pool fills to
+	// its cap and overflows.
+	c := NewClient(clock, sink, Config{Rate: 100, RetryDelay: time.Hour, MaxPending: 8})
+	c.SetActive(true)
+	clock.RunUntil(time.Second)
+	if c.PendingRetries() != 8 {
+		t.Fatalf("pool = %d, want cap 8", c.PendingRetries())
+	}
+	if c.Abandoned == 0 {
+		t.Fatal("overflow should abandon oldest requests")
+	}
+}
+
+func TestMaxRetriesAbandons(t *testing.T) {
+	clock := vclock.New()
+	sink := sinkFunc(func(Request) bool { return false })
+	c := NewClient(clock, sink, Config{Rate: 1, RetryDelay: 10 * time.Millisecond, MaxRetries: 2})
+	c.SetActive(true)
+	clock.RunUntil(2500 * time.Millisecond) // tick 1: deny; tick 2: retry hits cap
+	c.SetActive(false)
+	if c.Abandoned == 0 {
+		t.Fatal("no abandonment despite permanent denial")
+	}
+}
+
+func TestRetryStopsWhenClientDeactivates(t *testing.T) {
+	clock := vclock.New()
+	submits := 0
+	sink := sinkFunc(func(Request) bool { submits++; return false })
+	c := NewClient(clock, sink, Config{Rate: 1, RetryDelay: time.Second})
+	c.SetActive(true)
+	clock.RunUntil(1100 * time.Millisecond) // one emission, denied
+	c.SetActive(false)
+	clock.RunUntil(10 * time.Second)
+	if submits != 1 {
+		t.Fatalf("retries continued after deactivation: %d submits", submits)
+	}
+}
+
+func TestSetRateReArmsLiveClient(t *testing.T) {
+	clock := vclock.New()
+	n := 0
+	sink := sinkFunc(func(Request) bool { n++; return true })
+	c := NewClient(clock, sink, Config{Rate: 10})
+	c.SetActive(true)
+	clock.RunUntil(time.Second) // 10 requests
+	c.SetRate(100)
+	if c.Rate() != 100 {
+		t.Fatalf("Rate = %v", c.Rate())
+	}
+	clock.RunUntil(2 * time.Second) // +100 requests
+	if n < 105 || n > 115 {
+		t.Fatalf("requests after rate change = %d, want ≈110", n)
+	}
+	c.SetRate(0) // ignored
+	if c.Rate() != 100 {
+		t.Fatal("non-positive rate accepted")
+	}
+	// Rate change on an inactive client only takes effect on activation.
+	c.SetActive(false)
+	c.SetRate(1)
+	clock.RunUntil(3 * time.Second)
+	if c.Active() {
+		t.Fatal("SetRate activated a stopped client")
+	}
+}
+
+func TestSetRateKeepsPendingRetries(t *testing.T) {
+	clock := vclock.New()
+	deny := true
+	sink := sinkFunc(func(Request) bool { return !deny })
+	c := NewClient(clock, sink, Config{Rate: 10, RetryDelay: 10 * time.Millisecond})
+	c.SetActive(true)
+	clock.RunUntil(500 * time.Millisecond)
+	if c.PendingRetries() == 0 {
+		t.Fatal("no pending retries accumulated")
+	}
+	pending := c.PendingRetries()
+	c.SetRate(20)
+	if c.PendingRetries() != pending {
+		t.Fatal("SetRate dropped pending retries")
+	}
+	deny = false
+	clock.RunUntil(2 * time.Second)
+	if c.PendingRetries() != 0 {
+		t.Fatal("retries never drained after rate change")
+	}
+}
+
+func TestSizeMixMeanNearSixKB(t *testing.T) {
+	m := DefaultSizes()
+	mean := m.Mean()
+	if mean < 4_000 || mean > 10_000 {
+		t.Fatalf("default size mix mean = %.0f, want ≈6KB", mean)
+	}
+	// Bounds match the paper's 200 B – 500 KB.
+	lo, hi := 1<<30, 0
+	for i := 0; i < 200; i++ {
+		s := m.Next()
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if lo < 200 || hi > 500_000 {
+		t.Fatalf("sizes out of range: [%d, %d]", lo, hi)
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	m := FixedSize(6000)
+	for i := 0; i < 3; i++ {
+		if m.Next() != 6000 {
+			t.Fatal("FixedSize not fixed")
+		}
+	}
+	if m.Mean() != 6000 {
+		t.Fatal("FixedSize mean wrong")
+	}
+}
+
+func TestPaperRates(t *testing.T) {
+	if math.Abs(RateL4-400) > 0 || math.Abs(RateL7-135) > 0 {
+		t.Fatal("paper rates changed")
+	}
+}
+
+func TestBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewClient(vclock.New(), sinkFunc(func(Request) bool { return true }), Config{Rate: 0})
+}

@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README shows.
+func TestFacadeEndToEnd(t *testing.T) {
+	sys := NewSystem()
+	a := sys.MustAddPrincipal("A", 320)
+	b := sys.MustAddPrincipal("B", 320)
+	sys.MustSetAgreement(b, a, 0.5, 0.5)
+
+	eng, err := NewEngine(EngineConfig{Mode: Community, System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := eng.NewRedirector(0)
+	admitted := 0
+	for w := 0; w < 10; w++ {
+		now := time.Duration(w) * eng.Window()
+		red.SetGlobal(red.LocalEstimate(), now)
+		if err := red.StartWindow(now); err != nil {
+			t.Fatal(err)
+		}
+		admitted = 0
+		for i := 0; i < 80; i++ {
+			if d := red.Admit(a); d.Admitted {
+				admitted++
+				if d.Owner != a && d.Owner != b {
+					t.Fatalf("owner = %v", d.Owner)
+				}
+			}
+		}
+	}
+	// A's entitlement is 48 per 100 ms window (480 req/s).
+	if admitted < 45 || admitted > 50 {
+		t.Fatalf("steady-state admissions = %d, want ≈48", admitted)
+	}
+}
+
+func TestFacadeCurrencies(t *testing.T) {
+	sys := NewSystem()
+	a := sys.MustAddPrincipal("A", 1000)
+	b := sys.MustAddPrincipal("B", 1500)
+	sys.MustSetAgreement(a, b, 0.4, 0.6)
+	curr, err := sys.Currencies(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curr) != 2 || curr[0].MandatoryValue != 600 {
+		t.Fatalf("currencies = %+v", curr)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	res, err := RunExperiment("fig3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); len(v) > 0 {
+		t.Fatalf("fig3 violations: %v", v)
+	}
+	if _, err := RunExperiment("bogus"); err == nil {
+		t.Fatal("bogus experiment ran")
+	}
+}
