@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench experiments fmt cover
+.PHONY: all build vet test test-short race bench bench-json experiments fmt cover
 
 all: build vet test
 
@@ -23,6 +23,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-pass scheduling fast-path report: run the window benchmarks with
+# -benchmem and emit BENCH_lp_fastpath.json (ns/op, allocs/op, cache hit
+# rate) with the committed seed numbers embedded as the baseline.
+bench-json:
+	$(GO) test -run XXX -bench 'WindowSchedule|AdmitPerRequest' -benchmem . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_seed.json -o BENCH_lp_fastpath.json
+	@cat BENCH_lp_fastpath.json
 
 # Regenerate every paper figure and print paper-vs-measured tables.
 experiments:

@@ -227,6 +227,39 @@ func BenchmarkWindowSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowScheduleSteadyState measures the fast path's common case:
+// four redirectors re-scheduling an unchanged queue vector window after
+// window, where the shared plan cache collapses the 4R solves into one LP
+// solve total. The cache hit rate is reported alongside the timing.
+func BenchmarkWindowScheduleSteadyState(b *testing.B) {
+	const R = 4
+	eng, a, bb := benchEngine(b)
+	reds := make([]*core.Redirector, R)
+	for ri := range reds {
+		reds[ri] = eng.NewRedirector(ri)
+		for i := 0; i < 80; i++ {
+			reds[ri].Admit(a)
+		}
+		for i := 0; i < 40; i++ {
+			reds[ri].Admit(bb)
+		}
+		reds[ri].SetGlobal([]float64{80, 40}, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * 100 * time.Millisecond
+		for _, r := range reds {
+			if err := r.StartWindow(now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(eng.Stats().HitRate(), "cache_hit_rate")
+	b.ReportMetric(float64(eng.Stats().Solves())/float64(b.N*R), "solves/window")
+}
+
 // TestWindowComputationBudget is a performance regression guard: one window
 // computation must complete in a small fraction of the 100 ms window even
 // for a ten-principal community, or the enforcement scheme stops being

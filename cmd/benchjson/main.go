@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench` text output (read on stdin)
+// into a machine-readable JSON report, optionally embedding a committed
+// baseline file so before/after numbers travel together.
+//
+// Usage:
+//
+//	go test -run XXX -bench WindowSchedule -benchmem . | benchjson -baseline BENCH_seed.json -o BENCH_lp_fastpath.json
+//
+// Each benchmark line like
+//
+//	BenchmarkWindowSchedule-8  8116778  139.6 ns/op  16 B/op  1 allocs/op  1.000 cache_hit_rate
+//
+// becomes {"name": "WindowSchedule", "iterations": 8116778,
+// "ns_per_op": 139.6, "b_per_op": 16, "allocs_per_op": 1,
+// "metrics": {"cache_hit_rate": 1}}. Unrecognized lines are ignored, so the
+// full `go test` transcript can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Baseline json.RawMessage `json:"baseline,omitempty"`
+	Results  []benchResult   `json:"results"`
+}
+
+// parseLine decodes one benchmark output line, reporting ok=false for
+// anything that is not a benchmark result.
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -<GOMAXPROCS> suffix go test appends.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: name, Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "MB/s":
+			// Throughput is a standard column; keep it with the custom metrics.
+			fallthrough
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func run(baselinePath, outPath string) error {
+	rep := report{Results: []benchResult{}}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("baseline %s: not valid JSON", baselinePath)
+		}
+		rep.Baseline = json.RawMessage(raw)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(outPath, enc, 0o644)
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "JSON file to embed verbatim as the before-numbers baseline")
+	out := flag.String("o", "-", "output path ('-' for stdout)")
+	flag.Parse()
+	if err := run(*baseline, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

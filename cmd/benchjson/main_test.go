@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkWindowSchedule-8  \t 8116778\t       139.6 ns/op\t      16 B/op\t       1 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "WindowSchedule" || r.Iterations != 8116778 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.NsPerOp != 139.6 || r.BPerOp != 16 || r.AllocsPerOp != 1 {
+		t.Fatalf("parsed %+v", r)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	r, ok := parseLine("BenchmarkWindowScheduleSteadyState \t 2183952\t       560.9 ns/op\t         1.000 cache_hit_rate\t      64 B/op\t       4 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Metrics["cache_hit_rate"] != 1 {
+		t.Fatalf("metrics = %v", r.Metrics)
+	}
+	if r.AllocsPerOp != 4 {
+		t.Fatalf("parsed %+v", r)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro",
+		"PASS",
+		"ok  \trepro\t5.1s",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

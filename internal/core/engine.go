@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -88,6 +89,16 @@ type Config struct {
 	// System's scalar capacities are ignored: flows are capacity
 	// independent, and entitlements come from these vectors instead.
 	MultiResource *MultiResourceConfig
+
+	// PlanCacheQuantum is the queue-quantization step (requests/window) of
+	// the shared per-window plan cache: redirectors whose global queue
+	// vectors agree to within half a quantum per principal share one LP
+	// solve. Zero selects sched.DefaultQuantum (1e-6); a negative value
+	// disables the cache entirely (every StartWindow solves).
+	PlanCacheQuantum float64
+	// PlanCacheLimit bounds the number of distinct quantized vectors kept
+	// before the cache resets; zero selects sched.DefaultCacheLimit.
+	PlanCacheLimit int
 }
 
 // MultiResourceConfig declares vector capacities and per-request costs.
@@ -110,6 +121,7 @@ type Engine struct {
 	n       int
 	windowS float64
 	flows   *agreement.Flows
+	stats   *metrics.SolverStats // shared fast-path telemetry (never nil)
 
 	mu        sync.RWMutex
 	access    *agreement.Access // entitlements in requests/window
@@ -118,6 +130,12 @@ type Engine struct {
 	provider  *sched.Provider
 	customers []agreement.Principal // Provider mode: LP index → principal
 	provTotal float64               // provider capacity per window
+
+	// Per-window plan caches, shared by every redirector and re-created on
+	// each rebuild so stale entitlements can never serve a hit. At most one
+	// is non-nil, matching the engine's mode.
+	plans     *sched.PlanCache[*sched.Plan]
+	provPlans *sched.PlanCache[*sched.ProviderPlan]
 }
 
 // NewEngine validates cfg, folds the agreement graph, and builds the window
@@ -160,7 +178,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, n: n, windowS: cfg.Window.Seconds(), flows: flows}
+	e := &Engine{
+		cfg:     cfg,
+		n:       n,
+		windowS: cfg.Window.Seconds(),
+		flows:   flows,
+		stats:   &metrics.SolverStats{},
+	}
 	if err := e.rebuild(cfg.System.Capacities()); err != nil {
 		return nil, err
 	}
@@ -221,7 +245,31 @@ func (e *Engine) rebuild(capacities []float64) error {
 		}
 		e.access, e.customers, e.provTotal, e.provider = access, customers, provTotal, provider
 	}
+	e.resetFastPath()
 	return nil
+}
+
+// resetFastPath wires telemetry into the freshly built schedulers and
+// replaces the shared plan caches: plans computed against the previous
+// entitlements must never satisfy a lookup after a rebuild. Callers hold
+// e.mu or own e exclusively.
+func (e *Engine) resetFastPath() {
+	if e.community != nil {
+		e.community.SetStats(e.stats)
+	}
+	if e.provider != nil {
+		e.provider.SetStats(e.stats)
+	}
+	e.plans, e.provPlans = nil, nil
+	if e.cfg.PlanCacheQuantum < 0 {
+		return // caching disabled: every StartWindow solves
+	}
+	switch e.cfg.Mode {
+	case Community:
+		e.plans = sched.NewPlanCache[*sched.Plan](e.cfg.PlanCacheQuantum, e.cfg.PlanCacheLimit, e.stats)
+	case Provider:
+		e.provPlans = sched.NewPlanCache[*sched.ProviderPlan](e.cfg.PlanCacheQuantum, e.cfg.PlanCacheLimit, e.stats)
+	}
 }
 
 // rebuildMulti builds the multi-dimensional scheduler and a synthetic
@@ -293,6 +341,7 @@ func (e *Engine) rebuildMulti() error {
 		}
 	}
 	e.access, e.multi = access, multi
+	e.resetFastPath()
 	return nil
 }
 
@@ -350,13 +399,17 @@ func (e *Engine) UpdateSystem() error {
 }
 
 // schedState is the immutable per-window view a redirector schedules
-// against.
+// against. The caches travel with the schedulers they memoize, so a window
+// racing a rebuild stores its plan in the cache generation that matches the
+// scheduler it solved with.
 type schedState struct {
 	access    *agreement.Access
 	community *sched.Community
 	multi     *sched.MultiCommunity
 	provider  *sched.Provider
 	customers []agreement.Principal
+	plans     *sched.PlanCache[*sched.Plan]
+	provPlans *sched.PlanCache[*sched.ProviderPlan]
 }
 
 // snapshot returns the current scheduling state under the read lock.
@@ -369,8 +422,49 @@ func (e *Engine) snapshot() schedState {
 		multi:     e.multi,
 		provider:  e.provider,
 		customers: e.customers,
+		plans:     e.plans,
+		provPlans: e.provPlans,
 	}
 }
+
+// communityPlan returns the window plan for the global queue vector n,
+// serving it from the shared plan cache when one is enabled: the R
+// redirectors holding the same quantized aggregate trigger one LP solve per
+// window instead of R.
+func (e *Engine) communityPlan(st schedState, n []float64) (*sched.Plan, error) {
+	solve := func() (*sched.Plan, error) {
+		if st.multi != nil {
+			return st.multi.Schedule(n)
+		}
+		return st.community.Schedule(n)
+	}
+	if st.plans == nil {
+		return solve()
+	}
+	plan, _, err := st.plans.Do(n, solve)
+	return plan, err
+}
+
+// providerPlan is communityPlan's Provider-mode counterpart; the cache key
+// is the full global vector, the solve maps it onto customer indices.
+func (e *Engine) providerPlan(st schedState, n []float64) (*sched.ProviderPlan, error) {
+	solve := func() (*sched.ProviderPlan, error) {
+		q := make([]float64, len(st.customers))
+		for ci, p := range st.customers {
+			q[ci] = n[p]
+		}
+		return st.provider.Schedule(q)
+	}
+	if st.provPlans == nil {
+		return solve()
+	}
+	plan, _, err := st.provPlans.Do(n, solve)
+	return plan, err
+}
+
+// Stats exposes the engine's shared fast-path telemetry: plan-cache hit and
+// miss counts, LP solve count and latency, and mandatory-floor fallbacks.
+func (e *Engine) Stats() *metrics.SolverStats { return e.stats }
 
 func scaleAccess(a *agreement.Access, f float64) *agreement.Access {
 	n := len(a.MC)

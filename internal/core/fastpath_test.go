@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/agreement"
+)
+
+// TestSharedPlanCacheCollapsesSolves is the engine-level fast-path contract:
+// R redirectors holding the same global aggregate cost one LP solve per
+// window, not R.
+func TestSharedPlanCacheCollapsesSolves(t *testing.T) {
+	const R = 4
+	e, _, _ := communityEngine(t, R)
+	reds := make([]*Redirector, R)
+	for i := range reds {
+		reds[i] = e.NewRedirector(i)
+	}
+	global := []float64{80, 40}
+	const windows = 10
+	now := time.Duration(0)
+	for w := 0; w < windows; w++ {
+		for _, r := range reds {
+			r.SetGlobal(global, now)
+			if err := r.StartWindow(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		now += 100 * time.Millisecond
+	}
+	st := e.Stats()
+	// All R redirectors share the identical vector every window: one miss in
+	// window 1, hits everywhere else.
+	if st.CacheMisses() != 1 {
+		t.Fatalf("misses = %d, want 1 (%v)", st.CacheMisses(), st)
+	}
+	if want := int64(R*windows - 1); st.CacheHits() != want {
+		t.Fatalf("hits = %d, want %d (%v)", st.CacheHits(), want, st)
+	}
+	if st.Solves() != 1 {
+		t.Fatalf("solves = %d, want 1", st.Solves())
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	s := agreement.New()
+	a := s.MustAddPrincipal("A", 320)
+	b := s.MustAddPrincipal("B", 320)
+	s.MustSetAgreement(b, a, 0.5, 0.5)
+	e, err := NewEngine(Config{
+		Mode:             Community,
+		System:           s,
+		NumRedirectors:   2,
+		PlanCacheQuantum: -1, // disable
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := e.NewRedirector(0), e.NewRedirector(1)
+	for _, r := range []*Redirector{r1, r2} {
+		r.SetGlobal([]float64{80, 40}, 0)
+		if err := r.StartWindow(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().CacheHits() != 0 || e.Stats().CacheMisses() != 0 {
+		t.Fatalf("disabled cache recorded lookups: %v", e.Stats())
+	}
+}
+
+// TestCacheInvalidatedOnRebuild guards the staleness hazard: plans computed
+// under old entitlements must never be served after UpdateCapacities or
+// UpdateSystem rebuild the schedulers.
+func TestCacheInvalidatedOnRebuild(t *testing.T) {
+	e, a, bPr := communityEngine(t, 1)
+	r := e.NewRedirector(0)
+	// Local demand so the redirector claims a share of the plan.
+	for i := 0; i < 80; i++ {
+		r.Admit(a)
+	}
+	global := []float64{80, 40}
+	r.SetGlobal(global, 0)
+	if err := r.StartWindow(0); err != nil {
+		t.Fatal(err)
+	}
+	before := r.CreditsRemaining(a)
+	if before <= 0 {
+		t.Fatalf("no credits before rebuild (%g)", before)
+	}
+
+	// Halve every capacity; the same queue vector must now yield a plan from
+	// the rebuilt scheduler, not the cached pre-rebuild plan.
+	caps := make([]float64, e.NumPrincipals())
+	caps[a], caps[bPr] = 160, 160
+	if err := e.UpdateCapacities(caps); err != nil {
+		t.Fatal(err)
+	}
+	r.SetGlobal(global, 0)
+	if err := r.StartWindow(0); err != nil {
+		t.Fatal(err)
+	}
+	after := r.CreditsRemaining(a)
+	if math.Abs(after-before) < 1e-9 {
+		t.Fatalf("credits unchanged (%g) after halving capacity — stale cached plan served", after)
+	}
+	if e.Stats().Solves() != 2 {
+		t.Fatalf("solves = %d, want 2 (one per cache generation)", e.Stats().Solves())
+	}
+}
+
+func TestProviderPlanCacheShared(t *testing.T) {
+	e, a, b := providerEngine(t, 2)
+	r1, r2 := e.NewRedirector(0), e.NewRedirector(1)
+	global := make([]float64, e.NumPrincipals())
+	global[a] = 60
+	global[b] = 30
+	for w := 0; w < 5; w++ {
+		now := time.Duration(w) * 100 * time.Millisecond
+		for _, r := range []*Redirector{r1, r2} {
+			r.SetGlobal(global, now)
+			if err := r.StartWindow(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := e.Stats()
+	if st.Solves() != 1 || st.CacheMisses() != 1 {
+		t.Fatalf("solves/misses = %d/%d, want 1/1", st.Solves(), st.CacheMisses())
+	}
+	if st.CacheHits() != 9 {
+		t.Fatalf("hits = %d, want 9", st.CacheHits())
+	}
+}
+
+// TestLocalEstimateInto covers the allocation-free estimate accessor.
+func TestLocalEstimateInto(t *testing.T) {
+	e, a, _ := communityEngine(t, 1)
+	r := e.NewRedirector(0)
+	r.Admit(a)
+	r.SetGlobal([]float64{10, 10}, 0)
+	if err := r.StartWindow(0); err != nil {
+		t.Fatal(err)
+	}
+	want := r.LocalEstimate()
+	buf := make([]float64, 0, 8)
+	got := r.LocalEstimateInto(buf)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("LocalEstimateInto did not reuse the provided buffer")
+	}
+	if small := r.LocalEstimateInto(make([]float64, 1)); len(small) != len(want) {
+		t.Fatalf("undersized dst: len = %d, want %d", len(small), len(want))
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/agreement"
-	"repro/internal/sched"
 )
 
 // Redirector is one admission point. It is not safe for concurrent use;
@@ -21,6 +20,8 @@ type Redirector struct {
 	global   []float64 // latest global queue aggregate (requests/window)
 	globalAt time.Duration
 	haveGlob bool
+
+	nbuf []float64 // scratch for the per-window global n_i vector
 
 	// credits[p][k]: remaining admissions for principal p toward owner k's
 	// servers this window (Community). Provider mode uses creditsTotal only.
@@ -57,7 +58,19 @@ func (r *Redirector) ID() int { return r.id }
 // estimate in requests per window — the vector it contributes to the
 // combining tree.
 func (r *Redirector) LocalEstimate() []float64 {
-	return append([]float64(nil), r.estimate...)
+	return r.LocalEstimateInto(nil)
+}
+
+// LocalEstimateInto is LocalEstimate writing into dst when it has the right
+// capacity, so per-window callers (the combining-tree feed) can reuse one
+// buffer instead of allocating every window. It returns the filled slice.
+func (r *Redirector) LocalEstimateInto(dst []float64) []float64 {
+	if cap(dst) < len(r.estimate) {
+		dst = make([]float64, len(r.estimate))
+	}
+	dst = dst[:len(r.estimate)]
+	copy(dst, r.estimate)
+	return dst
 }
 
 // SetGlobal installs the latest global queue-length aggregate (the Sum
@@ -103,7 +116,10 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 	// Global n_i, with self-inclusion: the aggregate lags, so a principal's
 	// global figure can miss this redirector's own fresh demand. Using
 	// max(global, local) keeps the local fraction ≤ 1.
-	n := make([]float64, r.e.n)
+	if r.nbuf == nil {
+		r.nbuf = make([]float64, r.e.n)
+	}
+	n := r.nbuf
 	for i := 0; i < r.e.n; i++ {
 		n[i] = r.global[i]
 		if r.estimate[i] > n[i] {
@@ -113,13 +129,10 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 
 	switch r.e.cfg.Mode {
 	case Community:
-		var plan *sched.Plan
-		var err error
-		if st.multi != nil {
-			plan, err = st.multi.Schedule(n)
-		} else {
-			plan, err = st.community.Schedule(n)
-		}
+		// Plans come from the engine's shared cache: redirectors holding the
+		// same quantized aggregate share one LP solve per window. Cached
+		// plans are shared and must not be mutated.
+		plan, err := r.e.communityPlan(st, n)
 		if err != nil {
 			return fmt.Errorf("core: window schedule: %w", err)
 		}
@@ -133,12 +146,7 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 			}
 		}
 	case Provider:
-		// Map global queues onto customer indices.
-		q := make([]float64, len(st.customers))
-		for ci, p := range st.customers {
-			q[ci] = n[p]
-		}
-		plan, err := st.provider.Schedule(q)
+		plan, err := r.e.providerPlan(st, n)
 		if err != nil {
 			return fmt.Errorf("core: window schedule: %w", err)
 		}
@@ -147,8 +155,8 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 		}
 		for ci, p := range st.customers {
 			frac := 0.0
-			if q[ci] > 0 {
-				frac = r.estimate[p] / q[ci]
+			if n[p] > 0 {
+				frac = r.estimate[p] / n[p]
 			}
 			r.creditsTotal[p] += plan.X[ci] * frac
 		}

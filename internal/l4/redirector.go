@@ -77,6 +77,7 @@ type Redirector struct {
 
 	tree      *combining.Node
 	transport *treenet.Transport
+	estBuf    []float64 // reused local-estimate buffer (under mu)
 
 	ticker    *time.Ticker
 	done      chan struct{}
@@ -295,15 +296,15 @@ func (r *Redirector) runWindow() {
 
 	r.mu.Lock()
 	// Pending connections count as demand for the estimator.
+	r.estBuf = r.red.LocalEstimateInto(r.estBuf)
 	if r.tree != nil {
-		est := r.red.LocalEstimate()
-		r.tree.SetLocal(est)
+		r.tree.SetLocal(r.estBuf)
 		r.tree.Tick()
 		if r.tree.IsRoot() {
 			r.pushGlobalLocked()
 		}
 	} else {
-		r.red.SetGlobal(r.red.LocalEstimate(), r.elapsed())
+		r.red.SetGlobal(r.estBuf, r.elapsed())
 	}
 	if err := r.red.StartWindow(r.elapsed()); err != nil {
 		r.mu.Unlock()

@@ -54,10 +54,11 @@ type Redirector struct {
 	ln    net.Listener
 	start time.Time
 
-	mu   sync.Mutex
-	red  *core.Redirector
-	tree *combining.Node
-	rr   map[agreement.Principal]int // round-robin per owner
+	mu     sync.Mutex
+	red    *core.Redirector
+	tree   *combining.Node
+	rr     map[agreement.Principal]int // round-robin per owner
+	estBuf []float64                   // reused local-estimate buffer (under mu)
 
 	transport *treenet.Transport
 	ticker    *time.Ticker
@@ -149,15 +150,16 @@ func (r *Redirector) windowLoop() {
 			return
 		case <-r.ticker.C:
 			r.mu.Lock()
+			r.estBuf = r.red.LocalEstimateInto(r.estBuf)
 			if r.tree != nil {
-				r.tree.SetLocal(r.red.LocalEstimate())
+				r.tree.SetLocal(r.estBuf)
 				r.tree.Tick()
 				if r.tree.IsRoot() {
 					r.pushGlobalLocked()
 				}
 			} else {
 				// Single redirector: its own estimate is the global truth.
-				r.red.SetGlobal(r.red.LocalEstimate(), r.elapsed())
+				r.red.SetGlobal(r.estBuf, r.elapsed())
 			}
 			if err := r.red.StartWindow(r.elapsed()); err != nil {
 				// Scheduling failures leave last window's credits in

@@ -28,15 +28,35 @@ type Builder struct {
 func NewBuilder() *Builder { return &Builder{} }
 
 // Var adds a variable (implicitly ≥ 0) with the given objective coefficient
-// and returns its handle. The name is used only in String/diagnostics.
+// and returns its handle. The name is used only in String/diagnostics; hot
+// paths should prefer NewVar, which skips name bookkeeping entirely.
 func (b *Builder) Var(name string, objCoeff float64) Var {
+	if b.names == nil {
+		b.names = make([]string, len(b.obj), len(b.obj)+1)
+	}
 	b.names = append(b.names, name)
+	b.obj = append(b.obj, objCoeff)
+	return Var(len(b.obj) - 1)
+}
+
+// NewVar adds an unnamed variable (implicitly ≥ 0) with the given objective
+// coefficient. Diagnostics render such variables as x<index>; no per-variable
+// string is ever built, keeping builders off the allocation hot path.
+func (b *Builder) NewVar(objCoeff float64) Var {
+	if b.names != nil {
+		b.names = append(b.names, "")
+	}
 	b.obj = append(b.obj, objCoeff)
 	return Var(len(b.obj) - 1)
 }
 
 // NumVars reports how many variables have been declared.
 func (b *Builder) NumVars() int { return len(b.obj) }
+
+// NumConstraints reports how many constraint rows have been emitted. Callers
+// compiling a reusable template read it before Constrain/Bound to record the
+// row indices they will mutate per solve.
+func (b *Builder) NumConstraints() int { return len(b.cons) }
 
 // Constrain appends the row Σ terms (rel) rhs.
 func (b *Builder) Constrain(rel Relation, rhs float64, terms ...Term) {
@@ -92,12 +112,21 @@ func (b *Builder) Value(sol *Solution, v Var) float64 {
 	return sol.X[v]
 }
 
+// name returns the display name of variable j, synthesizing x<j> for
+// variables declared without one.
+func (b *Builder) name(j int) string {
+	if j < len(b.names) && b.names[j] != "" {
+		return b.names[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}
+
 // String renders the model in a human-readable form for debugging.
 func (b *Builder) String() string {
 	s := "maximize"
 	for j, c := range b.obj {
 		if c != 0 {
-			s += fmt.Sprintf(" %+g·%s", c, b.names[j])
+			s += fmt.Sprintf(" %+g·%s", c, b.name(j))
 		}
 	}
 	s += "\nsubject to\n"
@@ -105,7 +134,7 @@ func (b *Builder) String() string {
 		row := " "
 		for j, v := range c.Coeffs {
 			if v != 0 {
-				row += fmt.Sprintf(" %+g·%s", v, b.names[j])
+				row += fmt.Sprintf(" %+g·%s", v, b.name(j))
 			}
 		}
 		s += fmt.Sprintf("%s %s %g\n", row, c.Rel, c.RHS)

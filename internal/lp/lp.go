@@ -105,34 +105,42 @@ var ErrBadProblem = errors.New("lp: malformed problem")
 
 const eps = 1e-9
 
-// Solve runs the two-phase simplex method on p. The returned error is non-nil
-// only for malformed input; infeasibility and unboundedness are reported via
-// Solution.Status.
-func Solve(p *Problem) (*Solution, error) {
+// validate rejects structurally invalid or non-finite problems.
+func validate(p *Problem) error {
 	n := len(p.Objective)
 	if n == 0 {
-		return nil, fmt.Errorf("%w: empty objective", ErrBadProblem)
+		return fmt.Errorf("%w: empty objective", ErrBadProblem)
 	}
 	for i, c := range p.Constraints {
 		if len(c.Coeffs) > n {
-			return nil, fmt.Errorf("%w: constraint %d has %d coefficients for %d variables",
+			return fmt.Errorf("%w: constraint %d has %d coefficients for %d variables",
 				ErrBadProblem, i, len(c.Coeffs), n)
 		}
 		for _, v := range c.Coeffs {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("%w: constraint %d has non-finite coefficient", ErrBadProblem, i)
+				return fmt.Errorf("%w: constraint %d has non-finite coefficient", ErrBadProblem, i)
 			}
 		}
 		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
-			return nil, fmt.Errorf("%w: constraint %d has non-finite RHS", ErrBadProblem, i)
+			return fmt.Errorf("%w: constraint %d has non-finite RHS", ErrBadProblem, i)
 		}
 	}
 	for _, v := range p.Objective {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("%w: non-finite objective coefficient", ErrBadProblem)
+			return fmt.Errorf("%w: non-finite objective coefficient", ErrBadProblem)
 		}
 	}
+	return nil
+}
 
+// Solve runs the two-phase simplex method on p. The returned error is non-nil
+// only for malformed input; infeasibility and unboundedness are reported via
+// Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	n := len(p.Objective)
 	t := newTableau(p)
 	t.obj2 = p.Objective
 	if !t.phase1() {
@@ -147,4 +155,19 @@ func Solve(p *Problem) (*Solution, error) {
 		obj += p.Objective[j] * x[j]
 	}
 	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// Clone returns a deep copy of p: mutating one does not affect the other.
+// Schedulers use it to stamp out per-worker copies of a compiled constraint
+// template (see internal/sched).
+func (p *Problem) Clone() *Problem {
+	obj := make([]float64, len(p.Objective))
+	copy(obj, p.Objective)
+	cons := make([]Constraint, len(p.Constraints))
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, len(c.Coeffs))
+		copy(coeffs, c.Coeffs)
+		cons[i] = Constraint{Coeffs: coeffs, Rel: c.Rel, RHS: c.RHS}
+	}
+	return &Problem{Objective: obj, Constraints: cons}
 }

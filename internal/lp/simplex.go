@@ -6,12 +6,17 @@ import "fmt"
 // the current basis always form an identity submatrix, and the objective row
 // z holds reduced costs (z[j] = c_B·B⁻¹A_j − c_j) so that optimality is
 // "all z[j] ≥ 0" and the entering rule is "most negative / Bland".
+//
+// All backing storage (the flat coefficient buffer, RHS, basis, objective
+// rows) is grown on demand and reused across init calls, so a long-lived
+// tableau — via Solver — performs no per-solve allocations once warm.
 type tableau struct {
 	m    int // constraint rows (may shrink if redundant rows are dropped)
 	n    int // structural variables
 	cols int // structural + slack/surplus + artificial columns
 
 	a     [][]float64 // m × cols constraint matrix
+	flat  []float64   // backing storage for a
 	b     []float64   // RHS, kept ≥ 0
 	basis []int       // basis[i] = column basic in row i
 
@@ -21,9 +26,22 @@ type tableau struct {
 
 	z    []float64 // reduced-cost row for the active objective
 	zrhs float64   // current objective value c_B·B⁻¹b
+
+	objScratch []float64 // phase-1 objective buffer
 }
 
+// newTableau allocates a fresh tableau for p (the one-shot Solve path).
 func newTableau(p *Problem) *tableau {
+	t := &tableau{}
+	t.init(p, false)
+	return t
+}
+
+// init sizes the tableau for p and fills in the initial canonical form,
+// reusing any backing storage from a previous solve. With reserveLex set,
+// one extra row and one extra column are reserved so that lexReopt can later
+// append a floor constraint without reallocating.
+func (t *tableau) init(p *Problem, reserveLex bool) {
 	m := len(p.Constraints)
 	n := len(p.Objective)
 
@@ -50,18 +68,40 @@ func newTableau(p *Problem) *tableau {
 		}
 	}
 
-	t := &tableau{
-		m:        m,
-		n:        n,
-		cols:     n + slacks + arts,
-		artStart: n + slacks,
-		basis:    make([]int, m),
-		b:        make([]float64, m),
+	cols := n + slacks + arts
+	stride, rows := cols, m
+	if reserveLex {
+		stride, rows = cols+1, m+1
 	}
-	t.a = make([][]float64, m)
-	flat := make([]float64, m*t.cols)
-	for i := range t.a {
-		t.a[i], flat = flat[:t.cols], flat[t.cols:]
+	t.m, t.n, t.cols = m, n, cols
+	t.artStart = n + slacks
+
+	need := rows * stride
+	if cap(t.flat) < need {
+		t.flat = make([]float64, need)
+	} else {
+		t.flat = t.flat[:need]
+		for i := range t.flat {
+			t.flat[i] = 0
+		}
+	}
+	if cap(t.a) < rows {
+		t.a = make([][]float64, rows)
+	}
+	t.a = t.a[:rows]
+	for i := 0; i < rows; i++ {
+		// Three-index slices: a row may grow only into its reserved column.
+		t.a[i] = t.flat[i*stride : i*stride+cols : (i+1)*stride]
+	}
+	t.a = t.a[:m]
+	if cap(t.b) < rows {
+		t.b = make([]float64, rows)
+		t.basis = make([]int, rows)
+	}
+	t.b = t.b[:m]
+	t.basis = t.basis[:m]
+	if cap(t.z) < stride {
+		t.z = make([]float64, stride)
 	}
 
 	slackCol := n
@@ -99,13 +139,18 @@ func newTableau(p *Problem) *tableau {
 			artCol++
 		}
 	}
-	return t
 }
 
 // setObjective installs the reduced-cost row for "maximize obj·x" (obj indexed
 // by column, zero-padded) under the current basis.
 func (t *tableau) setObjective(obj []float64) {
-	t.z = make([]float64, t.cols)
+	if cap(t.z) < t.cols {
+		t.z = make([]float64, t.cols)
+	}
+	t.z = t.z[:t.cols]
+	for j := range t.z {
+		t.z[j] = 0
+	}
 	for j := 0; j < t.cols && j < len(obj); j++ {
 		t.z[j] = -obj[j]
 	}
@@ -216,7 +261,13 @@ func (t *tableau) phase1() bool {
 	if t.artStart == t.cols {
 		return true // pure-slack basis is already feasible
 	}
-	obj := make([]float64, t.cols)
+	if cap(t.objScratch) < t.cols {
+		t.objScratch = make([]float64, t.cols)
+	}
+	obj := t.objScratch[:t.cols]
+	for j := range obj {
+		obj[j] = 0
+	}
 	for j := t.artStart; j < t.cols; j++ {
 		obj[j] = -1 // maximize −Σ artificials
 	}
@@ -271,11 +322,89 @@ func (t *tableau) phase2() bool {
 	return t.run(t.artStart)
 }
 
+// lexReopt warm-starts the lexicographic second pass from the current
+// optimal basis: it appends the floor row primObj·x ≥ floor — satisfied by
+// the pass-1 optimum, so no new phase 1 is needed — gives it a fresh surplus
+// column, and re-optimizes obj2 (indexed by structural variable). Requires a
+// tableau built with init(p, true). It reports false when the secondary
+// objective is unbounded; the caller then keeps the pass-1 solution.
+func (t *tableau) lexReopt(primObj []float64, floor float64, obj2 []float64) bool {
+	// Artificial columns are dead after phase 1 (all nonbasic at zero); zero
+	// them out so the unrestricted run below can never pivot one back in.
+	for i := 0; i < t.m; i++ {
+		row := t.a[i]
+		for j := t.artStart; j < t.cols; j++ {
+			row[j] = 0
+		}
+	}
+
+	surplus := t.cols
+	t.cols++
+	for i := 0; i < t.m; i++ {
+		t.a[i] = t.a[i][:t.cols]
+	}
+
+	// Build the floor row in the reserved slot and reduce it against the
+	// basis so the basic columns stay an identity submatrix. Every active
+	// row has zeros in all basic columns except its own, so a single sweep
+	// suffices regardless of order.
+	t.a = t.a[:t.m+1]
+	row := t.a[t.m][:t.cols]
+	t.a[t.m] = row
+	for j := range row {
+		row[j] = 0
+	}
+	for j := 0; j < t.n && j < len(primObj); j++ {
+		row[j] = primObj[j]
+	}
+	rhs := floor
+	for i := 0; i < t.m; i++ {
+		f := row[t.basis[i]]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := 0; j < t.cols; j++ {
+			row[j] -= f * ri[j]
+		}
+		row[t.basis[i]] = 0
+		rhs -= f * t.b[i]
+	}
+	row[surplus] = -1
+	// Negate so the surplus enters the basis with coefficient +1. The
+	// current point satisfies the floor (it attains the pass-1 optimum), so
+	// the negated RHS is ≥ 0 up to roundoff; clamp the roundoff.
+	for j := 0; j < t.cols; j++ {
+		row[j] = -row[j]
+	}
+	rhs = -rhs
+	if rhs < 0 {
+		rhs = 0
+	}
+	t.b = t.b[:t.m+1]
+	t.basis = t.basis[:t.m+1]
+	t.b[t.m] = rhs
+	t.basis[t.m] = surplus
+	t.m++
+
+	t.setObjective(obj2)
+	return t.run(t.cols)
+}
+
 // extract reads the structural variable values out of the basis.
 func (t *tableau) extract(n int) []float64 {
 	x := make([]float64, n)
+	t.extractInto(x)
+	return x
+}
+
+// extractInto writes the structural variable values into x (len n).
+func (t *tableau) extractInto(x []float64) {
+	for j := range x {
+		x[j] = 0
+	}
 	for i := 0; i < t.m; i++ {
-		if t.basis[i] < n {
+		if t.basis[i] < len(x) {
 			v := t.b[i]
 			if v < 0 && v > -eps {
 				v = 0
@@ -283,5 +412,4 @@ func (t *tableau) extract(n int) []float64 {
 			x[t.basis[i]] = v
 		}
 	}
-	return x
 }

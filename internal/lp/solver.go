@@ -1,0 +1,132 @@
+package lp
+
+import "fmt"
+
+// Solver runs the two-phase simplex method while keeping the tableau, basis,
+// and every scratch slice alive between calls, so a scheduler that re-solves
+// a structurally stable program every window (only coefficients and RHS
+// values changed in place) performs no per-solve heap allocations once warm.
+//
+// A Solver is not safe for concurrent use. The Solution/LexSolution returned
+// by its methods — including the X slice — is owned by the solver and
+// overwritten by the next call; callers must copy anything they keep.
+type Solver struct {
+	t      tableau
+	x      []float64 // final solution buffer
+	x1     []float64 // pass-1 solution buffer (SolveLex)
+	sol    Solution
+	lexSol LexSolution
+}
+
+// NewSolver returns an empty solver; buffers grow on first use.
+func NewSolver() *Solver { return &Solver{} }
+
+// Solve runs the two-phase simplex method on p, like the package-level Solve
+// but reusing the solver's internal state. The returned error is non-nil only
+// for malformed input; infeasibility and unboundedness are reported via
+// Solution.Status.
+func (s *Solver) Solve(p *Problem) (*Solution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	t := &s.t
+	t.init(p, false)
+	t.obj2 = p.Objective
+	if !t.phase1() {
+		s.sol = Solution{Status: Infeasible}
+		return &s.sol, nil
+	}
+	if !t.phase2() {
+		s.sol = Solution{Status: Unbounded}
+		return &s.sol, nil
+	}
+	n := len(p.Objective)
+	s.x = grow(s.x, n)
+	t.extractInto(s.x)
+	s.sol = Solution{Status: Optimal, X: s.x, Objective: dot(p.Objective, s.x)}
+	return &s.sol, nil
+}
+
+// LexSolution is the result of a lexicographic SolveLex call.
+type LexSolution struct {
+	Status Status
+	// X is the assignment after the secondary pass (length =
+	// len(Problem.Objective)). Meaningful only when Status == Optimal.
+	X []float64
+	// Primary is the optimal value of the problem's own objective, attained
+	// in the first pass and held (within the tolerance) by X.
+	Primary float64
+	// Secondary is obj2·X.
+	Secondary float64
+}
+
+// SolveLex solves p lexicographically: first it maximizes p.Objective, then —
+// holding that objective within tol of its optimum — it maximizes obj2
+// (indexed by structural variable, zero-padded) starting from the first
+// pass's optimal basis. Warm-starting skips the second phase 1 entirely: the
+// floor row "p.Objective·x ≥ Primary − tol" is appended to the solved tableau
+// with its own surplus column and the basis stays feasible by construction.
+//
+// If the secondary pass fails (unbounded secondary objective), the first
+// pass's solution is returned unchanged, mirroring a from-scratch
+// lexicographic re-solve that keeps the primary solution on failure.
+func (s *Solver) SolveLex(p *Problem, tol float64, obj2 []float64) (*LexSolution, error) {
+	if err := validate(p); err != nil {
+		return nil, err
+	}
+	if len(obj2) > len(p.Objective) {
+		return nil, fmt.Errorf("%w: secondary objective has %d coefficients for %d variables",
+			ErrBadProblem, len(obj2), len(p.Objective))
+	}
+	t := &s.t
+	t.init(p, true)
+	t.obj2 = p.Objective
+	if !t.phase1() {
+		s.lexSol = LexSolution{Status: Infeasible}
+		return &s.lexSol, nil
+	}
+	if !t.phase2() {
+		s.lexSol = LexSolution{Status: Unbounded}
+		return &s.lexSol, nil
+	}
+	n := len(p.Objective)
+	s.x = grow(s.x, n)
+	s.x1 = grow(s.x1, n)
+	t.extractInto(s.x1)
+	primary := dot(p.Objective, s.x1)
+
+	if t.lexReopt(p.Objective, primary-tol, obj2) {
+		t.extractInto(s.x)
+	} else {
+		copy(s.x, s.x1)
+	}
+	s.lexSol = LexSolution{
+		Status:    Optimal,
+		X:         s.x,
+		Primary:   primary,
+		Secondary: dot(obj2, s.x),
+	}
+	return &s.lexSol, nil
+}
+
+// SolveLex is the allocating form of Solver.SolveLex: it runs the identical
+// pivot sequence on a fresh solver, so its plans are byte-identical to the
+// reusing fast path. It exists as the reference for differential tests.
+func SolveLex(p *Problem, tol float64, obj2 []float64) (*LexSolution, error) {
+	return NewSolver().SolveLex(p, tol, obj2)
+}
+
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func dot(a, b []float64) float64 {
+	v := 0.0
+	for i := range a {
+		v += a[i] * b[i]
+	}
+	return v
+}

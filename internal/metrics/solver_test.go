@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSolverStatsCounters(t *testing.T) {
+	s := &SolverStats{}
+	s.CacheHit()
+	s.CacheHit()
+	s.CacheHit()
+	s.CacheMiss()
+	s.RecordSolve(10 * time.Millisecond)
+	s.RecordSolve(30 * time.Millisecond)
+	if s.CacheHits() != 3 || s.CacheMisses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", s.CacheHits(), s.CacheMisses())
+	}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %g, want 0.75", got)
+	}
+	if s.Solves() != 2 {
+		t.Fatalf("solves = %d", s.Solves())
+	}
+	if s.MeanSolve() != 20*time.Millisecond {
+		t.Fatalf("mean = %v", s.MeanSolve())
+	}
+	if s.MaxSolve() != 30*time.Millisecond {
+		t.Fatalf("max = %v", s.MaxSolve())
+	}
+	if n := s.FloorFallback(); n != 1 {
+		t.Fatalf("first fallback total = %d", n)
+	}
+	if n := s.FloorFallback(); n != 2 {
+		t.Fatalf("second fallback total = %d", n)
+	}
+	if !strings.Contains(s.String(), "2 floor fallbacks") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSolverStatsNilSafe(t *testing.T) {
+	var s *SolverStats
+	s.CacheHit()
+	s.CacheMiss()
+	s.RecordSolve(time.Second)
+	if s.FloorFallback() != 0 || s.CacheHits() != 0 || s.CacheMisses() != 0 ||
+		s.Solves() != 0 || s.FloorFallbacks() != 0 || s.HitRate() != 0 ||
+		s.MeanSolve() != 0 || s.MaxSolve() != 0 {
+		t.Fatal("nil stats must read as zero")
+	}
+	if s.String() != "solver stats: disabled" {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSolverStatsZeroReads(t *testing.T) {
+	s := &SolverStats{}
+	if s.HitRate() != 0 || s.MeanSolve() != 0 {
+		t.Fatal("empty stats must read as zero")
+	}
+}
+
+func TestSolverStatsConcurrent(t *testing.T) {
+	s := &SolverStats{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.CacheHit()
+				s.RecordSolve(time.Duration(g+1) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.CacheHits() != 8000 || s.Solves() != 8000 {
+		t.Fatalf("hits/solves = %d/%d", s.CacheHits(), s.Solves())
+	}
+	if s.MaxSolve() != 8*time.Microsecond {
+		t.Fatalf("max = %v", s.MaxSolve())
+	}
+}

@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultQuantum is the queue-vector quantization step (requests/window)
+// plan caches use when the caller does not pick one. Queue estimates that
+// differ by less than half a quantum per principal map to the same cached
+// plan; 1e-6 of a request is far below any behavioral difference the credit
+// scheme can express, so hits are effectively exact.
+const DefaultQuantum = 1e-6
+
+// DefaultCacheLimit bounds the number of distinct quantized vectors a plan
+// cache holds before it discards its contents and starts over.
+const DefaultCacheLimit = 4096
+
+// PlanCache memoizes window scheduling decisions, keyed by the quantized
+// global queue vector. The paper's design has every one of the R redirectors
+// solve the window LP over the *same* global aggregate; sharing one cache
+// turns those R identical solves into one solve plus R−1 lookups. Lookups
+// for a vector whose solve is still in flight block until it finishes
+// (singleflight), so concurrent windows never duplicate work.
+//
+// Cached plans are shared; callers must treat them as immutable. The cache
+// must be discarded when the scheduler it memoizes is rebuilt (entitlement
+// or capacity changes), which is why the engine owns and re-creates it.
+type PlanCache[P any] struct {
+	quantum float64
+	limit   int
+	stats   *metrics.SolverStats
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry[P]
+}
+
+type cacheEntry[P any] struct {
+	done chan struct{} // closed once plan/err are set
+	plan P
+	err  error
+}
+
+// NewPlanCache builds a cache. quantum ≤ 0 selects DefaultQuantum, limit ≤ 0
+// selects DefaultCacheLimit. stats may be nil.
+func NewPlanCache[P any](quantum float64, limit int, stats *metrics.SolverStats) *PlanCache[P] {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	if limit <= 0 {
+		limit = DefaultCacheLimit
+	}
+	return &PlanCache[P]{
+		quantum: quantum,
+		limit:   limit,
+		stats:   stats,
+		entries: make(map[string]*cacheEntry[P]),
+	}
+}
+
+// Quantum reports the quantization step.
+func (c *PlanCache[P]) Quantum() float64 { return c.quantum }
+
+// maxQuanta keeps the quantized coordinate inside int64 range; queue lengths
+// anywhere near it are saturated to one shared key.
+const maxQuanta = float64(1 << 62)
+
+// appendKey appends the quantized fixed-point encoding of queues to dst.
+func (c *PlanCache[P]) appendKey(dst []byte, queues []float64) []byte {
+	var buf [8]byte
+	for _, q := range queues {
+		v := math.Round(q / c.quantum)
+		if v > maxQuanta {
+			v = maxQuanta
+		} else if v < -maxQuanta {
+			v = -maxQuanta
+		}
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// Do returns the plan for queues, invoking solve at most once per distinct
+// quantized vector. hit reports whether the plan came from the cache (either
+// already present or computed by a concurrent caller). Failed solves are not
+// retained, so a transient error does not poison the vector's key.
+func (c *PlanCache[P]) Do(queues []float64, solve func() (P, error)) (plan P, hit bool, err error) {
+	key := c.appendKey(make([]byte, 0, 8*len(queues)), queues)
+
+	c.mu.Lock()
+	if e, ok := c.entries[string(key)]; ok {
+		c.mu.Unlock()
+		<-e.done
+		c.stats.CacheHit()
+		return e.plan, true, e.err
+	}
+	if len(c.entries) >= c.limit {
+		// Epoch eviction: wholesale reset is O(1) amortized and keeps the
+		// steady-state working set (a handful of vectors) hot again within
+		// one window.
+		c.entries = make(map[string]*cacheEntry[P])
+	}
+	e := &cacheEntry[P]{done: make(chan struct{})}
+	skey := string(key)
+	c.entries[skey] = e
+	c.mu.Unlock()
+
+	c.stats.CacheMiss()
+	start := time.Now()
+	e.plan, e.err = solve()
+	c.stats.RecordSolve(time.Since(start))
+	close(e.done)
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[skey] == e {
+			delete(c.entries, skey)
+		}
+		c.mu.Unlock()
+	}
+	return e.plan, false, e.err
+}
+
+// Len reports the number of cached vectors (diagnostics and tests).
+func (c *PlanCache[P]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestPlanCacheHitsQuantizedVectors(t *testing.T) {
+	stats := &metrics.SolverStats{}
+	c := NewPlanCache[int](1e-6, 0, stats)
+	solves := 0
+	solve := func() (int, error) { solves++; return 7, nil }
+
+	plan, hit, err := c.Do([]float64{80, 40}, solve)
+	if err != nil || hit || plan != 7 {
+		t.Fatalf("first Do = (%d, %v, %v)", plan, hit, err)
+	}
+	// Within half a quantum: same key, no new solve.
+	plan, hit, err = c.Do([]float64{80 + 4e-7, 40}, solve)
+	if err != nil || !hit || plan != 7 {
+		t.Fatalf("quantized Do = (%d, %v, %v)", plan, hit, err)
+	}
+	// More than a quantum away: distinct key.
+	if _, hit, _ = c.Do([]float64{80 + 5e-6, 40}, solve); hit {
+		t.Fatal("vector a few quanta away hit the cache")
+	}
+	if solves != 2 {
+		t.Fatalf("solves = %d, want 2", solves)
+	}
+	if stats.CacheHits() != 1 || stats.CacheMisses() != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/2", stats.CacheHits(), stats.CacheMisses())
+	}
+}
+
+func TestPlanCacheSingleflight(t *testing.T) {
+	c := NewPlanCache[int](0, 0, nil)
+	var solves atomic.Int32
+	release := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			plan, _, err := c.Do([]float64{1, 2, 3}, func() (int, error) {
+				solves.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || plan != 42 {
+				t.Errorf("Do = (%d, %v)", plan, err)
+			}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	// At least one caller solved; racing callers may each have won the map
+	// insert before any finished, but identical keys collapse once present.
+	if n := solves.Load(); n < 1 || n > callers {
+		t.Fatalf("solves = %d", n)
+	}
+	if _, hit, _ := c.Do([]float64{1, 2, 3}, func() (int, error) { return 0, nil }); !hit {
+		t.Fatal("follow-up lookup missed")
+	}
+}
+
+func TestPlanCacheDoesNotRetainErrors(t *testing.T) {
+	c := NewPlanCache[int](0, 0, nil)
+	boom := errors.New("boom")
+	if _, _, err := c.Do([]float64{5}, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed solve retained, Len = %d", c.Len())
+	}
+	plan, hit, err := c.Do([]float64{5}, func() (int, error) { return 9, nil })
+	if err != nil || hit || plan != 9 {
+		t.Fatalf("retry Do = (%d, %v, %v)", plan, hit, err)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := NewPlanCache[int](0, 4, nil)
+	for i := 0; i < 9; i++ {
+		v := float64(i)
+		if _, _, err := c.Do([]float64{v}, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 4 {
+		t.Fatalf("Len = %d exceeds limit 4", c.Len())
+	}
+	// Entries from before the epoch reset are gone; re-solving works.
+	plan, _, err := c.Do([]float64{0}, func() (int, error) { return 100, nil })
+	if err != nil || plan == 0 {
+		t.Fatalf("post-eviction Do = (%d, %v)", plan, err)
+	}
+}
+
+func TestPlanCacheDefaults(t *testing.T) {
+	c := NewPlanCache[int](0, 0, nil)
+	if c.Quantum() != DefaultQuantum {
+		t.Fatalf("quantum = %g, want %g", c.Quantum(), DefaultQuantum)
+	}
+	if c.limit != DefaultCacheLimit {
+		t.Fatalf("limit = %d, want %d", c.limit, DefaultCacheLimit)
+	}
+}
+
+func TestPlanCacheSaturatesExtremeQueues(t *testing.T) {
+	c := NewPlanCache[int](0, 0, nil)
+	// Far beyond int64 quanta both vectors saturate to one key — still a
+	// deterministic lookup, never an overflow panic.
+	k1 := string(c.appendKey(nil, []float64{1e300}))
+	k2 := string(c.appendKey(nil, []float64{2e300}))
+	if k1 != k2 {
+		t.Fatal("saturated coordinates should share a key")
+	}
+}

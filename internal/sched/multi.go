@@ -88,7 +88,7 @@ func (m *MultiCommunity) Schedule(queues []float64) (*Plan, error) {
 	}
 
 	b := lp.NewBuilder()
-	theta := b.Var("theta", 1)
+	theta := b.NewVar(1)
 	b.Bound(theta, 0, 1)
 
 	x := make([][]lp.Var, m.n)
@@ -101,7 +101,7 @@ func (m *MultiCommunity) Schedule(queues []float64) (*Plan, error) {
 			}
 			hi := m.pairLimit(i, k)
 			if hi > 0 {
-				x[i][k] = b.Var(fmt.Sprintf("x_%d_%d", i, k), 0)
+				x[i][k] = b.NewVar(0)
 				b.Bound(x[i][k], 0, hi)
 			}
 		}

@@ -16,6 +16,14 @@
 // objective, so the plans are work-conserving: no server capacity is left
 // idle while admissible requests wait.
 //
+// Because the paper re-solves every 100 ms window, both schedulers compile
+// their constraint structure once at construction: each Schedule call only
+// rewrites the handful of coefficients that depend on the queue vector and
+// re-solves on a pooled lp.Solver whose tableau memory persists across
+// windows, with the lexicographic second pass warm-started from the first
+// pass's basis. The allocating from-scratch path is kept as scheduleSlow for
+// differential tests; fast and slow plans are byte-identical.
+//
 // All quantities are in requests per time window: callers scale rate
 // entitlements (req/s) by the window duration before building a scheduler.
 package sched
@@ -23,14 +31,21 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math"
+	"sync"
 
 	"repro/internal/agreement"
 	"repro/internal/lp"
+	"repro/internal/metrics"
 )
 
 // ErrInput reports malformed scheduler input.
 var ErrInput = errors.New("sched: invalid input")
+
+// lexTol is how far below its optimum the primary objective may sit during
+// the lexicographic throughput pass.
+const lexTol = 1e-9
 
 // Community schedules a community context. Construct with NewCommunity.
 type Community struct {
@@ -38,6 +53,31 @@ type Community struct {
 	acc      *agreement.Access
 	capacity []float64 // per-owner server capacity, requests/window
 	locality []float64 // optional per-owner push caps c_i (nil: none)
+
+	// Compiled fast-path structure: tmpl is the LP for an all-positive
+	// queue vector; the row indices below locate the entries Schedule
+	// rewrites per call. xv[i][k] is the LP variable carrying traffic from
+	// principal i to owner k (-1 when no entitlement exists).
+	tmpl      *lp.Problem
+	obj2      []float64 // lexicographic throughput objective
+	xv        [][]lp.Var
+	servedRow []int // Σ_k x_ik − θ n_i ≥ 0      (θ coefficient ← −n_i)
+	demandRow []int // Σ_k x_ik ≤ n_i            (RHS ← n_i)
+	floorRow  []int // Σ_k x_ik ≥ min(n_i, MC_i) (RHS ← floor, 0 on fallback)
+	blockRow  []int // θ n_i ≤ 0 for unentitled i (θ coefficient ← n_i)
+
+	// states pools per-worker template clones + solvers so that distinct
+	// queue vectors can be scheduled in parallel.
+	states sync.Pool
+
+	stats   *metrics.SolverStats
+	logOnce sync.Once
+}
+
+// commState is one worker's mutable solve state.
+type commState struct {
+	p      *lp.Problem
+	solver *lp.Solver
 }
 
 // NewCommunity builds a community scheduler. capacity[k] is owner k's server
@@ -52,7 +92,104 @@ func NewCommunity(acc *agreement.Access, capacity, locality []float64) (*Communi
 	if locality != nil && len(locality) != n {
 		return nil, fmt.Errorf("%w: locality length %d, want %d", ErrInput, len(locality), n)
 	}
-	return &Community{n: n, acc: acc, capacity: capacity, locality: locality}, nil
+	c := &Community{n: n, acc: acc, capacity: capacity, locality: locality}
+	c.compile()
+	c.states.New = func() any {
+		return &commState{p: c.tmpl.Clone(), solver: lp.NewSolver()}
+	}
+	return c, nil
+}
+
+// SetStats wires shared fast-path telemetry (may be nil). Typically called
+// by the owning engine right after construction.
+func (c *Community) SetStats(s *metrics.SolverStats) { c.stats = s }
+
+// compile builds the constraint template once. It emits rows in exactly the
+// order the from-scratch path does for an all-positive queue vector, so the
+// fast path's pivot sequence — and therefore its plans — are identical.
+func (c *Community) compile() {
+	n := c.n
+	b := lp.NewBuilder()
+	theta := b.NewVar(1)
+	b.Bound(theta, 0, 1)
+
+	c.xv = make([][]lp.Var, n)
+	for i := 0; i < n; i++ {
+		c.xv[i] = make([]lp.Var, n)
+		for k := 0; k < n; k++ {
+			c.xv[i][k] = -1
+			if hi := c.acc.MI[k][i] + c.acc.OI[k][i]; hi > 0 {
+				v := b.NewVar(0)
+				b.Bound(v, 0, hi)
+				c.xv[i][k] = v
+			}
+		}
+	}
+
+	c.servedRow = filled(n, -1)
+	c.demandRow = filled(n, -1)
+	c.floorRow = filled(n, -1)
+	c.blockRow = filled(n, -1)
+	for i := 0; i < n; i++ {
+		// Placeholder coefficients/RHS (for n_i = 1) are rewritten by every
+		// Schedule call before solving.
+		terms := []lp.Term{lp.T(theta, -1)}
+		var sum []lp.Term
+		for k := 0; k < n; k++ {
+			if c.xv[i][k] >= 0 {
+				terms = append(terms, lp.T(c.xv[i][k], 1))
+				sum = append(sum, lp.T(c.xv[i][k], 1))
+			}
+		}
+		if len(sum) == 0 {
+			// No entitlement anywhere: θ must account for an unserved queue.
+			c.blockRow[i] = b.NumConstraints()
+			b.Constrain(lp.LE, 0, lp.T(theta, 1))
+			continue
+		}
+		c.servedRow[i] = b.NumConstraints()
+		b.Constrain(lp.GE, 0, terms...)
+		c.demandRow[i] = b.NumConstraints()
+		b.Constrain(lp.LE, 1, sum...)
+		// Mandatory floor Σ_k x_ik ≥ min(n_i, MC_i) — the paper's lower
+		// bound, clipped to demand instead of dropped so a principal whose
+		// queue is below its mandatory level is still served in full.
+		if c.acc.MC[i] > 0 {
+			c.floorRow[i] = b.NumConstraints()
+			b.Constrain(lp.GE, 1, sum...)
+		}
+	}
+
+	// Server capacity: Σ_i x_ik ≤ V_k, and locality caps.
+	for k := 0; k < n; k++ {
+		var load []lp.Term
+		for i := 0; i < n; i++ {
+			if c.xv[i][k] >= 0 {
+				load = append(load, lp.T(c.xv[i][k], 1))
+			}
+		}
+		if len(load) == 0 {
+			continue
+		}
+		b.Constrain(lp.LE, c.capacity[k], load...)
+		if c.locality != nil && !math.IsInf(c.locality[k], 1) {
+			b.Constrain(lp.LE, c.locality[k], load...)
+		}
+	}
+
+	c.tmpl = b.Problem()
+	c.obj2 = make([]float64, b.NumVars())
+	for j := 1; j < len(c.obj2); j++ {
+		c.obj2[j] = 1 // every x variable; θ stays out of the throughput pass
+	}
+}
+
+func filled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
 }
 
 // Plan is the result of a community scheduling decision.
@@ -68,7 +205,8 @@ type Plan struct {
 }
 
 // Schedule solves the community LP for the given global queue lengths
-// (requests per window, indexed by principal).
+// (requests per window, indexed by principal). Distinct queue vectors may be
+// scheduled concurrently; each call checks out pooled solver state.
 func (c *Community) Schedule(queues []float64) (*Plan, error) {
 	if len(queues) != c.n {
 		return nil, fmt.Errorf("%w: queues length %d, want %d", ErrInput, len(queues), c.n)
@@ -79,20 +217,96 @@ func (c *Community) Schedule(queues []float64) (*Plan, error) {
 		}
 	}
 
-	plan, err := c.solve(queues, true)
+	st := c.states.Get().(*commState)
+	defer c.states.Put(st)
+	plan, err := c.solveFast(st, queues, true)
 	if err == nil {
 		return plan, nil
 	}
 	// Mandatory floors can only be infeasible if entitlements exceed
 	// capacities (possible when the caller's Access and capacity vectors
-	// disagree); degrade gracefully rather than stalling the window.
-	return c.solve(queues, false)
+	// disagree); degrade gracefully rather than stalling the window, but
+	// make the disagreement visible: it means some mandatory guarantee is
+	// not enforceable as configured.
+	c.stats.FloorFallback()
+	c.logOnce.Do(func() {
+		log.Printf("sched: community window infeasible with mandatory floors (%v); retrying without floors — entitlements exceed capacities", err)
+	})
+	return c.solveFast(st, queues, false)
 }
 
-func (c *Community) solve(queues []float64, floors bool) (*Plan, error) {
+// solveFast rewrites the queue-dependent entries of the worker's template in
+// place and solves it on the worker's persistent solver.
+func (c *Community) solveFast(st *commState, queues []float64, floors bool) (*Plan, error) {
+	cons := st.p.Constraints
+	for i := 0; i < c.n; i++ {
+		q := queues[i]
+		if r := c.servedRow[i]; r >= 0 {
+			cons[r].Coeffs[0] = -q
+			cons[c.demandRow[i]].RHS = q
+		}
+		if r := c.floorRow[i]; r >= 0 {
+			floor := 0.0
+			if floors {
+				floor = math.Min(q, c.acc.MC[i])
+			}
+			cons[r].RHS = floor
+		}
+		if r := c.blockRow[i]; r >= 0 {
+			cons[r].Coeffs[0] = q
+		}
+	}
+
+	sol, err := st.solver.SolveLex(st.p, lexTol, c.obj2)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("sched: community LP %v", sol.Status)
+	}
+	return c.extractPlan(sol.X, sol.Primary), nil
+}
+
+// extractPlan copies the LP assignment into a Plan (one backing allocation).
+func (c *Community) extractPlan(x []float64, theta float64) *Plan {
+	n := c.n
+	plan := &Plan{
+		X:     make([][]float64, n),
+		Total: make([]float64, n),
+		Theta: theta,
+	}
+	flat := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		plan.X[i], flat = flat[:n:n], flat[n:]
+		for k := 0; k < n; k++ {
+			if v := c.xv[i][k]; v >= 0 {
+				val := x[v]
+				if val < 0 {
+					val = 0
+				}
+				plan.X[i][k] = val
+				plan.Total[i] += val
+			}
+		}
+	}
+	return plan
+}
+
+// scheduleSlow is the allocating reference path: it rebuilds the whole
+// program through a Builder on every call and solves it on a fresh solver.
+// Differential tests assert the fast path matches it byte for byte.
+func (c *Community) scheduleSlow(queues []float64) (*Plan, error) {
+	plan, err := c.solveSlow(queues, true)
+	if err == nil {
+		return plan, nil
+	}
+	return c.solveSlow(queues, false)
+}
+
+func (c *Community) solveSlow(queues []float64, floors bool) (*Plan, error) {
 	n := c.n
 	b := lp.NewBuilder()
-	theta := b.Var("theta", 1)
+	theta := b.NewVar(1)
 	b.Bound(theta, 0, 1)
 
 	// x[i][k] variables only where an entitlement exists.
@@ -105,7 +319,7 @@ func (c *Community) solve(queues []float64, floors bool) (*Plan, error) {
 				continue
 			}
 			if hi := c.acc.MI[k][i] + c.acc.OI[k][i]; hi > 0 {
-				x[i][k] = b.Var(fmt.Sprintf("x_%d_%d", i, k), 0)
+				x[i][k] = b.NewVar(0)
 				b.Bound(x[i][k], 0, hi)
 			}
 		}
@@ -124,7 +338,6 @@ func (c *Community) solve(queues []float64, floors bool) (*Plan, error) {
 			}
 		}
 		if len(sum) == 0 {
-			// No entitlement anywhere: θ must account for an unserved queue.
 			b.Constrain(lp.LE, 0, lp.T(theta, queues[i]))
 			continue
 		}
@@ -132,9 +345,6 @@ func (c *Community) solve(queues []float64, floors bool) (*Plan, error) {
 		b.Constrain(lp.GE, 0, terms...)
 		// Σ_k x_ik ≤ n_i.
 		b.Constrain(lp.LE, queues[i], sum...)
-		// Mandatory floor Σ_k x_ik ≥ min(n_i, MC_i) — the paper's lower
-		// bound, clipped to demand instead of dropped so a principal whose
-		// queue is below its mandatory level is still served in full.
 		if floors {
 			if floor := math.Min(queues[i], c.acc.MC[i]); floor > 0 {
 				b.Constrain(lp.GE, floor, sum...)
@@ -142,7 +352,6 @@ func (c *Community) solve(queues []float64, floors bool) (*Plan, error) {
 		}
 	}
 
-	// Server capacity: Σ_i x_ik ≤ V_k, and locality caps.
 	for k := 0; k < n; k++ {
 		var load []lp.Term
 		for i := 0; i < n; i++ {
@@ -159,37 +368,28 @@ func (c *Community) solve(queues []float64, floors bool) (*Plan, error) {
 		}
 	}
 
-	sol, err := b.Solve()
+	obj2 := make([]float64, b.NumVars())
+	for j := 1; j < len(obj2); j++ {
+		obj2[j] = 1
+	}
+	sol, err := lp.SolveLex(b.Problem(), lexTol, obj2)
 	if err != nil {
 		return nil, err
 	}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("sched: community LP %v", sol.Status)
 	}
-	thetaStar := b.Value(sol, theta)
-
-	// Lexicographic pass: hold θ at its optimum, maximize total throughput.
-	b.Constrain(lp.GE, thetaStar-1e-9, lp.T(theta, 1))
-	b2 := b.Problem()
-	for j := 1; j < len(b2.Objective); j++ {
-		b2.Objective[j] = 1 // every x variable
-	}
-	b2.Objective[0] = 0
-	sol2, err := lp.Solve(b2)
-	if err == nil && sol2.Status == lp.Optimal {
-		sol = sol2
-	}
 
 	plan := &Plan{
 		X:     make([][]float64, n),
 		Total: make([]float64, n),
-		Theta: thetaStar,
+		Theta: sol.Primary,
 	}
 	for i := 0; i < n; i++ {
 		plan.X[i] = make([]float64, n)
 		for k := 0; k < n; k++ {
 			if x[i][k] >= 0 {
-				v := b.Value(sol, x[i][k])
+				v := sol.X[x[i][k]]
 				if v < 0 {
 					v = 0
 				}
@@ -207,6 +407,17 @@ type Provider struct {
 	mc, oc   []float64 // per-customer entitlements, requests/window
 	prices   []float64
 	capacity float64 // aggregate server capacity, requests/window
+
+	// Compiled fast-path structure (see Community for the pattern).
+	tmpl  *lp.Problem
+	obj2  []float64
+	loRow []int // x_i ≥ min(MC_i, n_i)                 (RHS ← lo)
+	hiRow []int // x_i ≤ min(MC_i+OC_i, n_i, capacity)  (RHS ← hi)
+
+	states sync.Pool
+
+	stats   *metrics.SolverStats
+	logOnce sync.Once
 }
 
 // NewProvider builds a provider scheduler. mc/oc are the customers'
@@ -227,7 +438,41 @@ func NewProvider(mc, oc, prices []float64, capacity float64) (*Provider, error) 
 			return nil, fmt.Errorf("%w: negative entitlement or price for customer %d", ErrInput, i)
 		}
 	}
-	return &Provider{n: n, mc: mc, oc: oc, prices: prices, capacity: capacity}, nil
+	p := &Provider{n: n, mc: mc, oc: oc, prices: prices, capacity: capacity}
+	p.compile()
+	p.states.New = func() any {
+		return &commState{p: p.tmpl.Clone(), solver: lp.NewSolver()}
+	}
+	return p, nil
+}
+
+// SetStats wires shared fast-path telemetry (may be nil).
+func (p *Provider) SetStats(s *metrics.SolverStats) { p.stats = s }
+
+// compile builds the provider template, mirroring the from-scratch build
+// order for an all-positive queue vector.
+func (p *Provider) compile() {
+	b := lp.NewBuilder()
+	p.loRow = filled(p.n, -1)
+	p.hiRow = filled(p.n, -1)
+	var all []lp.Term
+	for i := 0; i < p.n; i++ {
+		v := b.NewVar(p.prices[i])
+		if p.mc[i] > 0 {
+			p.loRow[i] = b.NumConstraints()
+			b.Constrain(lp.GE, p.mc[i], lp.T(v, 1))
+		}
+		p.hiRow[i] = b.NumConstraints()
+		b.Constrain(lp.LE, math.Min(p.mc[i]+p.oc[i], p.capacity), lp.T(v, 1))
+		all = append(all, lp.T(v, 1))
+	}
+	b.Constrain(lp.LE, p.capacity, all...)
+
+	p.tmpl = b.Problem()
+	p.obj2 = make([]float64, p.n)
+	for j := range p.obj2 {
+		p.obj2[j] = 1
+	}
 }
 
 // ProviderPlan is the result of a provider scheduling decision.
@@ -239,10 +484,65 @@ type ProviderPlan struct {
 }
 
 // Schedule solves the provider LP for the given per-customer queue lengths.
+// Distinct queue vectors may be scheduled concurrently.
 func (p *Provider) Schedule(queues []float64) (*ProviderPlan, error) {
 	if len(queues) != p.n {
 		return nil, fmt.Errorf("%w: queues length %d, want %d", ErrInput, len(queues), p.n)
 	}
+	for i, q := range queues {
+		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+			return nil, fmt.Errorf("%w: queue[%d] = %v", ErrInput, i, q)
+		}
+	}
+
+	st := p.states.Get().(*commState)
+	defer p.states.Put(st)
+	cons := st.p.Constraints
+	for i := 0; i < p.n; i++ {
+		q := queues[i]
+		lo := math.Min(p.mc[i], q)                               // mandatory, clipped to demand
+		hi := math.Min(math.Min(p.mc[i]+p.oc[i], q), p.capacity) // agreement + demand
+		if hi < lo {
+			hi = lo
+		}
+		if r := p.loRow[i]; r >= 0 {
+			cons[r].RHS = lo
+		}
+		cons[p.hiRow[i]].RHS = hi
+	}
+
+	sol, err := st.solver.SolveLex(st.p, lexTol, p.obj2)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		// Mandatory floors exceed capacity: serve mandatory shares scaled
+		// proportionally instead of failing the window, and surface the
+		// entitlement/capacity disagreement.
+		p.stats.FloorFallback()
+		p.logOnce.Do(func() {
+			log.Printf("sched: provider window %v with mandatory floors; scaling mandatory shares to capacity — entitlements exceed capacity", sol.Status)
+		})
+		return p.scaledMandatory(queues), nil
+	}
+	return p.extractPlan(sol.X), nil
+}
+
+func (p *Provider) extractPlan(x []float64) *ProviderPlan {
+	plan := &ProviderPlan{X: make([]float64, p.n)}
+	for i := 0; i < p.n; i++ {
+		v := x[i]
+		if v < 0 {
+			v = 0
+		}
+		plan.X[i] = v
+		plan.Income += p.prices[i] * (v - p.mc[i])
+	}
+	return plan
+}
+
+// scheduleSlow is the allocating reference path for differential tests.
+func (p *Provider) scheduleSlow(queues []float64) (*ProviderPlan, error) {
 	b := lp.NewBuilder()
 	xs := make([]lp.Var, p.n)
 	var all []lp.Term
@@ -251,9 +551,9 @@ func (p *Provider) Schedule(queues []float64) (*ProviderPlan, error) {
 		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
 			return nil, fmt.Errorf("%w: queue[%d] = %v", ErrInput, i, q)
 		}
-		xs[i] = b.Var(fmt.Sprintf("x_%d", i), p.prices[i])
-		lo := math.Min(p.mc[i], q)                               // mandatory, clipped to demand
-		hi := math.Min(math.Min(p.mc[i]+p.oc[i], q), p.capacity) // agreement + demand
+		xs[i] = b.NewVar(p.prices[i])
+		lo := math.Min(p.mc[i], q)
+		hi := math.Min(math.Min(p.mc[i]+p.oc[i], q), p.capacity)
 		if hi < lo {
 			hi = lo
 		}
@@ -262,46 +562,18 @@ func (p *Provider) Schedule(queues []float64) (*ProviderPlan, error) {
 	}
 	b.Constrain(lp.LE, p.capacity, all...)
 
-	sol, err := b.Solve()
+	obj2 := make([]float64, p.n)
+	for j := range obj2 {
+		obj2[j] = 1
+	}
+	sol, err := lp.SolveLex(b.Problem(), lexTol, obj2)
 	if err != nil {
 		return nil, err
 	}
 	if sol.Status != lp.Optimal {
-		// Mandatory floors exceed capacity: serve mandatory shares scaled
-		// proportionally instead of failing the window.
 		return p.scaledMandatory(queues), nil
 	}
-	incomeStar := sol.Objective
-
-	// Lexicographic pass: hold income, maximize throughput (relevant when
-	// some prices are zero or equal).
-	b.Constrain(lp.GE, incomeStar-1e-9, termsFor(xs, p.prices)...)
-	b2 := b.Problem()
-	for j := range b2.Objective {
-		b2.Objective[j] = 1
-	}
-	if sol2, err := lp.Solve(b2); err == nil && sol2.Status == lp.Optimal {
-		sol = sol2
-	}
-
-	plan := &ProviderPlan{X: make([]float64, p.n)}
-	for i := 0; i < p.n; i++ {
-		v := b.Value(sol, xs[i])
-		if v < 0 {
-			v = 0
-		}
-		plan.X[i] = v
-		plan.Income += p.prices[i] * (v - p.mc[i])
-	}
-	return plan, nil
-}
-
-func termsFor(xs []lp.Var, coeffs []float64) []lp.Term {
-	terms := make([]lp.Term, len(xs))
-	for i, v := range xs {
-		terms[i] = lp.T(v, coeffs[i])
-	}
-	return terms
+	return p.extractPlan(sol.X), nil
 }
 
 // scaledMandatory distributes capacity proportionally to clipped mandatory

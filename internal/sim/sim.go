@@ -13,6 +13,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/agreement"
@@ -62,6 +64,14 @@ type Config struct {
 	// are treated as multiple small ones". Zero keeps the uniform-cost
 	// model used by the figure reproductions (WebBench reports averages).
 	MeanRequestBytes float64
+	// WindowWorkers bounds the goroutines running per-redirector window
+	// solves concurrently at each window boundary (0 means GOMAXPROCS).
+	// When redirectors disagree on the global aggregate — staleness, lag,
+	// or self-inclusion — their distinct LP solves run in parallel; when
+	// they agree, the engine's plan cache already collapses them to one
+	// solve and the workers just perform lookups. Set 1 to force the
+	// serial behavior.
+	WindowWorkers int
 }
 
 // Sim is a running simulation.
@@ -81,6 +91,7 @@ type Sim struct {
 	failureTimeout time.Duration
 	lastReconfig   time.Duration
 	meanBytes      float64
+	windowWorkers  int
 	windowTicker   *vclock.Ticker
 
 	// Reconfigurations counts topology rebuilds triggered by failure
@@ -91,9 +102,10 @@ type Sim struct {
 // RNode is one redirector node: admission engine + tree participant. It
 // implements workload.Sink.
 type RNode struct {
-	sim  *Sim
-	Red  *core.Redirector
-	Tree *combining.Node
+	sim    *Sim
+	Red    *core.Redirector
+	Tree   *combining.Node
+	estBuf []float64 // reused local-estimate buffer for the tree feed
 }
 
 // New builds a simulation. The engine's window drives both scheduling and
@@ -182,6 +194,11 @@ func New(cfg Config) (*Sim, error) {
 		})
 	}
 
+	s.windowWorkers = cfg.WindowWorkers
+	if s.windowWorkers <= 0 {
+		s.windowWorkers = runtime.GOMAXPROCS(0)
+	}
+
 	// Window driver: refresh tree locals, run a tree epoch, then start the
 	// new scheduling window once same-instant deliveries have drained.
 	s.windowTicker = s.Clock.ScheduleEvery(cfg.Engine.Window(), func() {
@@ -192,7 +209,8 @@ func New(cfg Config) (*Sim, error) {
 			if s.failed[i] {
 				continue
 			}
-			rn.Tree.SetLocal(rn.Red.LocalEstimate())
+			rn.estBuf = rn.Red.LocalEstimateInto(rn.estBuf)
+			rn.Tree.SetLocal(rn.estBuf)
 		}
 		for i, rn := range s.Redirectors {
 			if s.failed[i] {
@@ -200,21 +218,72 @@ func New(cfg Config) (*Sim, error) {
 			}
 			rn.Tree.Tick()
 		}
-		s.Clock.Schedule(0, func() {
-			for i, rn := range s.Redirectors {
-				if s.failed[i] {
-					continue
-				}
-				if rn.Tree.IsRoot() {
-					rn.pushGlobal() // root sees its own broadcast instantly
-				}
-				if err := rn.Red.StartWindow(s.Clock.Now()); err != nil {
-					panic(fmt.Sprintf("sim: window schedule failed: %v", err))
-				}
-			}
-		})
+		s.Clock.Schedule(0, func() { s.startWindows() })
 	})
 	return s, nil
+}
+
+// startWindows runs every live redirector's window solve, fanning the solves
+// out over a bounded worker pool. The engine's shared plan cache collapses
+// redirectors that agree on the (quantized) global aggregate into one LP
+// solve, so the workers mostly do cache lookups; when views diverge, distinct
+// solves proceed concurrently. Virtual time is frozen while this callback
+// runs, so one timestamp serves every redirector.
+func (s *Sim) startWindows() {
+	now := s.Clock.Now()
+	live := make([]*RNode, 0, len(s.Redirectors))
+	for i, rn := range s.Redirectors {
+		if !s.failed[i] {
+			live = append(live, rn)
+		}
+	}
+	startOne := func(rn *RNode) error {
+		if rn.Tree.IsRoot() {
+			rn.pushGlobal() // root sees its own broadcast instantly
+		}
+		return rn.Red.StartWindow(now)
+	}
+	workers := s.windowWorkers
+	if workers > len(live) {
+		workers = len(live)
+	}
+	if workers <= 1 || len(live) <= 1 {
+		for _, rn := range live {
+			if err := startOne(rn); err != nil {
+				panic(fmt.Sprintf("sim: window schedule failed: %v", err))
+			}
+		}
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	work := make(chan *RNode)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rn := range work {
+				if err := startOne(rn); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, rn := range live {
+		work <- rn
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		panic(fmt.Sprintf("sim: window schedule failed: %v", firstErr))
+	}
 }
 
 // FailRedirector kills redirector i: it stops participating in the tree
