@@ -7,6 +7,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // The benchmarks below regenerate every figure of the paper's evaluation:
@@ -319,6 +320,59 @@ func BenchmarkFlowsTenPrincipals(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.SystemAccess(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowTraceOverhead measures the observability cost added to
+// every window: filling one trace record, snapshotting the combining-tree
+// counters, and committing into the ring + auditor. The path must stay at
+// 0 allocs/op — it runs inside the window loop's critical section.
+func BenchmarkWindowTraceOverhead(b *testing.B) {
+	eng, _, _ := benchEngine(b)
+	o := eng.NewObserver(0, nil, 0)
+	o.SetTreeInfo(func() obs.TreeInfo {
+		return obs.TreeInfo{Epoch: 1, GlobalEpoch: 1, MsgsIn: 2, MsgsOut: 2}
+	})
+	rec := o.NewRecord()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Window = uint64(i)
+		rec.Conservative = i%7 == 0
+		rec.CacheHit = i%2 == 0
+		for p := range rec.Local {
+			rec.Local[p] = float64(i)
+			rec.Granted[p] = float64(i)
+			rec.Floor[p] = float64(i)
+			rec.Ceil[p] = float64(i + 1)
+			rec.Arrived[p] = float64(i)
+			rec.Served[p] = float64(i)
+		}
+		o.FillTree(rec)
+		o.Commit(rec)
+	}
+}
+
+// BenchmarkWindowScheduleTraced is BenchmarkWindowSchedule with an observer
+// attached — the delta between the two is the real-world tracing overhead
+// of the full window computation.
+func BenchmarkWindowScheduleTraced(b *testing.B) {
+	eng, a, bb := benchEngine(b)
+	r := eng.NewRedirector(0)
+	r.SetObserver(eng.NewObserver(0, nil, 0))
+	for i := 0; i < 80; i++ {
+		r.Admit(a)
+	}
+	for i := 0; i < 40; i++ {
+		r.Admit(bb)
+	}
+	r.SetGlobal([]float64{80, 40}, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.StartWindow(time.Duration(i) * 100 * time.Millisecond); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/l4"
 	"repro/internal/l7"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,6 +28,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
 	capacity := flag.Float64("capacity", 320, "service capacity in requests/second")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	admin := flag.String("admin", "", "admin listener for /metrics and pprof")
 	flag.Parse()
 
 	var served func() int64
@@ -49,6 +52,20 @@ func main() {
 		log.Fatalf("unknown layer %q (want l7 or l4)", *layer)
 	}
 	defer closeFn() //nolint:errcheck // process exit
+
+	if *admin != "" {
+		h := obs.NewHandler(obs.HandlerConfig{
+			Extra: func(w io.Writer) {
+				obs.WriteMetric(w, "rsa_backend_served_total", "counter",
+					"Requests this backend has completed.", float64(served()))
+			},
+		})
+		bound, err := obs.Serve(*admin, h, nil)
+		if err != nil {
+			log.Fatalf("admin listener %s: %v", *admin, err)
+		}
+		fmt.Printf("admin endpoints at %s\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/l4"
 	"repro/internal/l7"
+	"repro/internal/obs"
 	"repro/internal/treenet"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	path := flag.String("config", "", "scenario JSON file (required)")
 	layer := flag.String("layer", "l7", "l7 (HTTP 302 switch) or l4 (TCP NAT-style switch)")
 	id := flag.Int("id", 0, "this redirector's id")
+	admin := flag.String("admin", "", "admin listener for /metrics, /debug/windows and pprof (overrides scenario admin_addr)")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
@@ -65,6 +67,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(eng.DescribeEntitlements())
+
+	adminAddr := f.AdminAddr
+	if *admin != "" {
+		adminAddr = *admin
+	}
 
 	switch *layer {
 	case "l7":
@@ -94,6 +101,9 @@ func main() {
 		fmt.Printf("l7 redirector %d at %s", *id, r.URL())
 		if ta := r.TreeAddr(); ta != "" {
 			fmt.Printf(" (tree %s)", ta)
+		}
+		if bound := serveAdmin(adminAddr, r.ObsHandler()); bound != "" {
+			fmt.Printf(" (admin %s)", bound)
 		}
 		fmt.Println()
 	case "l4":
@@ -127,6 +137,9 @@ func main() {
 		if ta := r.TreeAddr(); ta != "" {
 			fmt.Printf(" (tree %s)", ta)
 		}
+		if bound := serveAdmin(adminAddr, r.ObsHandler()); bound != "" {
+			fmt.Printf(" (admin %s)", bound)
+		}
 		fmt.Println()
 	default:
 		log.Fatalf("unknown layer %q", *layer)
@@ -135,6 +148,19 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+}
+
+// serveAdmin starts the optional observability listener; returns the bound
+// address ("" when disabled).
+func serveAdmin(addr string, h *obs.Handler) string {
+	if addr == "" {
+		return ""
+	}
+	bound, err := obs.Serve(addr, h, nil)
+	if err != nil {
+		log.Fatalf("admin listener %s: %v", addr, err)
+	}
+	return bound
 }
 
 func treeSpec(f *config.File) (*treenet.Spec, error) {

@@ -144,6 +144,10 @@ type Node struct {
 	globalAt    time.Duration
 	globalEpoch int
 	haveGlobal  bool
+
+	reportsIn    uint64
+	broadcastsIn uint64
+	msgsOut      uint64
 }
 
 // NewNode constructs a node. parent is −1 for the root. now supplies
@@ -198,6 +202,7 @@ func (n *Node) Tick() {
 		n.acceptGlobal(Broadcast{Epoch: n.epoch, Agg: agg})
 		return
 	}
+	n.msgsOut++
 	n.send(n.parent, Report{Epoch: n.epoch, Agg: agg.clone()})
 }
 
@@ -207,6 +212,7 @@ func (n *Node) acceptGlobal(b Broadcast) {
 	n.globalEpoch = b.Epoch
 	n.haveGlobal = true
 	for _, c := range n.children {
+		n.msgsOut++
 		n.send(c, Broadcast{Epoch: b.Epoch, Agg: b.Agg.clone()})
 	}
 }
@@ -218,6 +224,7 @@ func (n *Node) acceptGlobal(b Broadcast) {
 func (n *Node) OnMessage(from NodeID, msg interface{}) {
 	switch m := msg.(type) {
 	case Report:
+		n.reportsIn++
 		n.lastHeard[from] = n.now()
 		if m.Epoch < n.childEpochs[from] {
 			return
@@ -225,6 +232,7 @@ func (n *Node) OnMessage(from NodeID, msg interface{}) {
 		n.childAggs[from] = m.Agg
 		n.childEpochs[from] = m.Epoch
 	case Broadcast:
+		n.broadcastsIn++
 		n.lastHeard[from] = n.now()
 		if n.haveGlobal && m.Epoch < n.globalEpoch {
 			return
@@ -245,6 +253,20 @@ func (n *Node) LastHeard(neighbor NodeID) (time.Duration, bool) {
 // has been received at all.
 func (n *Node) Global() (Aggregate, time.Duration, bool) {
 	return n.global, n.globalAt, n.haveGlobal
+}
+
+// Epoch reports the node's local epoch (incremented each Tick).
+func (n *Node) Epoch() int { return n.epoch }
+
+// GlobalEpoch reports the epoch of the last global broadcast applied (0 when
+// none has arrived).
+func (n *Node) GlobalEpoch() int { return n.globalEpoch }
+
+// MessageCounts reports cumulative tree traffic at this node: reports and
+// broadcasts received, and messages sent. Together with Epoch they verify
+// the 2(n−1) messages/epoch bound and feed per-window trace records.
+func (n *Node) MessageCounts() (reportsIn, broadcastsIn, sent uint64) {
+	return n.reportsIn, n.broadcastsIn, n.msgsOut
 }
 
 // Reconfigure rewires the node's position in the tree (dynamic membership:

@@ -372,3 +372,35 @@ func BenchmarkTreeEpoch(b *testing.B) {
 		r.clock.RunFor(time.Millisecond)
 	}
 }
+
+func TestNodeMessageCountersAndEpochs(t *testing.T) {
+	const n = 7
+	r := newRig(t, n, 2, 2, 0)
+	r.tickAll()
+	r.clock.RunFor(time.Millisecond)
+
+	var reports, broadcasts, sent uint64
+	for _, nd := range r.nodes {
+		ri, bi, so := nd.MessageCounts()
+		reports += ri
+		broadcasts += bi
+		sent += so
+		if nd.Epoch() != 1 {
+			t.Fatalf("node %d epoch = %d, want 1", nd.ID(), nd.Epoch())
+		}
+		if nd.GlobalEpoch() != 1 {
+			t.Fatalf("node %d global epoch = %d, want 1", nd.ID(), nd.GlobalEpoch())
+		}
+	}
+	// The paper's 2(n−1) bound, now visible per node: n−1 reports up and
+	// n−1 broadcasts down, every message counted exactly once on each side.
+	if reports != n-1 {
+		t.Fatalf("reports in = %d, want %d", reports, n-1)
+	}
+	if broadcasts != n-1 {
+		t.Fatalf("broadcasts in = %d, want %d", broadcasts, n-1)
+	}
+	if sent != 2*(n-1) {
+		t.Fatalf("messages sent = %d, want %d", sent, 2*(n-1))
+	}
+}

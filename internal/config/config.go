@@ -72,6 +72,11 @@ type File struct {
 	L7             *L7Spec            `json:"l7"`
 	L4             *L4Spec            `json:"l4"`
 	Tree           *TreeSpec          `json:"tree"`
+	// AdminAddr, when set, serves the observability endpoints (/metrics,
+	// /debug/windows, /debug/pprof) on a dedicated listener. The Layer-7
+	// redirector also mounts them on its traffic listener; Layer-4 has no
+	// HTTP server, so this is its only scrape point.
+	AdminAddr string `json:"admin_addr"`
 }
 
 // Parse decodes and sanity-checks a scenario.

@@ -546,3 +546,127 @@ func BenchmarkStartWindow(b *testing.B) {
 		}
 	}
 }
+
+func TestObserverRecordsWindows(t *testing.T) {
+	e, a, b := communityEngine(t, 1)
+	r := e.NewRedirector(0)
+	o := e.NewObserver(0, nil, 0)
+	r.SetObserver(o)
+	if r.Observer() != o {
+		t.Fatal("Observer accessor did not return the installed observer")
+	}
+
+	const windows = 10
+	demand := []float64{80, 40}
+	pump(t, r, demand, windows)
+
+	// A window's record commits when the next window opens, so after w
+	// StartWindow calls w-1 records are in the ring.
+	recs := o.Ring().Snapshot(0)
+	if len(recs) != windows-1 {
+		t.Fatalf("ring holds %d records, want %d", len(recs), windows-1)
+	}
+	for i, rec := range recs {
+		if rec.Window != uint64(i+1) {
+			t.Fatalf("record %d has window %d", i, rec.Window)
+		}
+		if rec.Redirector != 0 {
+			t.Fatalf("record %d labeled redirector %d", i, rec.Redirector)
+		}
+		if !rec.HaveGlobal || rec.Conservative || rec.SolveErr {
+			t.Fatalf("record %d flags = global=%v conservative=%v solveErr=%v",
+				i, rec.HaveGlobal, rec.Conservative, rec.SolveErr)
+		}
+		if rec.Arrived[a] != demand[a] || rec.Arrived[b] != demand[b] {
+			t.Fatalf("record %d arrivals = %v, want %v", i, rec.Arrived, demand)
+		}
+		if rec.Global[a] != demand[a] || rec.Global[b] != demand[b] {
+			t.Fatalf("record %d global = %v", i, rec.Global)
+		}
+		for p := range demand {
+			if rec.Served[p] < 0 || rec.Served[p] > rec.Arrived[p] {
+				t.Fatalf("record %d served[%d] = %g outside [0, %g]",
+					i, p, rec.Served[p], rec.Arrived[p])
+			}
+			if rec.Ceil[p]+1e-9 < rec.Floor[p] {
+				t.Fatalf("record %d principal %d ceil %g < floor %g",
+					i, p, rec.Ceil[p], rec.Floor[p])
+			}
+		}
+	}
+	// Steady state (single redirector, frac→1): A floor/ceil at its
+	// MC=48/window, B at 16.
+	last := recs[len(recs)-1]
+	if math.Abs(last.Floor[a]-48) > 2 || math.Abs(last.Floor[b]-16) > 2 {
+		t.Fatalf("steady-state floors = %v, want ≈[48 16]", last.Floor)
+	}
+	if last.SolveNanos <= 0 && !last.CacheHit {
+		t.Fatalf("record has neither solve latency nor a cache hit")
+	}
+
+	aud := o.Auditor()
+	if aud.Windows() != int64(windows-1) {
+		t.Fatalf("auditor windows = %d, want %d", aud.Windows(), windows-1)
+	}
+	if aud.Conservative() != 0 || aud.NoGlobal() != 0 || aud.SolveErrors() != 0 {
+		t.Fatalf("auditor flags = conservative=%d noGlobal=%d solveErr=%d",
+			aud.Conservative(), aud.NoGlobal(), aud.SolveErrors())
+	}
+	if got := aud.OverUB(int(a)) + aud.OverUB(int(b)); got != 0 {
+		t.Fatalf("auditor counted %d over-ceiling windows", got)
+	}
+	if aud.Arrived(int(a)) != float64(windows-1)*demand[a] {
+		t.Fatalf("auditor arrived[A] = %g", aud.Arrived(int(a)))
+	}
+	if aud.Served(int(a)) <= 0 {
+		t.Fatal("auditor served[A] not accumulated")
+	}
+	names := aud.Names()
+	if len(names) != 2 || names[a] != "A" || names[b] != "B" {
+		t.Fatalf("auditor names = %v", names)
+	}
+}
+
+func TestObserverTracesConservativeWindows(t *testing.T) {
+	s := agreement.New()
+	sp := s.MustAddPrincipal("S", 320)
+	a := s.MustAddPrincipal("A", 0)
+	s.MustSetAgreement(sp, a, 0.5, 1)
+	e, err := NewEngine(Config{
+		Mode: Provider, System: s, ProviderPrincipal: sp,
+		NumRedirectors: 1, Staleness: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := e.NewRedirector(0)
+	o := e.NewObserver(0, nil, 0)
+	r.SetObserver(o)
+	r.SetGlobal([]float64{0, 50}, 0)
+	for _, now := range []time.Duration{500 * time.Millisecond, 5 * time.Second, 5100 * time.Millisecond} {
+		if err := r.StartWindow(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := o.Ring().Snapshot(0)
+	if len(recs) != 2 {
+		t.Fatalf("ring holds %d records, want 2", len(recs))
+	}
+	fresh, stale := recs[0], recs[1]
+	if fresh.Conservative || !fresh.HaveGlobal {
+		t.Fatalf("fresh window flagged conservative=%v global=%v", fresh.Conservative, fresh.HaveGlobal)
+	}
+	if !stale.Conservative {
+		t.Fatal("stale window not flagged conservative")
+	}
+	if stale.GlobalAgeNanos <= int64(time.Second) {
+		t.Fatalf("stale record global age = %dns, want > 1s", stale.GlobalAgeNanos)
+	}
+	// Blind fallback grants the 1/R mandatory share: MC_A = 16/window here.
+	if math.Abs(stale.Granted[a]-16) > 1e-6 || math.Abs(stale.Floor[a]-16) > 1e-6 {
+		t.Fatalf("conservative grant = %g floor = %g, want 16", stale.Granted[a], stale.Floor[a])
+	}
+	if o.Auditor().Conservative() != 1 {
+		t.Fatalf("auditor conservative = %d, want 1", o.Auditor().Conservative())
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/agreement"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -99,6 +100,11 @@ type Config struct {
 	// PlanCacheLimit bounds the number of distinct quantized vectors kept
 	// before the cache resets; zero selects sched.DefaultCacheLimit.
 	PlanCacheLimit int
+
+	// Logger receives enforcement-degradation events (floor fallbacks,
+	// conservative windows) from the engine and its schedulers. Nil falls
+	// back to the process-wide obs.Default logger.
+	Logger *obs.Logger
 }
 
 // MultiResourceConfig declares vector capacities and per-request costs.
@@ -256,9 +262,11 @@ func (e *Engine) rebuild(capacities []float64) error {
 func (e *Engine) resetFastPath() {
 	if e.community != nil {
 		e.community.SetStats(e.stats)
+		e.community.SetLogger(e.Logger())
 	}
 	if e.provider != nil {
 		e.provider.SetStats(e.stats)
+		e.provider.SetLogger(e.Logger())
 	}
 	e.plans, e.provPlans = nil, nil
 	if e.cfg.PlanCacheQuantum < 0 {
@@ -430,8 +438,9 @@ func (e *Engine) snapshot() schedState {
 // communityPlan returns the window plan for the global queue vector n,
 // serving it from the shared plan cache when one is enabled: the R
 // redirectors holding the same quantized aggregate trigger one LP solve per
-// window instead of R.
-func (e *Engine) communityPlan(st schedState, n []float64) (*sched.Plan, error) {
+// window instead of R. The second result reports whether the plan came from
+// the cache (trace records expose it per window).
+func (e *Engine) communityPlan(st schedState, n []float64) (*sched.Plan, bool, error) {
 	solve := func() (*sched.Plan, error) {
 		if st.multi != nil {
 			return st.multi.Schedule(n)
@@ -439,15 +448,15 @@ func (e *Engine) communityPlan(st schedState, n []float64) (*sched.Plan, error) 
 		return st.community.Schedule(n)
 	}
 	if st.plans == nil {
-		return solve()
+		plan, err := solve()
+		return plan, false, err
 	}
-	plan, _, err := st.plans.Do(n, solve)
-	return plan, err
+	return st.plans.Do(n, solve)
 }
 
 // providerPlan is communityPlan's Provider-mode counterpart; the cache key
 // is the full global vector, the solve maps it onto customer indices.
-func (e *Engine) providerPlan(st schedState, n []float64) (*sched.ProviderPlan, error) {
+func (e *Engine) providerPlan(st schedState, n []float64) (*sched.ProviderPlan, bool, error) {
 	solve := func() (*sched.ProviderPlan, error) {
 		q := make([]float64, len(st.customers))
 		for ci, p := range st.customers {
@@ -456,15 +465,47 @@ func (e *Engine) providerPlan(st schedState, n []float64) (*sched.ProviderPlan, 
 		return st.provider.Schedule(q)
 	}
 	if st.provPlans == nil {
-		return solve()
+		plan, err := solve()
+		return plan, false, err
 	}
-	plan, _, err := st.provPlans.Do(n, solve)
-	return plan, err
+	return st.provPlans.Do(n, solve)
 }
 
 // Stats exposes the engine's shared fast-path telemetry: plan-cache hit and
 // miss counts, LP solve count and latency, and mandatory-floor fallbacks.
 func (e *Engine) Stats() *metrics.SolverStats { return e.stats }
+
+// Logger returns the engine's structured logger (never nil).
+func (e *Engine) Logger() *obs.Logger {
+	if e.cfg.Logger != nil {
+		return e.cfg.Logger
+	}
+	return obs.Default()
+}
+
+// PrincipalNames returns the system's principal names in index order — the
+// labels observability series are keyed by.
+func (e *Engine) PrincipalNames() []string {
+	names := make([]string, e.n)
+	for i := range names {
+		names[i] = e.cfg.System.Name(agreement.Principal(i))
+	}
+	return names
+}
+
+// NewObserver builds a window-trace observer for redirector id, labeled with
+// the engine's principals. Auditor (nil: build a private one) and ringDepth
+// (<=0: obs.DefaultRingDepth) parameterize sharing and retention; install
+// the result with Redirector.SetObserver.
+func (e *Engine) NewObserver(id int, auditor *obs.Auditor, ringDepth int) *obs.Observer {
+	return obs.NewObserver(obs.ObserverConfig{
+		Redirector: id,
+		Names:      e.PrincipalNames(),
+		RingDepth:  ringDepth,
+		Auditor:    auditor,
+		Logger:     e.cfg.Logger,
+	})
+}
 
 func scaleAccess(a *agreement.Access, f float64) *agreement.Access {
 	n := len(a.MC)

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/obs"
 )
 
 // Redirector is one admission point. It is not safe for concurrent use;
@@ -28,6 +30,17 @@ type Redirector struct {
 	credits      [][]float64
 	creditsTotal []float64
 
+	// admittedP[p]: admissions made for principal p in the current window,
+	// in average-request cost units (window trace records).
+	admittedP []float64
+
+	// Window tracing: pending is the reusable record describing the open
+	// window; it is completed (Arrived/Served) and committed when the next
+	// StartWindow closes it. Nil obsv disables tracing entirely.
+	obsv        *obs.Observer
+	pending     *obs.Record
+	pendingOpen bool
+
 	// Window telemetry.
 	Admitted     int
 	Rejected     int
@@ -44,6 +57,7 @@ func (e *Engine) NewRedirector(id int) *Redirector {
 		estimate:     make([]float64, e.n),
 		creditsTotal: make([]float64, e.n),
 		credits:      make([][]float64, e.n),
+		admittedP:    make([]float64, e.n),
 	}
 	for i := range r.credits {
 		r.credits[i] = make([]float64, e.n)
@@ -87,10 +101,63 @@ func (r *Redirector) SetGlobal(queues []float64, at time.Duration) {
 // HasGlobal reports whether any global aggregate has been received.
 func (r *Redirector) HasGlobal() bool { return r.haveGlob }
 
+// SetObserver attaches a window-trace observer (nil detaches). The
+// redirector fills one record per scheduling window and commits it when the
+// next window closes it; the record path performs zero heap allocations.
+// Call from the goroutine that owns the redirector.
+func (r *Redirector) SetObserver(o *obs.Observer) {
+	r.obsv = o
+	r.pendingOpen = false
+	r.pending = nil
+	if o != nil {
+		r.pending = o.NewRecord()
+	}
+}
+
+// Observer returns the attached window-trace observer (nil when tracing is
+// off).
+func (r *Redirector) Observer() *obs.Observer { return r.obsv }
+
+// closeWindowRecord completes and commits the pending record: arrivals and
+// admissions of the window that just ended become its outcome.
+func (r *Redirector) closeWindowRecord() {
+	if r.obsv == nil || !r.pendingOpen {
+		return
+	}
+	copy(r.pending.Arrived, r.arrivals)
+	copy(r.pending.Served, r.admittedP)
+	r.obsv.Commit(r.pending)
+	r.pendingOpen = false
+}
+
+// openWindowRecord resets the reusable record for the window starting now.
+// Returns nil when tracing is off.
+func (r *Redirector) openWindowRecord(now time.Duration) *obs.Record {
+	if r.obsv == nil {
+		return nil
+	}
+	rec := r.pending
+	rec.Window = uint64(r.Windows)
+	rec.AtNanos = obs.Nanos(now)
+	rec.Conservative, rec.HaveGlobal, rec.SolveErr, rec.CacheHit = false, false, false, false
+	rec.GlobalAgeNanos, rec.SolveNanos = 0, 0
+	copy(rec.Local, r.estimate)
+	for i := range rec.Global {
+		rec.Global[i], rec.Granted[i], rec.Floor[i], rec.Ceil[i] = 0, 0, 0, 0
+		rec.Arrived[i], rec.Served[i] = 0, 0
+	}
+	r.obsv.FillTree(rec)
+	r.pendingOpen = true
+	return rec
+}
+
 // StartWindow closes the previous scheduling window and computes admission
 // credits for the next one. now is the current (virtual or wall) time used
 // for staleness checks.
 func (r *Redirector) StartWindow(now time.Duration) error {
+	// Close the finished window's trace record while its arrivals and
+	// admissions are still intact.
+	r.closeWindowRecord()
 	r.Windows++
 	// Fold the finished window's arrivals into the demand estimate.
 	alpha := r.e.cfg.EWMAAlpha
@@ -100,16 +167,25 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 			r.estimate[i] = 0
 		}
 		r.arrivals[i] = 0
+		r.admittedP[i] = 0
 	}
 
 	st := r.e.snapshot()
+	rec := r.openWindowRecord(now)
 	stale := !r.haveGlob
 	if r.e.cfg.Staleness > 0 && r.haveGlob && now-r.globalAt > r.e.cfg.Staleness {
 		stale = true
 	}
 	if stale {
 		r.Conservative++
-		r.conservativeCredits(st)
+		if rec != nil {
+			rec.Conservative = true
+			rec.HaveGlobal = r.haveGlob
+			if r.haveGlob {
+				rec.GlobalAgeNanos = obs.Nanos(now - r.globalAt)
+			}
+		}
+		r.conservativeCredits(st, rec)
 		return nil
 	}
 
@@ -126,14 +202,26 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 			n[i] = r.estimate[i]
 		}
 	}
+	var solveStart time.Time
+	if rec != nil {
+		copy(rec.Global, n)
+		rec.HaveGlobal = true
+		rec.GlobalAgeNanos = obs.Nanos(now - r.globalAt)
+		solveStart = time.Now()
+	}
 
 	switch r.e.cfg.Mode {
 	case Community:
 		// Plans come from the engine's shared cache: redirectors holding the
 		// same quantized aggregate share one LP solve per window. Cached
 		// plans are shared and must not be mutated.
-		plan, err := r.e.communityPlan(st, n)
+		plan, hit, err := r.e.communityPlan(st, n)
+		if rec != nil {
+			rec.SolveNanos = obs.Nanos(time.Since(solveStart))
+			rec.CacheHit = hit
+		}
 		if err != nil {
+			r.markSolveErr(rec)
 			return fmt.Errorf("core: window schedule: %w", err)
 		}
 		for i := 0; i < r.e.n; i++ {
@@ -141,17 +229,38 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 			if n[i] > 0 {
 				frac = r.estimate[i] / n[i]
 			}
+			carried := 0.0
 			for k := 0; k < r.e.n; k++ {
-				r.credits[i][k] = plan.X[i][k]*frac + carry(r.credits[i][k])
+				c := carry(r.credits[i][k])
+				carried += c
+				r.credits[i][k] = plan.X[i][k]*frac + c
+			}
+			if rec != nil {
+				rec.Granted[i] = plan.Total[i] * frac
+				floor := st.access.MC[i]
+				if n[i] < floor {
+					floor = n[i]
+				}
+				rec.Floor[i] = floor * frac
+				rec.Ceil[i] = (st.access.MC[i]+st.access.OC[i])*frac + carried
 			}
 		}
 	case Provider:
-		plan, err := r.e.providerPlan(st, n)
+		plan, hit, err := r.e.providerPlan(st, n)
+		if rec != nil {
+			rec.SolveNanos = obs.Nanos(time.Since(solveStart))
+			rec.CacheHit = hit
+		}
 		if err != nil {
+			r.markSolveErr(rec)
 			return fmt.Errorf("core: window schedule: %w", err)
 		}
 		for i := range r.creditsTotal {
-			r.creditsTotal[i] = carry(r.creditsTotal[i])
+			c := carry(r.creditsTotal[i])
+			r.creditsTotal[i] = c
+			if rec != nil {
+				rec.Ceil[i] = c // carried slack; customers add their share below
+			}
 		}
 		for ci, p := range st.customers {
 			frac := 0.0
@@ -159,9 +268,32 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 				frac = r.estimate[p] / n[p]
 			}
 			r.creditsTotal[p] += plan.X[ci] * frac
+			if rec != nil {
+				rec.Granted[p] = plan.X[ci] * frac
+				floor := st.access.MC[p]
+				if n[p] < floor {
+					floor = n[p]
+				}
+				rec.Floor[p] = floor * frac
+				rec.Ceil[p] += (st.access.MC[p] + st.access.OC[p]) * frac
+			}
 		}
 	}
 	return nil
+}
+
+// markSolveErr tags the pending record of a window whose LP failed: the
+// previous credits stay in force, so no bound can be asserted (the MaxFloat64
+// ceiling sentinel makes the auditor skip the over-admission check).
+func (r *Redirector) markSolveErr(rec *obs.Record) {
+	if rec == nil {
+		return
+	}
+	rec.SolveErr = true
+	for i := range rec.Ceil {
+		rec.Floor[i] = 0
+		rec.Ceil[i] = math.MaxFloat64
+	}
 }
 
 // carry preserves up to one request of unused credit across windows so that
@@ -179,8 +311,9 @@ func carry(remaining float64) float64 {
 
 // conservativeCredits claims 1/R of every mandatory entitlement — the safe
 // allocation when a redirector does not know what the rest of the system is
-// doing (Figure 8, phase 1).
-func (r *Redirector) conservativeCredits(st schedState) {
+// doing (Figure 8, phase 1). The grant doubles as floor and ceiling in the
+// trace record: a blind window must admit exactly its conservative share.
+func (r *Redirector) conservativeCredits(st schedState, rec *obs.Record) {
 	share := 1 / float64(r.e.cfg.NumRedirectors)
 	if r.e.cfg.AggressiveWhenBlind {
 		share = 1 // ablation only; see Config.AggressiveWhenBlind
@@ -188,13 +321,27 @@ func (r *Redirector) conservativeCredits(st schedState) {
 	switch r.e.cfg.Mode {
 	case Community:
 		for i := 0; i < r.e.n; i++ {
+			carried := 0.0
 			for k := 0; k < r.e.n; k++ {
-				r.credits[i][k] = st.access.MI[k][i]*share + carry(r.credits[i][k])
+				c := carry(r.credits[i][k])
+				carried += c
+				r.credits[i][k] = st.access.MI[k][i]*share + c
+			}
+			if rec != nil {
+				g := st.access.MC[i] * share
+				rec.Granted[i], rec.Floor[i] = g, g
+				rec.Ceil[i] = g + carried
 			}
 		}
 	case Provider:
 		for _, p := range st.customers {
-			r.creditsTotal[p] = st.access.MC[p]*share + carry(r.creditsTotal[p])
+			c := carry(r.creditsTotal[p])
+			r.creditsTotal[p] = st.access.MC[p]*share + c
+			if rec != nil {
+				g := st.access.MC[p] * share
+				rec.Granted[p], rec.Floor[p] = g, g
+				rec.Ceil[p] = g + c
+			}
 		}
 	}
 }
@@ -243,12 +390,14 @@ func (r *Redirector) AdmitCost(p, preferred agreement.Principal, cost float64) D
 		if r.creditsTotal[p] >= need {
 			r.creditsTotal[p] -= cost
 			r.Admitted++
+			r.admittedP[p] += cost
 			return Decision{Admitted: true, Owner: r.e.cfg.ProviderPrincipal}
 		}
 	case Community:
 		if int(preferred) >= 0 && int(preferred) < r.e.n && r.credits[p][preferred] >= need {
 			r.credits[p][preferred] -= cost
 			r.Admitted++
+			r.admittedP[p] += cost
 			return Decision{Admitted: true, Owner: preferred}
 		}
 		best, bestCredit := -1, 0.0
@@ -260,6 +409,7 @@ func (r *Redirector) AdmitCost(p, preferred agreement.Principal, cost float64) D
 		if best >= 0 && bestCredit >= need {
 			r.credits[p][best] -= cost
 			r.Admitted++
+			r.admittedP[p] += cost
 			return Decision{Admitted: true, Owner: agreement.Principal(best)}
 		}
 	}

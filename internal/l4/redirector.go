@@ -25,6 +25,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/treenet"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	AffinityTTL time.Duration
 	// Tree, if non-nil, joins a combining tree of redirectors.
 	Tree *treenet.Spec
+	// TraceDepth is the window-trace ring capacity served at /debug/windows
+	// (0 selects obs.DefaultRingDepth). The Layer-4 switch has no HTTP
+	// server of its own; mount ObsHandler on an admin listener to scrape it.
+	TraceDepth int
 }
 
 type heldConn struct {
@@ -78,6 +83,9 @@ type Redirector struct {
 	tree      *combining.Node
 	transport *treenet.Transport
 	estBuf    []float64 // reused local-estimate buffer (under mu)
+
+	obsv    *obs.Observer
+	handler *obs.Handler
 
 	ticker    *time.Ticker
 	done      chan struct{}
@@ -140,6 +148,31 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
 			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
 	}
+
+	// Window tracing: the tree snapshot runs inside runWindow under r.mu, so
+	// reading the node directly is safe.
+	r.obsv = cfg.Engine.NewObserver(cfg.ID, nil, cfg.TraceDepth)
+	if r.tree != nil {
+		tree := r.tree
+		r.obsv.SetTreeInfo(func() obs.TreeInfo {
+			reports, broadcasts, sent := tree.MessageCounts()
+			return obs.TreeInfo{
+				Epoch:       tree.Epoch(),
+				GlobalEpoch: tree.GlobalEpoch(),
+				MsgsIn:      reports + broadcasts,
+				MsgsOut:     sent,
+			}
+		})
+	}
+	r.red.SetObserver(r.obsv)
+	r.handler = obs.NewHandler(obs.HandlerConfig{
+		Observers: []*obs.Observer{r.obsv},
+		Auditor:   r.obsv.Auditor(),
+		Solver:    cfg.Engine.Stats(),
+		Mode:      cfg.Engine.Mode().String(),
+		Window:    cfg.Engine.Window(),
+		Extra:     r.extraMetrics,
+	})
 
 	for _, svc := range cfg.Services {
 		ln, err := net.Listen("tcp", svc.Addr)
@@ -363,6 +396,27 @@ func (r *Redirector) Stats() (forwarded, parked, dropped, expired int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.Forwarded, r.Parked, r.Dropped, r.Expired
+}
+
+// Observer exposes the window-trace observer (auditor counters, trace ring).
+func (r *Redirector) Observer() *obs.Observer { return r.obsv }
+
+// ObsHandler exposes the observability endpoints (/metrics, /debug/windows,
+// pprof) for mounting on an admin listener — the Layer-4 switch itself
+// speaks raw TCP only.
+func (r *Redirector) ObsHandler() *obs.Handler { return r.handler }
+
+// extraMetrics appends the Layer-4 forwarding counters to /metrics.
+func (r *Redirector) extraMetrics(w io.Writer) {
+	forwarded, parked, dropped, expired := r.Stats()
+	obs.WriteMetric(w, "rsa_l4_forwarded_total", "counter",
+		"Connections admitted and spliced to a backend.", float64(forwarded))
+	obs.WriteMetric(w, "rsa_l4_parked_total", "counter",
+		"Connections parked in a pending queue for lack of window credit.", float64(parked))
+	obs.WriteMetric(w, "rsa_l4_dropped_total", "counter",
+		"Connections dropped because a pending queue was full.", float64(dropped))
+	obs.WriteMetric(w, "rsa_l4_expired_total", "counter",
+		"Parked connections closed after exceeding the pending timeout.", float64(expired))
 }
 
 // Close stops all listeners, the window loop, and parked connections. It

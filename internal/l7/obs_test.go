@@ -1,0 +1,184 @@
+package l7
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/combining"
+	"repro/internal/core"
+)
+
+// staleRig builds a two-redirector tree (root 0 ← child 1) with a tight
+// staleness bound so killing the root starves the child of broadcasts.
+func staleRig(t *testing.T, staleness time.Duration) (root, child *Redirector) {
+	t.Helper()
+	s := agreement.New()
+	sp := s.MustAddPrincipal("S", 200)
+	a := s.MustAddPrincipal("A", 0)
+	b := s.MustAddPrincipal("B", 0)
+	s.MustSetAgreement(sp, a, 0.75, 1)
+	s.MustSetAgreement(sp, b, 0.25, 1)
+	eng, err := core.NewEngine(core.Config{
+		Mode:              core.Provider,
+		System:            s,
+		ProviderPrincipal: sp,
+		NumRedirectors:    2,
+		Window:            20 * time.Millisecond,
+		Staleness:         staleness,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, err := NewBackend("127.0.0.1:0", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { backend.Close() })
+	orgs := map[string]agreement.Principal{"alpha": a, "beta": b}
+	backends := map[agreement.Principal][]string{sp: {backend.URL()}}
+
+	reds := make([]*Redirector, 2)
+	for i := 0; i < 2; i++ {
+		parent := combining.NodeID(-1)
+		children := []combining.NodeID{1}
+		if i == 1 {
+			parent, children = 0, nil
+		}
+		r, err := NewRedirector(RedirectorConfig{
+			Engine: eng, ID: i, Addr: "127.0.0.1:0", Orgs: orgs, Backends: backends,
+			Tree: &TreeConfig{NodeID: combining.NodeID(i), Parent: parent, Children: children},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		reds[i] = r
+	}
+	reds[0].transport.SetPeer(1, reds[1].TreeAddr())
+	reds[1].transport.SetPeer(0, reds[0].TreeAddr())
+	return reds[0], reds[1]
+}
+
+// TestStalenessFallbackTraced freezes the tree root and asserts the child's
+// window trace and auditor record the conservative 1/R fallback: records
+// flip to Conservative with global age beyond the staleness bound.
+func TestStalenessFallbackTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	const staleness = 150 * time.Millisecond
+	root, child := staleRig(t, staleness)
+
+	// Phase 1: broadcasts flowing — wait until the child audits fresh
+	// windows. (The first window or two may legitimately run conservative
+	// before the root's first broadcast lands.)
+	deadline := time.Now().Add(3 * time.Second)
+	aud := child.Observer().Auditor()
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("child never traced a fresh window")
+		}
+		recs := child.Observer().Ring().Snapshot(1)
+		if aud.Windows() >= 5 && len(recs) == 1 && !recs[0].Conservative && recs[0].HaveGlobal {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase 2: kill the root. The child's global view ages past the bound
+	// and every subsequent window must fall back to the 1/R mandatory share.
+	root.Close()
+	markConservative := aud.Conservative()
+	deadline = time.Now().Add(3 * time.Second)
+	for aud.Conservative() < markConservative+5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("child audited only %d conservative windows", aud.Conservative())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	recs := child.Observer().Ring().Snapshot(6)
+	if len(recs) == 0 {
+		t.Fatal("empty trace ring")
+	}
+	// The most recent handful of windows all ran blind; ages keep growing.
+	lastAge := int64(0)
+	for _, rec := range recs[len(recs)-3:] {
+		if !rec.Conservative {
+			t.Fatalf("window %d after root failure not conservative", rec.Window)
+		}
+		if rec.GlobalAgeNanos <= int64(staleness) {
+			t.Fatalf("window %d global age %dns within staleness bound", rec.Window, rec.GlobalAgeNanos)
+		}
+		if rec.GlobalAgeNanos <= lastAge {
+			t.Fatalf("global age not growing: %d after %d", rec.GlobalAgeNanos, lastAge)
+		}
+		lastAge = rec.GlobalAgeNanos
+	}
+}
+
+// TestObsEndpointsLive scrapes /metrics and /debug/windows from a running
+// Layer-7 redirector.
+func TestObsEndpointsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	_, reds, _, _ := l7Rig(t, 100, 0.5, 0.5, 1)
+	r := reds[0]
+	c := NewClient()
+	for i := 0; i < 10; i++ {
+		_, _ = c.Fetch(r.URL() + "/svc/alpha/x")
+	}
+	// Let a few windows commit so the ring and auditor have records.
+	deadline := time.Now().Add(3 * time.Second)
+	for r.Observer().Auditor().Windows() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("no windows audited")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	body := fetchBody(t, r.URL()+"/metrics")
+	for _, want := range []string{
+		`rsa_redirector_info{mode="provider",window_ms="20"} 1`,
+		"rsa_windows_total",
+		`rsa_windows_under_mc_total{principal="A"}`,
+		`rsa_served_requests_total{principal="S"}`,
+		"rsa_solver_solves_total",
+		"rsa_l7_admitted_total",
+		"rsa_l7_rejected_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	windows := fetchBody(t, r.URL()+"/debug/windows?n=4")
+	if !strings.Contains(windows, `"records"`) || !strings.Contains(windows, `"window"`) {
+		t.Fatalf("/debug/windows payload = %.200s", windows)
+	}
+	if !strings.Contains(windows, `"granted"`) {
+		t.Fatal("/debug/windows records lack credit vectors")
+	}
+}
+
+func fetchBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/treenet"
 )
 
@@ -42,6 +43,9 @@ type RedirectorConfig struct {
 	// §4.1 mentions to avoid HTTP's doubled round trips; over-quota
 	// requests get 503 + Retry-After instead of a self-redirect.
 	Proxy bool
+	// TraceDepth is the window-trace ring capacity served at /debug/windows
+	// (0 selects obs.DefaultRingDepth).
+	TraceDepth int
 }
 
 // Redirector is the Layer-7 switch: an HTTP server answering every request
@@ -59,6 +63,9 @@ type Redirector struct {
 	tree   *combining.Node
 	rr     map[agreement.Principal]int // round-robin per owner
 	estBuf []float64                   // reused local-estimate buffer (under mu)
+
+	obsv    *obs.Observer
+	handler *obs.Handler
 
 	transport *treenet.Transport
 	ticker    *time.Ticker
@@ -104,9 +111,36 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
 	}
 
+	// Window tracing + exposition: one observer per redirector, scraped from
+	// the same mux that serves traffic. The tree snapshot runs inside the
+	// window loop under r.mu, so reading the node directly is safe.
+	r.obsv = cfg.Engine.NewObserver(cfg.ID, nil, cfg.TraceDepth)
+	if r.tree != nil {
+		tree := r.tree
+		r.obsv.SetTreeInfo(func() obs.TreeInfo {
+			reports, broadcasts, sent := tree.MessageCounts()
+			return obs.TreeInfo{
+				Epoch:       tree.Epoch(),
+				GlobalEpoch: tree.GlobalEpoch(),
+				MsgsIn:      reports + broadcasts,
+				MsgsOut:     sent,
+			}
+		})
+	}
+	r.red.SetObserver(r.obsv)
+	r.handler = obs.NewHandler(obs.HandlerConfig{
+		Observers: []*obs.Observer{r.obsv},
+		Auditor:   r.obsv.Auditor(),
+		Solver:    cfg.Engine.Stats(),
+		Mode:      cfg.Engine.Mode().String(),
+		Window:    cfg.Engine.Window(),
+		Extra:     r.extraMetrics,
+	})
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/svc/", r.handle)
 	mux.HandleFunc("/stats", r.handleStats)
+	r.handler.Register(mux)
 	r.srv = &http.Server{Handler: mux}
 	go func() { _ = r.srv.Serve(ln) }()
 
@@ -247,6 +281,23 @@ func (r *Redirector) Stats() (admitted, rejected int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.red.Admitted, r.red.Rejected
+}
+
+// Observer exposes the window-trace observer (auditor counters, trace ring).
+func (r *Redirector) Observer() *obs.Observer { return r.obsv }
+
+// ObsHandler exposes the observability handler, already mounted on the
+// redirector's own mux; cmd front-ends can additionally serve it on a
+// dedicated admin listener.
+func (r *Redirector) ObsHandler() *obs.Handler { return r.handler }
+
+// extraMetrics appends the Layer-7 admission counters to /metrics.
+func (r *Redirector) extraMetrics(w io.Writer) {
+	admitted, rejected := r.Stats()
+	obs.WriteMetric(w, "rsa_l7_admitted_total", "counter",
+		"Requests admitted and redirected (or proxied) to a backend.", float64(admitted))
+	obs.WriteMetric(w, "rsa_l7_rejected_total", "counter",
+		"Requests self-redirected or rejected for lack of window credit.", float64(rejected))
 }
 
 // statsPayload is the JSON shape served at /stats.

@@ -14,9 +14,10 @@ import (
 // Recorder accumulates event counts into fixed-width time buckets per
 // series. It is not safe for concurrent use.
 type Recorder struct {
-	bucket time.Duration
-	names  []string
-	counts [][]float64 // [series][bucket]
+	bucket  time.Duration
+	names   []string
+	counts  [][]float64 // [series][bucket]
+	dropped int64       // samples rejected for an out-of-range series or time
 }
 
 // NewRecorder creates a recorder with the given bucket width (typically one
@@ -36,9 +37,13 @@ func (r *Recorder) NumSeries() int { return len(r.names) }
 // Name returns the display name of series i.
 func (r *Recorder) Name(i int) string { return r.names[i] }
 
-// Add records n events on series i at time now.
+// Add records n events on series i at time now. Samples with an unknown
+// series index or a negative timestamp cannot be bucketed; rather than
+// silently vanishing they increment the Dropped counter so a harness bug
+// (mis-wired principal index, clock running backwards) shows up in results.
 func (r *Recorder) Add(now time.Duration, i int, n float64) {
 	if i < 0 || i >= len(r.counts) || now < 0 {
+		r.dropped++
 		return
 	}
 	b := int(now / r.bucket)
@@ -47,6 +52,9 @@ func (r *Recorder) Add(now time.Duration, i int, n float64) {
 	}
 	r.counts[i][b] += n
 }
+
+// Dropped reports how many samples were rejected by Add.
+func (r *Recorder) Dropped() int64 { return r.dropped }
 
 // NumBuckets reports the highest bucket count across series.
 func (r *Recorder) NumBuckets() int {

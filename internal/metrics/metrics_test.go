@@ -63,8 +63,20 @@ func TestNegativeAndUnknownAddIgnored(t *testing.T) {
 	r := NewRecorder(time.Second, []string{"A"})
 	r.Add(-time.Second, 0, 5)
 	r.Add(0, 7, 5)
+	r.Add(0, -1, 5)
 	if r.NumBuckets() != 0 {
 		t.Fatal("invalid Add calls recorded data")
+	}
+	// Silently losing samples hides harness bugs; every rejection counts.
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", r.Dropped())
+	}
+	r.Add(0, 0, 5)
+	if r.Dropped() != 3 {
+		t.Fatal("valid Add counted as dropped")
+	}
+	if r.NumBuckets() != 1 {
+		t.Fatal("valid Add not recorded")
 	}
 }
 

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// HandlerConfig parameterizes NewHandler. Every field is optional: series
+// whose source is nil are simply omitted, so a backend process can serve
+// just pprof plus its Extra counters while a redirector serves the full set.
+type HandlerConfig struct {
+	// Observers supply trace rings for /debug/windows (one per admission
+	// point in this process).
+	Observers []*Observer
+	// Auditor supplies the conformance counters.
+	Auditor *Auditor
+	// Solver supplies the engine's LP fast-path telemetry.
+	Solver *metrics.SolverStats
+	// Mode and Window label the rsa_redirector_info series.
+	Mode   string
+	Window time.Duration
+	// Extra, when non-nil, appends additional Prometheus-text series (the
+	// layer-specific counters: HTTP admits, parked connections, ...).
+	Extra func(w io.Writer)
+	// DisablePprof leaves net/http/pprof unregistered.
+	DisablePprof bool
+}
+
+// Handler serves the observability endpoints:
+//
+//	/metrics          Prometheus text exposition
+//	/debug/windows    JSON array of the last N window trace records (?n=)
+//	/debug/pprof/...  net/http/pprof
+//
+// Mount it on an existing mux with Register, or serve it directly (it
+// implements http.Handler) on a dedicated admin listener.
+type Handler struct {
+	cfg HandlerConfig
+	mux *http.ServeMux
+}
+
+// NewHandler builds a handler.
+func NewHandler(cfg HandlerConfig) *Handler {
+	h := &Handler{cfg: cfg, mux: http.NewServeMux()}
+	h.Register(h.mux)
+	return h
+}
+
+// ServeHTTP serves the observability endpoints from the handler's own mux.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// Register mounts the endpoints on mux (for front-ends that already run an
+// HTTP server, like the Layer-7 redirector).
+func (h *Handler) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", h.serveMetrics)
+	mux.HandleFunc("/debug/windows", h.serveWindows)
+	if !h.cfg.DisablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// promMetric emits one un-labeled series with its HELP/TYPE preamble.
+func promMetric(w io.Writer, name, kind, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+		name, help, name, kind, name, formatFloat(v))
+}
+
+// promHeader emits just the HELP/TYPE preamble (for labeled families).
+func promHeader(w io.Writer, name, kind, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+// promLabeled emits one sample with a principal label.
+func promLabeled(w io.Writer, name, principal string, v float64) {
+	fmt.Fprintf(w, "%s{principal=%q} %s\n", name, principal, formatFloat(v))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMetric emits one un-labeled Prometheus-text series with its HELP/TYPE
+// preamble — the helper Extra callbacks use to append layer-specific
+// counters (Layer-7 admits, Layer-4 parked connections, backend serves).
+func WriteMetric(w io.Writer, name, kind, help string, v float64) {
+	promMetric(w, name, kind, help, v)
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if h.cfg.Mode != "" || h.cfg.Window > 0 {
+		promHeader(w, "rsa_redirector_info", "gauge", "Static redirector configuration.")
+		fmt.Fprintf(w, "rsa_redirector_info{mode=%q,window_ms=%q} 1\n",
+			h.cfg.Mode, strconv.FormatInt(h.cfg.Window.Milliseconds(), 10))
+	}
+	if a := h.cfg.Auditor; a != nil {
+		promMetric(w, "rsa_windows_total", "counter",
+			"Scheduling windows audited.", float64(a.Windows()))
+		promMetric(w, "rsa_windows_conservative_total", "counter",
+			"Windows run in the blind 1/R mandatory-claim fallback (missing or stale global view).",
+			float64(a.Conservative()))
+		promMetric(w, "rsa_windows_no_global_total", "counter",
+			"Windows run before any combining-tree aggregate arrived.", float64(a.NoGlobal()))
+		promMetric(w, "rsa_window_solve_errors_total", "counter",
+			"Windows whose LP solve failed (previous credits kept).", float64(a.SolveErrors()))
+		promMetric(w, "rsa_window_cache_hits_total", "counter",
+			"Windows planned from the shared plan cache.", float64(a.CacheHits()))
+
+		names := a.Names()
+		promHeader(w, "rsa_windows_under_mc_total", "counter",
+			"Windows in which the principal was served below its mandatory entitlement share despite demand.")
+		for i, name := range names {
+			promLabeled(w, "rsa_windows_under_mc_total", name, float64(a.UnderMC(i)))
+		}
+		promHeader(w, "rsa_windows_over_ub_total", "counter",
+			"Windows in which the principal was admitted above its mandatory+optional ceiling.")
+		for i, name := range names {
+			promLabeled(w, "rsa_windows_over_ub_total", name, float64(a.OverUB(i)))
+		}
+		promHeader(w, "rsa_served_requests_total", "counter",
+			"Admitted request volume per principal (average-request cost units).")
+		for i, name := range names {
+			promLabeled(w, "rsa_served_requests_total", name, a.Served(i))
+		}
+		promHeader(w, "rsa_arrived_requests_total", "counter",
+			"Observed demand per principal (average-request cost units).")
+		for i, name := range names {
+			promLabeled(w, "rsa_arrived_requests_total", name, a.Arrived(i))
+		}
+	}
+	if s := h.cfg.Solver; s != nil {
+		promMetric(w, "rsa_solver_solves_total", "counter",
+			"LP solves performed.", float64(s.Solves()))
+		promMetric(w, "rsa_solver_cache_hits_total", "counter",
+			"Plan-cache hits.", float64(s.CacheHits()))
+		promMetric(w, "rsa_solver_cache_misses_total", "counter",
+			"Plan-cache misses.", float64(s.CacheMisses()))
+		promMetric(w, "rsa_solver_floor_fallbacks_total", "counter",
+			"Windows re-solved (or scaled) without mandatory floors because entitlements exceed capacity.",
+			float64(s.FloorFallbacks()))
+		promMetric(w, "rsa_solver_solve_seconds_mean", "gauge",
+			"Mean LP solve latency.", s.MeanSolve().Seconds())
+		promMetric(w, "rsa_solver_solve_seconds_max", "gauge",
+			"Max LP solve latency.", s.MaxSolve().Seconds())
+	}
+	if h.cfg.Extra != nil {
+		h.cfg.Extra(w)
+	}
+}
+
+// serveWindows returns the last N trace records across all observers as
+// JSON, ordered by (window, redirector). ?n= bounds the per-observer count
+// (default 64).
+func (h *Handler) serveWindows(w http.ResponseWriter, r *http.Request) {
+	n := 64
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	var records []Record
+	for _, o := range h.cfg.Observers {
+		if o != nil {
+			records = append(records, o.Ring().Snapshot(n)...)
+		}
+	}
+	sort.SliceStable(records, func(i, j int) bool {
+		if records[i].Window != records[j].Window {
+			return records[i].Window < records[j].Window
+		}
+		return records[i].Redirector < records[j].Redirector
+	})
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Records []Record `json:"records"`
+	}{Records: records}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve starts a standalone admin listener for the handler (the optional
+// side-channel for front-ends without their own HTTP server, like the
+// Layer-4 redirector). It returns the bound address; the server stops when
+// stop is closed.
+func Serve(addr string, h http.Handler, stop <-chan struct{}) (string, error) {
+	srv := &http.Server{Addr: addr, Handler: h}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	if stop != nil {
+		go func() {
+			<-stop
+			_ = srv.Close()
+		}()
+	}
+	return ln.Addr().String(), nil
+}

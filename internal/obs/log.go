@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severity levels, in ascending order.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff suppresses everything (Nop loggers).
+	LevelOff
+)
+
+// String names the level for logfmt output.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "off"
+	}
+}
+
+// Logger is a small leveled structured logger emitting logfmt lines
+// (`t=<RFC3339> level=warn comp=sched msg="..." key=value ...`). It replaces
+// the repo's ad-hoc log.Printf calls so enforcement events carry machine-
+// greppable fields. Loggers derived with With share one sink, so lines from
+// different components interleave without tearing. A nil *Logger falls back
+// to Default().
+type Logger struct {
+	sink *logSink
+	comp string
+}
+
+type logSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time
+}
+
+// NewLogger builds a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{sink: &logSink{w: w, min: min, now: time.Now}}
+}
+
+// Nop returns a logger that discards everything.
+func Nop() *Logger { return NewLogger(io.Discard, LevelOff) }
+
+var (
+	defaultOnce sync.Once
+	defaultLog  *Logger
+)
+
+// Default returns the process-wide fallback logger (stderr, info level).
+func Default() *Logger {
+	defaultOnce.Do(func() { defaultLog = NewLogger(os.Stderr, LevelInfo) })
+	return defaultLog
+}
+
+// With returns a logger tagged with a component name, sharing this logger's
+// sink and level.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		l = Default()
+	}
+	return &Logger{sink: l.sink, comp: component}
+}
+
+// Enabled reports whether lines at lvl would be emitted.
+func (l *Logger) Enabled(lvl Level) bool {
+	if l == nil {
+		l = Default()
+	}
+	return lvl >= l.sink.min && l.sink.min < LevelOff
+}
+
+// Debug logs at debug level. kv alternates keys and values.
+func (l *Logger) Debug(msg string, kv ...interface{}) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...interface{}) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...interface{}) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...interface{}) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lvl Level, msg string, kv []interface{}) {
+	if l == nil {
+		l = Default()
+	}
+	if !l.Enabled(lvl) {
+		return
+	}
+	var sb strings.Builder
+	sb.Grow(96)
+	sb.WriteString("t=")
+	sb.WriteString(l.sink.now().UTC().Format(time.RFC3339Nano))
+	sb.WriteString(" level=")
+	sb.WriteString(lvl.String())
+	if l.comp != "" {
+		sb.WriteString(" comp=")
+		sb.WriteString(l.comp)
+	}
+	sb.WriteString(" msg=")
+	appendLogValue(&sb, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		sb.WriteByte(' ')
+		fmt.Fprintf(&sb, "%v", kv[i])
+		sb.WriteByte('=')
+		appendLogValue(&sb, fmt.Sprintf("%v", kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		sb.WriteString(" !MISSING-VALUE=")
+		appendLogValue(&sb, fmt.Sprintf("%v", kv[len(kv)-1]))
+	}
+	sb.WriteByte('\n')
+	l.sink.mu.Lock()
+	_, _ = io.WriteString(l.sink.w, sb.String())
+	l.sink.mu.Unlock()
+}
+
+// appendLogValue writes v, quoting it when it contains logfmt-breaking
+// characters.
+func appendLogValue(sb *strings.Builder, v string) {
+	if strings.ContainsAny(v, " \"=\n\t") {
+		fmt.Fprintf(sb, "%q", v)
+		return
+	}
+	if v == "" {
+		sb.WriteString(`""`)
+		return
+	}
+	sb.WriteString(v)
+}

@@ -31,13 +31,13 @@ package sched
 import (
 	"errors"
 	"fmt"
-	"log"
 	"math"
 	"sync"
 
 	"repro/internal/agreement"
 	"repro/internal/lp"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ErrInput reports malformed scheduler input.
@@ -71,6 +71,7 @@ type Community struct {
 	states sync.Pool
 
 	stats   *metrics.SolverStats
+	logger  *obs.Logger
 	logOnce sync.Once
 }
 
@@ -103,6 +104,17 @@ func NewCommunity(acc *agreement.Access, capacity, locality []float64) (*Communi
 // SetStats wires shared fast-path telemetry (may be nil). Typically called
 // by the owning engine right after construction.
 func (c *Community) SetStats(s *metrics.SolverStats) { c.stats = s }
+
+// SetLogger wires a structured logger for enforcement-degradation events
+// (nil falls back to the process default).
+func (c *Community) SetLogger(l *obs.Logger) { c.logger = l }
+
+func (c *Community) log() *obs.Logger {
+	if c.logger != nil {
+		return c.logger
+	}
+	return obs.Default().With("sched")
+}
 
 // compile builds the constraint template once. It emits rows in exactly the
 // order the from-scratch path does for an all-positive queue vector, so the
@@ -228,9 +240,10 @@ func (c *Community) Schedule(queues []float64) (*Plan, error) {
 	// disagree); degrade gracefully rather than stalling the window, but
 	// make the disagreement visible: it means some mandatory guarantee is
 	// not enforceable as configured.
-	c.stats.FloorFallback()
+	total := c.stats.FloorFallback()
 	c.logOnce.Do(func() {
-		log.Printf("sched: community window infeasible with mandatory floors (%v); retrying without floors — entitlements exceed capacities", err)
+		c.log().Warn("community window infeasible with mandatory floors; retrying without floors",
+			"reason", "entitlements exceed capacities", "err", err, "fallbacks", total)
 	})
 	return c.solveFast(st, queues, false)
 }
@@ -417,6 +430,7 @@ type Provider struct {
 	states sync.Pool
 
 	stats   *metrics.SolverStats
+	logger  *obs.Logger
 	logOnce sync.Once
 }
 
@@ -448,6 +462,17 @@ func NewProvider(mc, oc, prices []float64, capacity float64) (*Provider, error) 
 
 // SetStats wires shared fast-path telemetry (may be nil).
 func (p *Provider) SetStats(s *metrics.SolverStats) { p.stats = s }
+
+// SetLogger wires a structured logger for enforcement-degradation events
+// (nil falls back to the process default).
+func (p *Provider) SetLogger(l *obs.Logger) { p.logger = l }
+
+func (p *Provider) log() *obs.Logger {
+	if p.logger != nil {
+		return p.logger
+	}
+	return obs.Default().With("sched")
+}
 
 // compile builds the provider template, mirroring the from-scratch build
 // order for an all-positive queue vector.
@@ -519,9 +544,10 @@ func (p *Provider) Schedule(queues []float64) (*ProviderPlan, error) {
 		// Mandatory floors exceed capacity: serve mandatory shares scaled
 		// proportionally instead of failing the window, and surface the
 		// entitlement/capacity disagreement.
-		p.stats.FloorFallback()
+		total := p.stats.FloorFallback()
 		p.logOnce.Do(func() {
-			log.Printf("sched: provider window %v with mandatory floors; scaling mandatory shares to capacity — entitlements exceed capacity", sol.Status)
+			p.log().Warn("provider window not optimal with mandatory floors; scaling mandatory shares to capacity",
+				"reason", "entitlements exceed capacity", "status", sol.Status, "fallbacks", total)
 		})
 		return p.scaledMandatory(queues), nil
 	}
@@ -571,6 +597,13 @@ func (p *Provider) scheduleSlow(queues []float64) (*ProviderPlan, error) {
 		return nil, err
 	}
 	if sol.Status != lp.Optimal {
+		// The same capacity-scaling degradation as the fast path: count and
+		// log it here too, so the reference path never falls back invisibly.
+		total := p.stats.FloorFallback()
+		p.logOnce.Do(func() {
+			p.log().Warn("provider window not optimal with mandatory floors; scaling mandatory shares to capacity",
+				"reason", "entitlements exceed capacity", "status", sol.Status, "fallbacks", total)
+		})
 		return p.scaledMandatory(queues), nil
 	}
 	return p.extractPlan(sol.X), nil

@@ -22,6 +22,7 @@ import (
 	"repro/internal/combining"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/vclock"
 	"repro/internal/workload"
@@ -72,6 +73,11 @@ type Config struct {
 	// solve and the workers just perform lookups. Set 1 to force the
 	// serial behavior.
 	WindowWorkers int
+	// TraceDepth enables window tracing: every redirector gets an observer
+	// retaining this many trace records, all folding into one shared
+	// Auditor. Zero disables tracing (the seed behavior); negative selects
+	// obs.DefaultRingDepth.
+	TraceDepth int
 }
 
 // Sim is a running simulation.
@@ -85,6 +91,12 @@ type Sim struct {
 
 	Redirectors []*RNode
 	Servers     map[agreement.Principal][]*cluster.Server
+
+	// Auditor aggregates SLA conformance across all redirectors when
+	// Config.TraceDepth enables tracing (nil otherwise). Observers holds the
+	// per-redirector trace rings in redirector order.
+	Auditor   *obs.Auditor
+	Observers []*obs.Observer
 
 	topo           combining.Topology
 	failed         map[int]bool
@@ -192,6 +204,29 @@ func New(cfg Config) (*Sim, error) {
 				rn.pushGlobal()
 			}
 		})
+	}
+
+	if cfg.TraceDepth != 0 {
+		depth := cfg.TraceDepth
+		if depth < 0 {
+			depth = obs.DefaultRingDepth
+		}
+		s.Auditor = obs.NewAuditor(names)
+		for i, rn := range s.Redirectors {
+			o := cfg.Engine.NewObserver(i, s.Auditor, depth)
+			tree := rn.Tree
+			o.SetTreeInfo(func() obs.TreeInfo {
+				reports, broadcasts, sent := tree.MessageCounts()
+				return obs.TreeInfo{
+					Epoch:       tree.Epoch(),
+					GlobalEpoch: tree.GlobalEpoch(),
+					MsgsIn:      reports + broadcasts,
+					MsgsOut:     sent,
+				}
+			})
+			rn.Red.SetObserver(o)
+			s.Observers = append(s.Observers, o)
+		}
 	}
 
 	s.windowWorkers = cfg.WindowWorkers

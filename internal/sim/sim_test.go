@@ -256,3 +256,61 @@ func TestSetTreeDelayAndStop(t *testing.T) {
 		t.Fatal("events still accumulating after Stop")
 	}
 }
+
+func TestTraceDepthWiresObservability(t *testing.T) {
+	eng, sp, a, b := testEngine(t, 2)
+	sm, err := New(Config{
+		Engine:      eng,
+		Redirectors: 2,
+		Servers:     []ServerSpec{{Owner: sp, Capacity: 100, Count: 1}},
+		Names:       []string{"S", "A", "B"},
+		TraceDepth:  32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Auditor == nil || len(sm.Observers) != 2 {
+		t.Fatalf("tracing not wired: auditor=%v observers=%d", sm.Auditor, len(sm.Observers))
+	}
+	sm.NewClient(0, workload.Config{Principal: int(a), Rate: 150}).SetActive(true)
+	sm.NewClient(1, workload.Config{Principal: int(b), Rate: 150}).SetActive(true)
+	sm.Run(5 * time.Second)
+
+	// ~50 windows per redirector in 5 s of virtual time at the 100 ms
+	// default; the shared auditor sees both redirectors' commits.
+	if got := sm.Auditor.Windows(); got < 80 {
+		t.Fatalf("auditor saw %d windows, want ≥80", got)
+	}
+	if sm.Auditor.Served(int(a)) <= 0 || sm.Auditor.Served(int(b)) <= 0 {
+		t.Fatal("auditor accumulated no served volume")
+	}
+	for i, o := range sm.Observers {
+		recs := o.Ring().Snapshot(0)
+		if len(recs) == 0 {
+			t.Fatalf("observer %d has an empty trace ring", i)
+		}
+		last := recs[len(recs)-1]
+		if last.Redirector != i {
+			t.Fatalf("observer %d record labeled redirector %d", i, last.Redirector)
+		}
+		if last.TreeMsgsOut == 0 && last.TreeMsgsIn == 0 {
+			t.Fatalf("observer %d has no tree message counts", i)
+		}
+	}
+}
+
+func TestTraceDepthZeroDisablesTracing(t *testing.T) {
+	eng, sp, _, _ := testEngine(t, 1)
+	sm, err := New(Config{
+		Engine:      eng,
+		Redirectors: 1,
+		Servers:     []ServerSpec{{Owner: sp, Capacity: 100, Count: 1}},
+		Names:       []string{"S", "A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.Auditor != nil || sm.Observers != nil {
+		t.Fatal("tracing wired despite TraceDepth 0")
+	}
+}
