@@ -1,0 +1,168 @@
+// Command chaos is the CI chaos smoke: it boots a single-process Layer-7
+// enforcement plane (proxy mode, two backends, active health checking),
+// replays a deterministic fault schedule that kills and restarts one
+// backend, and fails unless the /metrics endpoint proves the plane went
+// degraded and recovered — rsa_health_degraded_transitions_total and
+// rsa_health_recovered_transitions_total both ≥ 1 — while requests kept
+// flowing through the surviving backend.
+//
+// Usage: chaos [-down 2s] [-up 6s] [-run 10s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/health"
+	"repro/internal/l7"
+)
+
+func main() {
+	down := flag.Duration("down", 2*time.Second, "when to kill the backend")
+	up := flag.Duration("up", 6*time.Second, "when to restart it")
+	runFor := flag.Duration("run", 10*time.Second, "total run time before verdict")
+	flag.Parse()
+
+	s := agreement.New()
+	sp := s.MustAddPrincipal("S", 200)
+	a := s.MustAddPrincipal("A", 0)
+	b := s.MustAddPrincipal("B", 0)
+	s.MustSetAgreement(sp, a, 0.8, 1)
+	s.MustSetAgreement(sp, b, 0.2, 1)
+	eng, err := core.NewEngine(core.Config{
+		Mode: core.Provider, System: s, ProviderPrincipal: sp,
+		NumRedirectors: 1, Window: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b0, err := l7.NewBackend("127.0.0.1:0", 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b0.Close()
+	b1, err := l7.NewBackend("127.0.0.1:0", 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victimURL := b1.URL()
+	victimAddr := strings.TrimPrefix(victimURL, "http://")
+
+	red, err := l7.NewRedirector(l7.RedirectorConfig{
+		Engine: eng, Addr: "127.0.0.1:0", Proxy: true,
+		Orgs:     map[string]agreement.Principal{"alpha": a, "beta": b},
+		Backends: map[agreement.Principal][]string{sp: {b0.URL(), victimURL}},
+		Health: &health.Options{
+			Interval:         100 * time.Millisecond,
+			Timeout:          500 * time.Millisecond,
+			FailThreshold:    2,
+			SuccessThreshold: 1,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer red.Close()
+	log.Printf("chaos: redirector %s, backends %s + %s (victim)", red.URL(), b0.URL(), victimURL)
+
+	// Closed-loop load for the whole run.
+	var served, failed atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		client := &http.Client{Timeout: 2 * time.Second}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := client.Get(red.URL() + "/svc/alpha/x")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					served.Add(1)
+					continue
+				}
+			}
+			failed.Add(1)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// The deterministic fault plan: kill the victim, restart it in place.
+	plan := fault.NewSchedule(1).
+		CrashBackend(*down, victimAddr).
+		RestartBackend(*up, victimAddr)
+	log.Print(plan)
+	cancel := plan.Play(fault.Hooks{
+		BackendDown: func(target string) {
+			log.Printf("chaos: killing backend %s", target)
+			b1.Close() //nolint:errcheck // fault injection
+		},
+		BackendUp: func(target string) {
+			nb, err := l7.NewBackend(target, 500)
+			if err != nil {
+				log.Fatalf("chaos: restart backend %s: %v", target, err)
+			}
+			b1 = nb
+			log.Printf("chaos: restarted backend %s", target)
+		},
+	})
+	defer cancel()
+
+	time.Sleep(*runFor)
+	close(stop)
+
+	metrics := scrape(red.URL() + "/metrics")
+	deg := counter(metrics, "rsa_health_degraded_transitions_total")
+	rec := counter(metrics, "rsa_health_recovered_transitions_total")
+	log.Printf("chaos: served=%d failed=%d degraded=%g recovered=%g",
+		served.Load(), failed.Load(), deg, rec)
+	if deg < 1 || rec < 1 {
+		log.Fatalf("chaos: metrics never showed degraded->recovered (degraded=%g recovered=%g)", deg, rec)
+	}
+	if served.Load() == 0 {
+		log.Fatal("chaos: no request ever served")
+	}
+	fmt.Println("chaos smoke OK: plane degraded and recovered under a backend kill/restart")
+}
+
+// scrape fetches a text exposition page.
+func scrape(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("chaos: scrape %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("chaos: scrape %s: %v", url, err)
+	}
+	return string(body)
+}
+
+// counter extracts the value of an unlabeled series (−1 when absent).
+func counter(metrics, name string) float64 {
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 64)
+		if err == nil {
+			return v
+		}
+	}
+	return -1
+}

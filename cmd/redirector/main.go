@@ -29,6 +29,7 @@ import (
 	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/combining"
@@ -93,6 +94,8 @@ func main() {
 		r, err := l7.NewRedirector(l7.RedirectorConfig{
 			Engine: eng, ID: *id, Addr: f.L7.Addr,
 			Orgs: orgs, Backends: backends, Tree: tree,
+			Proxy:  f.L7.Proxy,
+			Health: f.Health.Options(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -124,6 +127,7 @@ func main() {
 		}
 		r, err := l4.NewRedirector(l4.Config{
 			Engine: eng, ID: *id, Services: services, Backends: backends, Tree: tree,
+			Health: f.Health.Options(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -168,13 +172,18 @@ func treeSpec(f *config.File) (*treenet.Spec, error) {
 		return nil, nil
 	}
 	spec := &treenet.Spec{
-		NodeID:     combining.NodeID(f.Tree.NodeID),
-		Parent:     combining.NodeID(f.Tree.Parent),
-		ListenAddr: f.Tree.ListenAddr,
-		Peers:      make(map[combining.NodeID]string, len(f.Tree.Peers)),
+		NodeID:         combining.NodeID(f.Tree.NodeID),
+		Parent:         combining.NodeID(f.Tree.Parent),
+		ListenAddr:     f.Tree.ListenAddr,
+		Peers:          make(map[combining.NodeID]string, len(f.Tree.Peers)),
+		Fanout:         f.Tree.Fanout,
+		FailureTimeout: time.Duration(f.Tree.FailureTimeoutMS) * time.Millisecond,
 	}
 	for _, c := range f.Tree.Children {
 		spec.Children = append(spec.Children, combining.NodeID(c))
+	}
+	for _, m := range f.Tree.Members {
+		spec.Members = append(spec.Members, combining.NodeID(m))
 	}
 	for idStr, addr := range f.Tree.Peers {
 		n, err := strconv.Atoi(idStr)

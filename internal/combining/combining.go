@@ -271,10 +271,15 @@ func (n *Node) MessageCounts() (reportsIn, broadcastsIn, sent uint64) {
 
 // Reconfigure rewires the node's position in the tree (dynamic membership:
 // a failed parent is replaced by the grandparent, new children attach).
-// Stale child reports from nodes no longer children are discarded.
+// Stale child reports from nodes no longer children are discarded, and the
+// broadcast-epoch gate resets: a replacement root starts from its own (lower)
+// epoch counter, and its broadcasts must not be rejected as stale against the
+// dead root's. The last global aggregate is kept — it stays usable until its
+// timestamp ages past the staleness bound.
 func (n *Node) Reconfigure(parent NodeID, children []NodeID) {
 	n.parent = parent
 	n.children = append(n.children[:0], children...)
+	n.globalEpoch = 0
 	keep := make(map[NodeID]bool, len(children))
 	for _, c := range children {
 		keep[c] = true

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/agreement"
 	"repro/internal/core"
+	"repro/internal/health"
 )
 
 // ErrConfig reports an invalid configuration file.
@@ -40,6 +41,47 @@ type TreeSpec struct {
 	Children   []int             `json:"children"`
 	Peers      map[string]string `json:"peers"` // node id (decimal) → addr
 	ListenAddr string            `json:"listen_addr"`
+	// FailureTimeoutMS, when positive, arms the reparenter: a tree
+	// neighbor silent for this long is cut out of the topology and the
+	// node rewires itself around it.
+	FailureTimeoutMS int `json:"failure_timeout_ms"`
+	// Members lists every node id in the tree (defaults to this node plus
+	// the peer map's keys). The reparenter rebuilds topologies from this
+	// set, so all nodes must agree on it.
+	Members []int `json:"members"`
+	// Fanout is the tree arity used when rebuilding topologies after a
+	// failure (default 2).
+	Fanout int `json:"fanout"`
+}
+
+// HealthSpec configures active backend health checking. A zero/missing spec
+// disables it; a present spec enables it with per-field defaults from
+// internal/health.
+type HealthSpec struct {
+	IntervalMS       int     `json:"interval_ms"`
+	TimeoutMS        int     `json:"timeout_ms"`
+	FailThreshold    int     `json:"fail_threshold"`
+	SuccessThreshold int     `json:"success_threshold"`
+	BackoffMaxMS     int     `json:"backoff_max_ms"`
+	Jitter           float64 `json:"jitter"`
+	Seed             int64   `json:"seed"`
+}
+
+// Options converts the spec into health checker options (nil when the spec
+// itself is nil).
+func (h *HealthSpec) Options() *health.Options {
+	if h == nil {
+		return nil
+	}
+	return &health.Options{
+		Interval:         time.Duration(h.IntervalMS) * time.Millisecond,
+		Timeout:          time.Duration(h.TimeoutMS) * time.Millisecond,
+		FailThreshold:    h.FailThreshold,
+		SuccessThreshold: h.SuccessThreshold,
+		BackoffMax:       time.Duration(h.BackoffMaxMS) * time.Millisecond,
+		Jitter:           h.Jitter,
+		Seed:             h.Seed,
+	}
 }
 
 // L7Spec configures a Layer-7 redirector front-end.
@@ -49,6 +91,9 @@ type L7Spec struct {
 	Orgs map[string]string `json:"orgs"`
 	// Backends maps an owner principal name to backend base URLs.
 	Backends map[string][]string `json:"backends"`
+	// Proxy selects single-round-trip operation: the redirector forwards
+	// admitted requests to the backend itself instead of answering 302.
+	Proxy bool `json:"proxy"`
 }
 
 // L4Spec configures a Layer-4 redirector front-end.
@@ -72,6 +117,9 @@ type File struct {
 	L7             *L7Spec            `json:"l7"`
 	L4             *L4Spec            `json:"l4"`
 	Tree           *TreeSpec          `json:"tree"`
+	// Health, when present, enables active backend health checking and
+	// capacity re-interpretation on the front-end.
+	Health *HealthSpec `json:"health"`
 	// AdminAddr, when set, serves the observability endpoints (/metrics,
 	// /debug/windows, /debug/pprof) on a dedicated listener. The Layer-7
 	// redirector also mounts them on its traffic listener; Layer-4 has no

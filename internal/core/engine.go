@@ -382,14 +382,25 @@ func (e *Engine) UpdateCapacities(capacities []float64) error {
 	if len(capacities) != e.n {
 		return fmt.Errorf("%w: %d capacities for %d principals", ErrConfig, len(capacities), e.n)
 	}
+	// The whole update runs under e.mu: health checkers call this from their
+	// probe goroutines, concurrently with window scheduling and each other.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i, v := range capacities {
 		if err := e.cfg.System.SetCapacity(agreement.Principal(i), v); err != nil {
 			return err
 		}
 	}
+	return e.rebuild(capacities)
+}
+
+// Capacities returns a copy of the current physical capacity vector,
+// indexed by principal. Health-driven re-interpretation captures this as the
+// nominal baseline before scaling owners by their surviving backends.
+func (e *Engine) Capacities() []float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.rebuild(capacities)
+	return e.cfg.System.Capacities()
 }
 
 // UpdateSystem refolds the agreement graph after structural changes

@@ -140,6 +140,7 @@ func (r *Redirector) openWindowRecord(now time.Duration) *obs.Record {
 	rec.Window = uint64(r.Windows)
 	rec.AtNanos = obs.Nanos(now)
 	rec.Conservative, rec.HaveGlobal, rec.SolveErr, rec.CacheHit = false, false, false, false
+	rec.Degraded = false
 	rec.GlobalAgeNanos, rec.SolveNanos = 0, 0
 	copy(rec.Local, r.estimate)
 	for i := range rec.Global {
@@ -147,6 +148,7 @@ func (r *Redirector) openWindowRecord(now time.Duration) *obs.Record {
 		rec.Arrived[i], rec.Served[i] = 0, 0
 	}
 	r.obsv.FillTree(rec)
+	r.obsv.FillHealth(rec)
 	r.pendingOpen = true
 	return rec
 }

@@ -178,6 +178,7 @@ var registry = []struct {
 	{"ext-local", ExtLocality},
 	{"ext-dynamic", ExtDynamicCapacity},
 	{"ext-failover", ExtFailover},
+	{"ext-chaos", ExtChaos},
 }
 
 // IDs lists all experiment identifiers in order.

@@ -157,6 +157,36 @@ func TestAblationConservativeFallback(t *testing.T) {
 	}
 }
 
+// TestExtChaos: the seeded fault schedule kills one of S's two servers
+// mid-run; served rates must re-converge to the re-interpreted (halved)
+// entitlements, return to the original split after the restart, and — after
+// each convergence settling period — no window may serve a principal below
+// the recomputed mandatory floor. The run must also be bit-reproducible:
+// same seed, same series.
+func TestExtChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "ext-chaos")
+	if res.Values["degraded-windows@plane"] <= 0 {
+		t.Fatalf("no window was flagged degraded: %v", res.Values)
+	}
+	table := func(r *Result) string {
+		var sb strings.Builder
+		if err := r.Recorder.WriteTable(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	again, err := Run("ext-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table(res) != table(again) {
+		t.Fatal("ext-chaos series differ between identical seeded runs")
+	}
+}
+
 // TestExperimentsAreDeterministic: the virtual-time harness must produce
 // bit-identical series on repeated runs — the property that makes every
 // figure reproduction exactly repeatable.
@@ -184,7 +214,7 @@ func TestExperimentsAreDeterministic(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
+	if len(ids) != 16 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil || !strings.Contains(err.Error(), "unknown id") {

@@ -1,0 +1,262 @@
+// Package fault is a deterministic, seedable fault-injection harness for
+// the enforcement plane. A Schedule is an ordered list of fault events —
+// backend crashes and restarts, tree-link partitions and heals, latency
+// spikes, slowed backends — that can be replayed against any clock: the
+// virtual-time simulation (sim.Sim.InjectFaults) or wall-clock real-socket
+// tests and the CI chaos smoke (Schedule.Play).
+//
+// Determinism is the point: the same seed and the same builder calls yield
+// the same event list, so a chaos run that exposes a convergence bug is
+// replayable bit-for-bit. Randomized schedules draw from a rand.Rand seeded
+// by the Schedule, never from global state.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the injectable fault transitions.
+type Kind int
+
+const (
+	// BackendDown crashes the backend named by Target.
+	BackendDown Kind = iota
+	// BackendUp restarts the backend named by Target.
+	BackendUp
+	// PartitionLink cuts the tree link between nodes A and B (both ways).
+	PartitionLink
+	// HealLink restores the tree link between nodes A and B.
+	HealLink
+	// LatencySpike sets the one-way delay on link A→B to Delay.
+	LatencySpike
+	// SlowBackend scales the Target backend's capacity by Value (0 < v ≤ 1).
+	SlowBackend
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case BackendDown:
+		return "backend-down"
+	case BackendUp:
+		return "backend-up"
+	case PartitionLink:
+		return "partition"
+	case HealLink:
+		return "heal"
+	case LatencySpike:
+		return "latency-spike"
+	case SlowBackend:
+		return "slow-backend"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one fault transition at a point on the harness clock.
+type Event struct {
+	// At is the injection time, relative to the start of the run.
+	At   time.Duration
+	Kind Kind
+	// Target names a backend (BackendDown/BackendUp/SlowBackend).
+	Target string
+	// A and B are tree-node ids (link faults).
+	A, B int
+	// Delay parameterizes LatencySpike.
+	Delay time.Duration
+	// Value parameterizes SlowBackend (capacity factor).
+	Value float64
+}
+
+// String renders the event for logs and test failures.
+func (e Event) String() string {
+	switch e.Kind {
+	case BackendDown, BackendUp:
+		return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Target)
+	case SlowBackend:
+		return fmt.Sprintf("%v %s %s x%.2f", e.At, e.Kind, e.Target, e.Value)
+	case LatencySpike:
+		return fmt.Sprintf("%v %s %d->%d %v", e.At, e.Kind, e.A, e.B, e.Delay)
+	default:
+		return fmt.Sprintf("%v %s %d--%d", e.At, e.Kind, e.A, e.B)
+	}
+}
+
+// Hooks receives the events of a schedule as they fire. Nil fields skip the
+// corresponding kinds, so an adapter implements only what its layer can
+// inject.
+type Hooks struct {
+	BackendDown func(target string)
+	BackendUp   func(target string)
+	Partition   func(a, b int)
+	Heal        func(a, b int)
+	Latency     func(a, b int, d time.Duration)
+	SlowBackend func(target string, factor float64)
+}
+
+// dispatch routes one event to the matching hook.
+func (h Hooks) dispatch(e Event) {
+	switch e.Kind {
+	case BackendDown:
+		if h.BackendDown != nil {
+			h.BackendDown(e.Target)
+		}
+	case BackendUp:
+		if h.BackendUp != nil {
+			h.BackendUp(e.Target)
+		}
+	case PartitionLink:
+		if h.Partition != nil {
+			h.Partition(e.A, e.B)
+		}
+	case HealLink:
+		if h.Heal != nil {
+			h.Heal(e.A, e.B)
+		}
+	case LatencySpike:
+		if h.Latency != nil {
+			h.Latency(e.A, e.B, e.Delay)
+		}
+	case SlowBackend:
+		if h.SlowBackend != nil {
+			h.SlowBackend(e.Target, e.Value)
+		}
+	}
+}
+
+// Schedule is an ordered fault plan. Builder methods return the schedule for
+// chaining; events keep insertion order among equal times, so a crash and a
+// restart at the same instant fire in the order they were added.
+type Schedule struct {
+	seed   int64
+	events []Event
+}
+
+// NewSchedule creates an empty plan with the given seed. The seed feeds
+// Rand and RandomCrashes; fixed plans built purely from explicit events are
+// unaffected by it.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{seed: seed}
+}
+
+// Seed returns the schedule's seed.
+func (s *Schedule) Seed() int64 { return s.seed }
+
+// Add appends one event.
+func (s *Schedule) Add(e Event) *Schedule {
+	s.events = append(s.events, e)
+	return s
+}
+
+// CrashBackend schedules a backend crash.
+func (s *Schedule) CrashBackend(at time.Duration, target string) *Schedule {
+	return s.Add(Event{At: at, Kind: BackendDown, Target: target})
+}
+
+// RestartBackend schedules a backend restart.
+func (s *Schedule) RestartBackend(at time.Duration, target string) *Schedule {
+	return s.Add(Event{At: at, Kind: BackendUp, Target: target})
+}
+
+// Partition schedules a tree-link cut between nodes a and b.
+func (s *Schedule) Partition(at time.Duration, a, b int) *Schedule {
+	return s.Add(Event{At: at, Kind: PartitionLink, A: a, B: b})
+}
+
+// Heal schedules a tree-link restore between nodes a and b.
+func (s *Schedule) Heal(at time.Duration, a, b int) *Schedule {
+	return s.Add(Event{At: at, Kind: HealLink, A: a, B: b})
+}
+
+// Latency schedules a one-way delay change on link a→b.
+func (s *Schedule) Latency(at time.Duration, a, b int, d time.Duration) *Schedule {
+	return s.Add(Event{At: at, Kind: LatencySpike, A: a, B: b, Delay: d})
+}
+
+// Slow schedules a capacity scaling of a backend.
+func (s *Schedule) Slow(at time.Duration, target string, factor float64) *Schedule {
+	return s.Add(Event{At: at, Kind: SlowBackend, Target: target, Value: factor})
+}
+
+// Rand returns a rand.Rand deterministically derived from the seed, for
+// callers composing their own randomized plans.
+func (s *Schedule) Rand() *rand.Rand {
+	return rand.New(rand.NewSource(s.seed))
+}
+
+// RandomCrashes appends n crash/restart pairs over [start, end): targets and
+// downtimes (uniform in [minDown, maxDown]) are drawn from the schedule's
+// seed, so the same seed always produces the same chaos. Restarts are
+// clipped to end.
+func (s *Schedule) RandomCrashes(targets []string, n int, start, end, minDown, maxDown time.Duration) *Schedule {
+	if len(targets) == 0 || n <= 0 || end <= start {
+		return s
+	}
+	if maxDown < minDown {
+		maxDown = minDown
+	}
+	rng := s.Rand()
+	span := end - start
+	for i := 0; i < n; i++ {
+		target := targets[rng.Intn(len(targets))]
+		at := start + time.Duration(rng.Int63n(int64(span)))
+		down := minDown
+		if maxDown > minDown {
+			down += time.Duration(rng.Int63n(int64(maxDown - minDown)))
+		}
+		up := at + down
+		if up > end {
+			up = end
+		}
+		s.CrashBackend(at, target)
+		s.RestartBackend(up, target)
+	}
+	return s
+}
+
+// Events returns the plan sorted by time (stable: insertion order breaks
+// ties). The returned slice is a copy.
+func (s *Schedule) Events() []Event {
+	out := append([]Event(nil), s.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// String renders the sorted plan, one event per line.
+func (s *Schedule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fault.Schedule(seed=%d):\n", s.seed)
+	for _, e := range s.Events() {
+		fmt.Fprintf(&sb, "  %s\n", e)
+	}
+	return sb.String()
+}
+
+// Apply hands every event to a caller-supplied scheduler: schedule(at, fn)
+// must arrange for fn to run at relative time at. This is the clock-agnostic
+// core — the simulation passes its virtual clock, Play passes time.AfterFunc.
+func (s *Schedule) Apply(h Hooks, schedule func(at time.Duration, fn func())) {
+	for _, e := range s.Events() {
+		e := e
+		schedule(e.At, func() { h.dispatch(e) })
+	}
+}
+
+// Play replays the plan on the wall clock. The returned stop function
+// cancels events that have not fired yet (it does not wait for in-flight
+// hooks).
+func (s *Schedule) Play(h Hooks) (stop func()) {
+	timers := make([]*time.Timer, 0, len(s.events))
+	s.Apply(h, func(at time.Duration, fn func()) {
+		timers = append(timers, time.AfterFunc(at, fn))
+	})
+	return func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}
+}

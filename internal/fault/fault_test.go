@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventsSortedStable(t *testing.T) {
+	s := NewSchedule(1).
+		RestartBackend(10*time.Second, "b").
+		CrashBackend(2*time.Second, "b").
+		CrashBackend(2*time.Second, "a"). // same instant: insertion order holds
+		Partition(5*time.Second, 0, 1)
+	ev := s.Events()
+	if len(ev) != 4 {
+		t.Fatalf("events = %d, want 4", len(ev))
+	}
+	if ev[0].Target != "b" || ev[0].Kind != BackendDown {
+		t.Fatalf("first event = %v", ev[0])
+	}
+	if ev[1].Target != "a" {
+		t.Fatalf("tie not stable: %v", ev[1])
+	}
+	if ev[2].Kind != PartitionLink || ev[3].Kind != BackendUp {
+		t.Fatalf("order = %v", ev)
+	}
+}
+
+func TestRandomCrashesDeterministic(t *testing.T) {
+	targets := []string{"x", "y", "z"}
+	mk := func() []Event {
+		return NewSchedule(42).
+			RandomCrashes(targets, 5, 10*time.Second, 60*time.Second, time.Second, 5*time.Second).
+			Events()
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different plans:\n%v\n%v", a, b)
+	}
+	if len(a) != 10 {
+		t.Fatalf("events = %d, want 10 (5 crash/restart pairs)", len(a))
+	}
+	for i := 0; i+1 < len(a); i++ {
+		if a[i].At > a[i+1].At {
+			t.Fatalf("unsorted at %d: %v", i, a)
+		}
+	}
+	for _, e := range a {
+		if e.At < 10*time.Second || e.At > 60*time.Second {
+			t.Fatalf("event outside window: %v", e)
+		}
+	}
+	other := NewSchedule(7).
+		RandomCrashes(targets, 5, 10*time.Second, 60*time.Second, time.Second, 5*time.Second).
+		Events()
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestApplyDispatchesToHooks(t *testing.T) {
+	s := NewSchedule(0).
+		CrashBackend(1*time.Second, "b1").
+		RestartBackend(2*time.Second, "b1").
+		Partition(3*time.Second, 0, 2).
+		Heal(4*time.Second, 0, 2).
+		Latency(5*time.Second, 1, 2, 40*time.Millisecond).
+		Slow(6*time.Second, "b2", 0.5)
+	var got []string
+	h := Hooks{
+		BackendDown: func(tg string) { got = append(got, "down:"+tg) },
+		BackendUp:   func(tg string) { got = append(got, "up:"+tg) },
+		Partition:   func(a, b int) { got = append(got, "cut") },
+		Heal:        func(a, b int) { got = append(got, "heal") },
+		Latency:     func(a, b int, d time.Duration) { got = append(got, "lat:"+d.String()) },
+		SlowBackend: func(tg string, f float64) { got = append(got, "slow:"+tg) },
+	}
+	// Synchronous scheduler: fire immediately in time order.
+	s.Apply(h, func(at time.Duration, fn func()) { fn() })
+	want := []string{"down:b1", "up:b1", "cut", "heal", "lat:40ms", "slow:b2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dispatch order = %v, want %v", got, want)
+	}
+}
+
+func TestNilHooksAreSkipped(t *testing.T) {
+	s := NewSchedule(0).CrashBackend(0, "b").Partition(0, 1, 2)
+	// Must not panic with no hooks installed.
+	s.Apply(Hooks{}, func(at time.Duration, fn func()) { fn() })
+}
+
+func TestPlayFiresAndStopCancels(t *testing.T) {
+	var mu sync.Mutex
+	fired := map[string]bool{}
+	s := NewSchedule(0).
+		CrashBackend(5*time.Millisecond, "soon").
+		CrashBackend(5*time.Second, "late")
+	stop := s.Play(Hooks{BackendDown: func(tg string) {
+		mu.Lock()
+		fired[tg] = true
+		mu.Unlock()
+	}})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		ok := fired["soon"]
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("near-term event never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if fired["late"] {
+		t.Fatal("stop did not cancel the far event")
+	}
+}

@@ -1,0 +1,140 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agreement"
+)
+
+// Engine is the slice of core.Engine the re-interpreter needs: read the
+// current capacity vector and install a new one.
+type Engine interface {
+	Capacities() []float64
+	UpdateCapacities([]float64) error
+}
+
+// Reinterpreter turns backend up/down transitions into the paper's §2.2
+// dynamic re-interpretation of agreements. At construction it captures the
+// engine's capacity vector as the nominal baseline and counts each owner's
+// backends; whenever a backend changes state it scales the owner's capacity
+// by the fraction of its backends still alive and calls
+// Engine.UpdateCapacities, so every principal's entitlement — mandatory
+// floors included — is recomputed from the surviving capacity. Recovery
+// restores the baseline the same way.
+type Reinterpreter struct {
+	eng  Engine
+	base []float64
+
+	mu    sync.Mutex
+	owner map[string]agreement.Principal // backend target -> owner
+	total map[agreement.Principal]int    // backends per owner
+	live  map[agreement.Principal]int    // backends currently up
+	down  map[string]bool
+
+	degraded  atomic.Uint64 // transitions into a degraded state
+	recovered atomic.Uint64 // transitions back to full capacity
+}
+
+// NewReinterpreter captures eng's current capacities as the baseline.
+// owners maps each backend target to the principal whose capacity it
+// provides; every target starts up.
+func NewReinterpreter(eng Engine, owners map[string]agreement.Principal) *Reinterpreter {
+	r := &Reinterpreter{
+		eng:   eng,
+		base:  eng.Capacities(),
+		owner: make(map[string]agreement.Principal, len(owners)),
+		total: make(map[agreement.Principal]int),
+		live:  make(map[agreement.Principal]int),
+		down:  make(map[string]bool),
+	}
+	for target, p := range owners {
+		r.owner[target] = p
+		r.total[p]++
+		r.live[p]++
+	}
+	return r
+}
+
+// Targets returns the watched backend targets, for feeding Checker.Watch.
+func (r *Reinterpreter) Targets() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.owner))
+	for t := range r.owner {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SetBackendDown marks one backend down (or back up) and re-interprets the
+// agreements against the surviving capacity. Idempotent per target; unknown
+// targets are an error so wiring mistakes surface in tests.
+func (r *Reinterpreter) SetBackendDown(target string, isDown bool) error {
+	r.mu.Lock()
+	p, ok := r.owner[target]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("health: unknown backend %q", target)
+	}
+	if r.down[target] == isDown {
+		r.mu.Unlock()
+		return nil
+	}
+	wasDegraded := r.anyDownLocked()
+	r.down[target] = isDown
+	if isDown {
+		r.live[p]--
+	} else {
+		r.live[p]++
+		delete(r.down, target)
+	}
+	caps := make([]float64, len(r.base))
+	copy(caps, r.base)
+	for owner, total := range r.total {
+		if total > 0 {
+			caps[owner] = r.base[owner] * float64(r.live[owner]) / float64(total)
+		}
+	}
+	nowDegraded := r.anyDownLocked()
+	r.mu.Unlock()
+
+	if nowDegraded && !wasDegraded {
+		r.degraded.Add(1)
+	}
+	if !nowDegraded && wasDegraded {
+		r.recovered.Add(1)
+	}
+	return r.eng.UpdateCapacities(caps)
+}
+
+// HandleTransition adapts Checker.OnTransition to SetBackendDown; engine
+// errors (which cannot happen for a well-formed vector) are swallowed since
+// the callback has nowhere to return them.
+func (r *Reinterpreter) HandleTransition(target string, up bool) {
+	_ = r.SetBackendDown(target, !up)
+}
+
+// Degraded reports whether any watched backend is currently down.
+func (r *Reinterpreter) Degraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.anyDownLocked()
+}
+
+func (r *Reinterpreter) anyDownLocked() bool {
+	for _, d := range r.down {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// Transitions reports cumulative degraded and recovered transitions of the
+// plane as a whole (first backend down → degraded; last backend back →
+// recovered).
+func (r *Reinterpreter) Transitions() (degraded, recovered uint64) {
+	return r.degraded.Load(), r.recovered.Load()
+}

@@ -1,0 +1,358 @@
+package health
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/agreement"
+)
+
+// fakeProber scripts probe outcomes per target; tests flip `ok` between
+// Advance calls to simulate crashes and recoveries on a fake clock.
+type fakeProber struct {
+	ok     map[string]bool
+	calls  map[string]int
+	called []string
+}
+
+func newFakeProber(targets ...string) *fakeProber {
+	f := &fakeProber{ok: map[string]bool{}, calls: map[string]int{}}
+	for _, t := range targets {
+		f.ok[t] = true
+	}
+	return f
+}
+
+func (f *fakeProber) probe(target string) error {
+	f.calls[target]++
+	f.called = append(f.called, target)
+	if f.ok[target] {
+		return nil
+	}
+	return errors.New("probe refused")
+}
+
+func opts() Options {
+	return Options{
+		Interval:         100 * time.Millisecond,
+		FailThreshold:    3,
+		SuccessThreshold: 2,
+		BackoffBase:      100 * time.Millisecond,
+		BackoffMax:       400 * time.Millisecond,
+	}
+}
+
+func TestFailThresholdMarksDown(t *testing.T) {
+	fp := newFakeProber("b1")
+	c := New(opts(), fp.probe)
+	var events []string
+	c.OnTransition(func(tg string, up bool) {
+		events = append(events, fmt.Sprintf("%s:%v", tg, up))
+	})
+	c.Watch("b1")
+
+	now := time.Duration(0)
+	now = c.Advance(now) // healthy probe
+	if !c.Up("b1") {
+		t.Fatal("healthy target marked down")
+	}
+	fp.ok["b1"] = false
+	for i := 0; i < 2; i++ { // two failures: below threshold
+		now = c.Advance(now)
+	}
+	if !c.Up("b1") {
+		t.Fatal("went down before FailThreshold consecutive failures")
+	}
+	c.Advance(now) // third consecutive failure trips it
+	if c.Up("b1") {
+		t.Fatal("still up after FailThreshold failures")
+	}
+	if !reflect.DeepEqual(events, []string{"b1:false"}) {
+		t.Fatalf("transitions = %v", events)
+	}
+	if down, up := c.Transitions(); down != 1 || up != 0 {
+		t.Fatalf("counters = (%d,%d), want (1,0)", down, up)
+	}
+}
+
+func TestSuccessThresholdMarksUpAgain(t *testing.T) {
+	fp := newFakeProber("b1")
+	fp.ok["b1"] = false
+	c := New(opts(), fp.probe)
+	var events []string
+	c.OnTransition(func(tg string, up bool) {
+		events = append(events, fmt.Sprintf("%s:%v", tg, up))
+	})
+	c.Watch("b1")
+
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		now = c.Advance(now)
+	}
+	if c.Up("b1") {
+		t.Fatal("not down yet")
+	}
+	fp.ok["b1"] = true
+	now = c.Advance(now) // one success: below threshold
+	if c.Up("b1") {
+		t.Fatal("recovered before SuccessThreshold consecutive successes")
+	}
+	c.Advance(now)
+	if !c.Up("b1") {
+		t.Fatal("still down after SuccessThreshold successes")
+	}
+	if !reflect.DeepEqual(events, []string{"b1:false", "b1:true"}) {
+		t.Fatalf("transitions = %v", events)
+	}
+}
+
+func TestFlappingProbeNeverTransitions(t *testing.T) {
+	fp := newFakeProber("b1")
+	c := New(opts(), fp.probe)
+	c.OnTransition(func(tg string, up bool) {
+		t.Fatalf("unexpected transition %s:%v", tg, up)
+	})
+	c.Watch("b1")
+	now := time.Duration(0)
+	for i := 0; i < 20; i++ { // alternate fail/ok: consecutive counts reset
+		fp.ok["b1"] = i%2 == 0
+		now = c.Advance(now)
+	}
+	if !c.Up("b1") {
+		t.Fatal("flapping target went down without FailThreshold in a row")
+	}
+}
+
+func TestDownTargetBacksOffExponentially(t *testing.T) {
+	fp := newFakeProber("b1")
+	fp.ok["b1"] = false
+	c := New(opts(), fp.probe)
+	c.Watch("b1")
+
+	// Three base-interval probes trip the threshold; from there the re-probe
+	// gap doubles each failure until it clamps at BackoffMax.
+	want := []time.Duration{
+		100 * time.Millisecond, // up, failure 1
+		100 * time.Millisecond, // up, failure 2
+		100 * time.Millisecond, // trips threshold -> down, base backoff
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // clamped at BackoffMax
+	}
+	now := time.Duration(0)
+	for i, w := range want {
+		next := c.Advance(now)
+		got := next - now
+		if got != w {
+			t.Fatalf("backoff step %d = %v, want %v", i, got, w)
+		}
+		now = next
+	}
+	if c.Up("b1") {
+		t.Fatal("not down")
+	}
+	// Recovery resets the backoff to the base interval.
+	fp.ok["b1"] = true
+	next := c.Advance(now)
+	if got := next - now; got != 100*time.Millisecond {
+		t.Fatalf("post-success interval = %v, want 100ms", got)
+	}
+}
+
+func TestJitterIsSeededAndBounded(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		fp := newFakeProber("b1")
+		o := opts()
+		o.Jitter = 0.2
+		o.Seed = seed
+		c := New(o, fp.probe)
+		c.Watch("b1")
+		var gaps []time.Duration
+		now := time.Duration(0)
+		for i := 0; i < 8; i++ {
+			next := c.Advance(now)
+			gaps = append(gaps, next-now)
+			now = next
+		}
+		return gaps
+	}
+	a, b := mk(1), mk(1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	for _, g := range a {
+		if g < 80*time.Millisecond || g > 120*time.Millisecond {
+			t.Fatalf("jittered gap %v outside ±20%% of 100ms", g)
+		}
+	}
+	if reflect.DeepEqual(a, mk(2)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestReportFailureAcceleratesDetection(t *testing.T) {
+	fp := newFakeProber("b1")
+	c := New(opts(), fp.probe)
+	c.Watch("b1")
+	c.Advance(0) // one healthy probe
+	// Three passive data-path failures trip the detector without any
+	// scheduled probe running.
+	for i := 0; i < 3; i++ {
+		c.ReportFailure("b1", 10*time.Millisecond)
+	}
+	if c.Up("b1") {
+		t.Fatal("passive failures did not mark the target down")
+	}
+	if fp.calls["b1"] != 1 {
+		t.Fatalf("probe calls = %d, want 1 (passive reports are not probes)", fp.calls["b1"])
+	}
+}
+
+func TestUnknownTargetIsUp(t *testing.T) {
+	c := New(opts(), newFakeProber().probe)
+	if !c.Up("never-watched") {
+		t.Fatal("unknown target reported down")
+	}
+	c.ReportFailure("never-watched", 0) // must be a no-op, not a panic
+}
+
+func TestHostPort(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8080":                "127.0.0.1:8080",
+		"http://127.0.0.1:8080":         "127.0.0.1:8080",
+		"http://127.0.0.1:8080/work":    "127.0.0.1:8080",
+		"https://example.com:443/a?b=c": "example.com:443",
+	}
+	for in, want := range cases {
+		if got := HostPort(in); got != want {
+			t.Errorf("HostPort(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWallClockStartStop(t *testing.T) {
+	fp := newFakeProber("b1")
+	o := opts()
+	o.Interval = 5 * time.Millisecond
+	c := New(o, fp.probe)
+	c.Watch("b1")
+	c.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Probes() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("wall-clock loop never probed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}
+
+// fakeEngine records UpdateCapacities calls for Reinterpreter tests.
+type fakeEngine struct {
+	caps    []float64
+	updates [][]float64
+}
+
+func (f *fakeEngine) Capacities() []float64 {
+	out := make([]float64, len(f.caps))
+	copy(out, f.caps)
+	return out
+}
+
+func (f *fakeEngine) UpdateCapacities(v []float64) error {
+	f.caps = append([]float64(nil), v...)
+	f.updates = append(f.updates, f.caps)
+	return nil
+}
+
+func TestReinterpreterScalesOwnerCapacity(t *testing.T) {
+	eng := &fakeEngine{caps: []float64{320, 0, 0}}
+	owners := map[string]agreement.Principal{
+		"http://s1:1": 0,
+		"http://s2:1": 0,
+	}
+	r := NewReinterpreter(eng, owners)
+
+	if err := r.SetBackendDown("http://s1:1", true); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded() {
+		t.Fatal("not degraded after a backend loss")
+	}
+	want := []float64{160, 0, 0}
+	if !reflect.DeepEqual(eng.caps, want) {
+		t.Fatalf("capacities = %v, want %v", eng.caps, want)
+	}
+
+	// Idempotent: marking the same backend down again must not re-scale.
+	if err := r.SetBackendDown("http://s1:1", true); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.updates) != 1 {
+		t.Fatalf("updates = %d, want 1 (idempotent)", len(eng.updates))
+	}
+
+	if err := r.SetBackendDown("http://s2:1", true); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eng.caps, []float64{0, 0, 0}) {
+		t.Fatalf("capacities = %v, want all-zero", eng.caps)
+	}
+
+	if err := r.SetBackendDown("http://s1:1", false); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eng.caps, []float64{160, 0, 0}) {
+		t.Fatalf("capacities = %v after partial recovery", eng.caps)
+	}
+	if err := r.SetBackendDown("http://s2:1", false); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eng.caps, []float64{320, 0, 0}) {
+		t.Fatalf("capacities = %v, want baseline restored", eng.caps)
+	}
+	if r.Degraded() {
+		t.Fatal("still degraded after full recovery")
+	}
+	if deg, rec := r.Transitions(); deg != 1 || rec != 1 {
+		t.Fatalf("transitions = (%d,%d), want (1,1)", deg, rec)
+	}
+}
+
+func TestReinterpreterUnknownBackend(t *testing.T) {
+	eng := &fakeEngine{caps: []float64{100}}
+	r := NewReinterpreter(eng, map[string]agreement.Principal{"a": 0})
+	if err := r.SetBackendDown("nope", true); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestReinterpreterWithCheckerEndToEnd(t *testing.T) {
+	eng := &fakeEngine{caps: []float64{200, 0}}
+	r := NewReinterpreter(eng, map[string]agreement.Principal{"b1": 0, "b2": 0})
+
+	fp := newFakeProber("b1", "b2")
+	c := New(opts(), fp.probe)
+	c.OnTransition(r.HandleTransition)
+	c.Watch(r.Targets()...)
+
+	now := time.Duration(0)
+	fp.ok["b1"] = false
+	for i := 0; i < 3; i++ {
+		now = c.Advance(now)
+	}
+	if !reflect.DeepEqual(eng.caps, []float64{100, 0}) {
+		t.Fatalf("capacities = %v, want half", eng.caps)
+	}
+	fp.ok["b1"] = true
+	for i := 0; i < 2; i++ {
+		now = c.Advance(now)
+	}
+	if !reflect.DeepEqual(eng.caps, []float64{200, 0}) {
+		t.Fatalf("capacities = %v, want restored", eng.caps)
+	}
+}

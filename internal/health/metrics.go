@@ -1,0 +1,54 @@
+package health
+
+import (
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// WriteMetrics appends the rsa_health_* Prometheus series for one checker +
+// re-interpreter pair to w. Either argument may be nil; both front-ends
+// (Layer-7 and Layer-4) call this from their obs.Handler Extra callbacks.
+func WriteMetrics(w io.Writer, c *Checker, r *Reinterpreter) {
+	if c == nil {
+		return
+	}
+	obs.WriteMetric(w, "rsa_health_probes_total", "counter",
+		"Active health probes run.", float64(c.Probes()))
+	obs.WriteMetric(w, "rsa_health_probe_failures_total", "counter",
+		"Active health probes that failed.", float64(c.Failures()))
+	down, up := c.Transitions()
+	obs.WriteMetric(w, "rsa_health_down_transitions_total", "counter",
+		"Backend up->down transitions.", float64(down))
+	obs.WriteMetric(w, "rsa_health_up_transitions_total", "counter",
+		"Backend down->up transitions.", float64(up))
+	snap := c.Snapshot()
+	targets := make([]string, 0, len(snap))
+	downNow := 0
+	for t, isUp := range snap {
+		targets = append(targets, t)
+		if !isUp {
+			downNow++
+		}
+	}
+	sort.Strings(targets)
+	obs.WriteMetric(w, "rsa_health_backends_down", "gauge",
+		"Backends currently held down by the health checker.", float64(downNow))
+	obs.WriteMetricHeader(w, "rsa_health_backend_up", "gauge",
+		"Per-backend health state (1 up, 0 down).")
+	for _, t := range targets {
+		v := 0.0
+		if snap[t] {
+			v = 1.0
+		}
+		obs.WriteLabeled(w, "rsa_health_backend_up", "target", t, v)
+	}
+	if r != nil {
+		deg, rec := r.Transitions()
+		obs.WriteMetric(w, "rsa_health_degraded_transitions_total", "counter",
+			"Transitions into degraded capacity (first backend lost).", float64(deg))
+		obs.WriteMetric(w, "rsa_health_recovered_transitions_total", "counter",
+			"Transitions back to full capacity (last backend restored).", float64(rec))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/treenet"
 )
 
@@ -307,6 +308,79 @@ func TestPendingTimeoutExpiresConnections(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatal("parked connection never expired")
+}
+
+func TestBackendDeathReparksAndFailsOver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	// Provider S owns two backends; one dies mid-run. Admitted connections
+	// whose dial fails must be re-parked (and complete on a later window)
+	// rather than silently dropped, the health checker must take the dead
+	// backend out of rotation, and service must continue on the survivor.
+	s := agreement.New()
+	sp := s.MustAddPrincipal("S", 200)
+	cust := s.MustAddPrincipal("C", 0)
+	s.MustSetAgreement(sp, cust, 0.9, 1)
+	eng, err := core.NewEngine(core.Config{
+		Mode: core.Provider, System: s, ProviderPrincipal: sp,
+		Window: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := NewBackend("127.0.0.1:0", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+	b2, err := NewBackend("127.0.0.1:0", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	r, err := NewRedirector(Config{
+		Engine:         eng,
+		Services:       []ServiceSpec{{Principal: cust, Addr: "127.0.0.1:0"}},
+		Backends:       map[agreement.Principal][]string{sp: {b1.Addr(), b2.Addr()}},
+		PendingTimeout: 2 * time.Second,
+		Health: &health.Options{
+			Interval:         50 * time.Millisecond,
+			Timeout:          200 * time.Millisecond,
+			FailThreshold:    2,
+			SuccessThreshold: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Warm up: both backends reachable.
+	for i := 0; i < 4; i++ {
+		if ok, err := Do(r.Addr(cust), "GET /warm", 3*time.Second); err != nil || !ok {
+			t.Fatalf("warm-up request %d: %v %v", i, ok, err)
+		}
+	}
+
+	b1.Close() // kill one backend mid-run
+
+	// Keep offering traffic; dials to the dead backend re-park, the checker
+	// trips, and requests keep completing via the survivor.
+	served := 0
+	deadline := time.Now().Add(8 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok, err := Do(r.Addr(cust), "GET /after", 3*time.Second); err == nil && ok {
+			served++
+		}
+		fails, reparked := r.DialStats()
+		if served >= 5 && fails > 0 && reparked > 0 {
+			return
+		}
+	}
+	fails, reparked := r.DialStats()
+	t.Fatalf("after backend death: served=%d dialFailures=%d reparked=%d",
+		served, fails, reparked)
 }
 
 func TestAffinityPinsClientToOwner(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/treenet"
 )
@@ -59,6 +60,10 @@ type Config struct {
 	// (0 selects obs.DefaultRingDepth). The Layer-4 switch has no HTTP
 	// server of its own; mount ObsHandler on an admin listener to scrape it.
 	TraceDepth int
+	// Health, if non-nil, enables active backend health checking: down
+	// backends are skipped by backend choice and every down/up transition
+	// re-interprets the agreements against the surviving capacity.
+	Health *health.Options
 }
 
 type heldConn struct {
@@ -82,7 +87,11 @@ type Redirector struct {
 
 	tree      *combining.Node
 	transport *treenet.Transport
+	reparent  *treenet.Reparenter
 	estBuf    []float64 // reused local-estimate buffer (under mu)
+
+	checker *health.Checker
+	reint   *health.Reinterpreter
 
 	obsv    *obs.Observer
 	handler *obs.Handler
@@ -90,13 +99,16 @@ type Redirector struct {
 	ticker    *time.Ticker
 	done      chan struct{}
 	closeOnce sync.Once
+	stopped   bool // under mu: Close drained the pending queues
 	wg        sync.WaitGroup
 
 	// Stats (under mu).
-	Forwarded int
-	Parked    int
-	Dropped   int
-	Expired   int
+	Forwarded    int
+	Parked       int
+	Dropped      int
+	Expired      int
+	DialFailures int // backend dials that failed after admission
+	Reparked     int // connections returned to pending after a failed dial
 }
 
 type affinityEntry struct {
@@ -147,6 +159,20 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 		}
 		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
 			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
+		if cfg.Tree.FailureTimeout > 0 {
+			members := cfg.Tree.Members
+			if len(members) == 0 {
+				members = append(members, cfg.Tree.NodeID)
+				for id := range cfg.Tree.Peers {
+					members = append(members, id)
+				}
+			}
+			fanout := cfg.Tree.Fanout
+			if fanout < 2 {
+				fanout = 2
+			}
+			r.reparent = treenet.NewReparenter(cfg.Tree.NodeID, members, fanout, cfg.Tree.FailureTimeout)
+		}
 	}
 
 	// Window tracing: the tree snapshot runs inside runWindow under r.mu, so
@@ -164,6 +190,21 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 			}
 		})
 	}
+	if cfg.Health != nil {
+		owners := make(map[string]agreement.Principal)
+		for p, bs := range cfg.Backends {
+			for _, b := range bs {
+				owners[b] = p
+			}
+		}
+		r.reint = health.NewReinterpreter(cfg.Engine, owners)
+		r.checker = health.New(*cfg.Health, health.TCPProber(cfg.Health.Timeout))
+		r.checker.OnTransition(r.reint.HandleTransition)
+		r.checker.Watch(r.reint.Targets()...)
+		r.obsv.SetHealthInfo(r.reint.Degraded)
+		r.checker.Start()
+	}
+
 	r.red.SetObserver(r.obsv)
 	r.handler = obs.NewHandler(obs.HandlerConfig{
 		Observers: []*obs.Observer{r.obsv},
@@ -273,27 +314,56 @@ func (r *Redirector) handleConn(conn net.Conn, p agreement.Principal) {
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		splice(conn, backend)
+		r.spliceOrRepark(conn, client, p, backend)
 	}()
 }
 
+// chooseBackendLocked round-robins over the owner's backends, skipping ones
+// the health checker holds down.
 func (r *Redirector) chooseBackendLocked(owner agreement.Principal) string {
 	backends := r.cfg.Backends[owner]
-	if len(backends) == 0 {
-		return ""
+	for range backends {
+		idx := r.rr[owner] % len(backends)
+		r.rr[owner]++
+		b := backends[idx]
+		if r.checker == nil || r.checker.Up(b) {
+			return b
+		}
 	}
-	idx := r.rr[owner] % len(backends)
-	r.rr[owner]++
-	return backends[idx]
+	return ""
+}
+
+// spliceOrRepark dials the backend and splices. A failed dial is not a
+// silent connection drop: the failure feeds the health checker and the
+// untouched client connection goes back to the pending queue (respecting
+// MaxPending) for reinjection toward a healthier backend next window.
+func (r *Redirector) spliceOrRepark(conn net.Conn, client string, svc agreement.Principal, backendAddr string) {
+	backend, err := net.DialTimeout("tcp", backendAddr, 2*time.Second)
+	if err != nil {
+		if r.checker != nil {
+			r.checker.ReportFailure(backendAddr, r.elapsed())
+		}
+		r.mu.Lock()
+		r.DialFailures++
+		if r.stopped || len(r.pending[svc]) >= r.cfg.MaxPending {
+			r.Dropped++
+			r.mu.Unlock()
+			conn.Close()
+			return
+		}
+		// The pending clock restarts: the connection already waited zero
+		// windows, the dial failure is the backend's fault, not the client's.
+		r.pending[svc] = append(r.pending[svc], heldConn{conn: conn, client: client, parkedAt: time.Now()})
+		r.Reparked++
+		r.mu.Unlock()
+		return
+	}
+	splice(conn, backend)
 }
 
 // splice is the NAT analogue: copy bytes both ways until either side closes.
-func splice(client net.Conn, backendAddr string) {
+func splice(client, backend net.Conn) {
 	defer client.Close()
-	backend, err := net.DialTimeout("tcp", backendAddr, 2*time.Second)
-	if err != nil {
-		return
-	}
 	defer backend.Close()
 	done := make(chan struct{})
 	go func() {
@@ -323,6 +393,8 @@ func (r *Redirector) windowLoop() {
 func (r *Redirector) runWindow() {
 	type launch struct {
 		conn    net.Conn
+		client  string
+		svc     agreement.Principal
 		backend string
 	}
 	var launches []launch
@@ -331,6 +403,9 @@ func (r *Redirector) runWindow() {
 	// Pending connections count as demand for the estimator.
 	r.estBuf = r.red.LocalEstimateInto(r.estBuf)
 	if r.tree != nil {
+		if r.reparent != nil {
+			r.reparent.Check(r.tree, r.elapsed())
+		}
 		r.tree.SetLocal(r.estBuf)
 		r.tree.Tick()
 		if r.tree.IsRoot() {
@@ -365,7 +440,7 @@ func (r *Redirector) runWindow() {
 			backend := r.chooseBackendLocked(d.Owner)
 			r.affinity[hc.client] = affinityEntry{owner: d.Owner, at: now}
 			r.Forwarded++
-			launches = append(launches, launch{conn: hc.conn, backend: backend})
+			launches = append(launches, launch{conn: hc.conn, client: hc.client, svc: p, backend: backend})
 		}
 		r.pending[p] = kept
 	}
@@ -386,7 +461,7 @@ func (r *Redirector) runWindow() {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			splice(l.conn, l.backend)
+			r.spliceOrRepark(l.conn, l.client, l.svc, l.backend)
 		}()
 	}
 }
@@ -396,6 +471,15 @@ func (r *Redirector) Stats() (forwarded, parked, dropped, expired int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.Forwarded, r.Parked, r.Dropped, r.Expired
+}
+
+// DialStats returns the backend-dial failure counters: dials that failed
+// after admission, and how many of those connections were re-parked rather
+// than dropped.
+func (r *Redirector) DialStats() (dialFailures, reparked int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.DialFailures, r.Reparked
 }
 
 // Observer exposes the window-trace observer (auditor counters, trace ring).
@@ -417,6 +501,13 @@ func (r *Redirector) extraMetrics(w io.Writer) {
 		"Connections dropped because a pending queue was full.", float64(dropped))
 	obs.WriteMetric(w, "rsa_l4_expired_total", "counter",
 		"Parked connections closed after exceeding the pending timeout.", float64(expired))
+	dialFailures, reparked := r.DialStats()
+	obs.WriteMetric(w, "rsa_l4_dial_failures_total", "counter",
+		"Backend dials that failed after a connection was admitted.", float64(dialFailures))
+	obs.WriteMetric(w, "rsa_l4_reparked_total", "counter",
+		"Admitted connections returned to the pending queue after a failed backend dial.", float64(reparked))
+	health.WriteMetrics(w, r.checker, r.reint)
+	treenet.WriteMetrics(w, r.transport, r.reparent)
 }
 
 // Close stops all listeners, the window loop, and parked connections. It
@@ -428,10 +519,14 @@ func (r *Redirector) Close() error {
 		if r.ticker != nil {
 			r.ticker.Stop()
 		}
+		if r.checker != nil {
+			r.checker.Stop()
+		}
 		for _, ln := range r.listeners {
 			ln.Close()
 		}
 		r.mu.Lock()
+		r.stopped = true
 		for _, queue := range r.pending {
 			for _, hc := range queue {
 				hc.conn.Close()

@@ -13,8 +13,10 @@ import (
 )
 
 // staleRig builds a two-redirector tree (root 0 ← child 1) with a tight
-// staleness bound so killing the root starves the child of broadcasts.
-func staleRig(t *testing.T, staleness time.Duration) (root, child *Redirector) {
+// staleness bound so killing the root starves the child of broadcasts. A
+// positive failureTimeout arms the reparenter: survivors prune silent
+// neighbors and rewire instead of staying conservative forever.
+func staleRig(t *testing.T, staleness, failureTimeout time.Duration) (root, child *Redirector) {
 	t.Helper()
 	s := agreement.New()
 	sp := s.MustAddPrincipal("S", 200)
@@ -50,7 +52,11 @@ func staleRig(t *testing.T, staleness time.Duration) (root, child *Redirector) {
 		}
 		r, err := NewRedirector(RedirectorConfig{
 			Engine: eng, ID: i, Addr: "127.0.0.1:0", Orgs: orgs, Backends: backends,
-			Tree: &TreeConfig{NodeID: combining.NodeID(i), Parent: parent, Children: children},
+			Tree: &TreeConfig{
+				NodeID: combining.NodeID(i), Parent: parent, Children: children,
+				Members:        []combining.NodeID{0, 1},
+				FailureTimeout: failureTimeout,
+			},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -71,7 +77,7 @@ func TestStalenessFallbackTraced(t *testing.T) {
 		t.Skip("real-socket test")
 	}
 	const staleness = 150 * time.Millisecond
-	root, child := staleRig(t, staleness)
+	root, child := staleRig(t, staleness, 0)
 
 	// Phase 1: broadcasts flowing — wait until the child audits fresh
 	// windows. (The first window or two may legitimately run conservative
@@ -118,6 +124,67 @@ func TestStalenessFallbackTraced(t *testing.T) {
 			t.Fatalf("global age not growing: %d after %d", rec.GlobalAgeNanos, lastAge)
 		}
 		lastAge = rec.GlobalAgeNanos
+	}
+}
+
+// TestRootKillReparentsAndResumesFreshWindows is the recovery counterpart of
+// TestStalenessFallbackTraced: with the reparenter armed, killing the tree
+// root drives the child conservative only transiently — it prunes the silent
+// root from its topology, promotes itself, and resumes fresh
+// (non-conservative, global-bearing) windows without a process restart.
+func TestRootKillReparentsAndResumesFreshWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket test")
+	}
+	const staleness = 150 * time.Millisecond
+	root, child := staleRig(t, staleness, 300*time.Millisecond)
+
+	// Phase 1: broadcasts flowing — the child audits fresh windows.
+	aud := child.Observer().Auditor()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("child never traced a fresh window")
+		}
+		recs := child.Observer().Ring().Snapshot(1)
+		if aud.Windows() >= 5 && len(recs) == 1 && !recs[0].Conservative && recs[0].HaveGlobal {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase 2: kill the root. The child must detect the silence, rewire
+	// itself into a singleton tree, and — as its own root — escape the
+	// conservative fallback with a stream of fresh windows.
+	root.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			recs := child.Observer().Ring().Snapshot(3)
+			t.Fatalf("child never resumed fresh windows after root kill: reparents=%d trace=%+v",
+				child.reparent.Reparents(), recs)
+		}
+		if child.reparent.Reparents() > 0 {
+			recs := child.Observer().Ring().Snapshot(3)
+			fresh := len(recs) == 3
+			for _, rec := range recs {
+				if rec.Conservative || !rec.HaveGlobal {
+					fresh = false
+				}
+			}
+			if fresh {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p := child.reparent.Parent(); p != -1 {
+		t.Fatalf("child's parent after reparenting = %d, want -1 (root)", p)
+	}
+	// The fall back and recovery both left an audit trail: some windows ran
+	// conservative during the outage, and the trace has since gone fresh.
+	if aud.Conservative() == 0 {
+		t.Fatal("no conservative windows audited during the outage")
 	}
 }
 

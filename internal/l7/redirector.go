@@ -1,6 +1,7 @@
 package l7
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/treenet"
 )
@@ -46,6 +48,12 @@ type RedirectorConfig struct {
 	// TraceDepth is the window-trace ring capacity served at /debug/windows
 	// (0 selects obs.DefaultRingDepth).
 	TraceDepth int
+	// Health, if non-nil, enables active backend health checking: down
+	// backends are skipped by backend choice, proxy-mode requests fail over
+	// to another backend of the same owner, and every down/up transition
+	// re-interprets the agreements against the surviving capacity
+	// (Engine.UpdateCapacities, the paper's §2.2 made automatic).
+	Health *health.Options
 }
 
 // Redirector is the Layer-7 switch: an HTTP server answering every request
@@ -67,7 +75,12 @@ type Redirector struct {
 	obsv    *obs.Observer
 	handler *obs.Handler
 
+	checker *health.Checker
+	reint   *health.Reinterpreter
+	client  *http.Client
+
 	transport *treenet.Transport
+	reparent  *treenet.Reparenter
 	ticker    *time.Ticker
 	done      chan struct{}
 	closeOnce sync.Once
@@ -94,6 +107,19 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		done:  make(chan struct{}),
 	}
 
+	// Proxy-mode backend client: pooled transport with dial and
+	// response-header deadlines, so a dead backend costs a bounded error
+	// instead of a request hung on http.DefaultClient forever.
+	r.client = &http.Client{
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 10 * time.Second,
+			MaxIdleConns:          64,
+			MaxIdleConnsPerHost:   16,
+			IdleConnTimeout:       30 * time.Second,
+		},
+	}
+
 	if cfg.Tree != nil {
 		addr := cfg.Tree.ListenAddr
 		if addr == "" {
@@ -109,6 +135,20 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		}
 		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
 			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
+		if cfg.Tree.FailureTimeout > 0 {
+			members := cfg.Tree.Members
+			if len(members) == 0 {
+				members = append(members, cfg.Tree.NodeID)
+				for id := range cfg.Tree.Peers {
+					members = append(members, id)
+				}
+			}
+			fanout := cfg.Tree.Fanout
+			if fanout < 2 {
+				fanout = 2
+			}
+			r.reparent = treenet.NewReparenter(cfg.Tree.NodeID, members, fanout, cfg.Tree.FailureTimeout)
+		}
 	}
 
 	// Window tracing + exposition: one observer per redirector, scraped from
@@ -127,6 +167,21 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 			}
 		})
 	}
+	if cfg.Health != nil {
+		owners := make(map[string]agreement.Principal)
+		for p, bs := range cfg.Backends {
+			for _, b := range bs {
+				owners[b] = p
+			}
+		}
+		r.reint = health.NewReinterpreter(cfg.Engine, owners)
+		r.checker = health.New(*cfg.Health, health.TCPProber(cfg.Health.Timeout))
+		r.checker.OnTransition(r.reint.HandleTransition)
+		r.checker.Watch(r.reint.Targets()...)
+		r.obsv.SetHealthInfo(r.reint.Degraded)
+		r.checker.Start()
+	}
+
 	r.red.SetObserver(r.obsv)
 	r.handler = obs.NewHandler(obs.HandlerConfig{
 		Observers: []*obs.Observer{r.obsv},
@@ -186,6 +241,11 @@ func (r *Redirector) windowLoop() {
 			r.mu.Lock()
 			r.estBuf = r.red.LocalEstimateInto(r.estBuf)
 			if r.tree != nil {
+				if r.reparent != nil {
+					// Failure detection first: a silent neighbor is pruned
+					// and this epoch's report already goes to the new parent.
+					r.reparent.Check(r.tree, r.elapsed())
+				}
 				r.tree.SetLocal(r.estBuf)
 				r.tree.Tick()
 				if r.tree.IsRoot() {
@@ -220,12 +280,7 @@ func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
 	d := r.red.Admit(p)
 	var target string
 	if d.Admitted {
-		backends := r.cfg.Backends[d.Owner]
-		if len(backends) > 0 {
-			idx := r.rr[d.Owner] % len(backends)
-			r.rr[d.Owner]++
-			target = backends[idx]
-		}
+		target = r.chooseBackendLocked(d.Owner, "")
 	}
 	r.mu.Unlock()
 
@@ -241,39 +296,89 @@ func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
 		http.Redirect(w, req, r.URL()+req.URL.RequestURI(), http.StatusFound)
 		return
 	}
-	dest := target + "/" + tail
-	if q := req.URL.RawQuery; q != "" {
-		dest += "?" + q
-	}
 	if r.cfg.Proxy {
-		r.proxy(w, req, dest)
+		r.proxy(w, req, d.Owner, target, tail)
 		return
 	}
-	http.Redirect(w, req, dest, http.StatusFound)
+	http.Redirect(w, req, destURL(target, tail, req.URL.RawQuery), http.StatusFound)
 }
 
-// proxy relays the request to the backend and the response to the client —
-// one client round trip instead of two.
-func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, dest string) {
-	out, err := http.NewRequest(req.Method, dest, req.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
-		return
+// destURL joins a backend base URL with the request tail and query.
+func destURL(target, tail, query string) string {
+	dest := target + "/" + tail
+	if query != "" {
+		dest += "?" + query
 	}
-	out.Header = req.Header.Clone()
-	resp, err := http.DefaultClient.Do(out)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadGateway)
-		return
-	}
-	defer resp.Body.Close()
-	for k, vs := range resp.Header {
-		for _, v := range vs {
-			w.Header().Add(k, v)
+	return dest
+}
+
+// chooseBackendLocked round-robins over the owner's backends, skipping ones
+// the health checker holds down and the one named by skip (the backend a
+// failover is escaping). Returns "" when no usable backend exists.
+func (r *Redirector) chooseBackendLocked(owner agreement.Principal, skip string) string {
+	backends := r.cfg.Backends[owner]
+	for range backends {
+		idx := r.rr[owner] % len(backends)
+		r.rr[owner]++
+		b := backends[idx]
+		if b == skip {
+			continue
+		}
+		if r.checker == nil || r.checker.Up(b) {
+			return b
 		}
 	}
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	return ""
+}
+
+// proxy relays the request to a backend of owner and the response to the
+// client — one client round trip instead of two. A failed backend exchange
+// is reported to the health checker and retried once against another
+// backend of the same owner (bounded failover, not a retry storm).
+func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agreement.Principal, target, tail string) {
+	// Buffer the body so a failover attempt can replay it.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2 && target != ""; attempt++ {
+		out, err := http.NewRequest(req.Method, destURL(target, tail, req.URL.RawQuery),
+			bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		out.Header = req.Header.Clone()
+		resp, err := r.client.Do(out)
+		if err == nil {
+			defer resp.Body.Close()
+			for k, vs := range resp.Header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(resp.StatusCode)
+			_, _ = io.Copy(w, resp.Body)
+			return
+		}
+		lastErr = err
+		if r.checker != nil {
+			r.checker.ReportFailure(target, r.elapsed())
+		}
+		r.mu.Lock()
+		target = r.chooseBackendLocked(owner, target)
+		r.mu.Unlock()
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no usable backend")
+	}
+	http.Error(w, lastErr.Error(), http.StatusBadGateway)
 }
 
 // Stats reports admission counters.
@@ -291,13 +396,16 @@ func (r *Redirector) Observer() *obs.Observer { return r.obsv }
 // dedicated admin listener.
 func (r *Redirector) ObsHandler() *obs.Handler { return r.handler }
 
-// extraMetrics appends the Layer-7 admission counters to /metrics.
+// extraMetrics appends the Layer-7 admission counters plus the health and
+// tree-transport series to /metrics.
 func (r *Redirector) extraMetrics(w io.Writer) {
 	admitted, rejected := r.Stats()
 	obs.WriteMetric(w, "rsa_l7_admitted_total", "counter",
 		"Requests admitted and redirected (or proxied) to a backend.", float64(admitted))
 	obs.WriteMetric(w, "rsa_l7_rejected_total", "counter",
 		"Requests self-redirected or rejected for lack of window credit.", float64(rejected))
+	health.WriteMetrics(w, r.checker, r.reint)
+	treenet.WriteMetrics(w, r.transport, r.reparent)
 }
 
 // statsPayload is the JSON shape served at /stats.
@@ -338,12 +446,16 @@ func (r *Redirector) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.done)
 		r.ticker.Stop()
+		if r.checker != nil {
+			r.checker.Stop()
+		}
 		err = r.srv.Close()
 		if r.transport != nil {
 			if cerr := r.transport.Close(); err == nil {
 				err = cerr
 			}
 		}
+		r.client.CloseIdleConnections()
 	})
 	return err
 }

@@ -34,6 +34,7 @@ type Auditor struct {
 	noGlobal     atomic.Int64 // windows with no global view at all
 	solveErrors  atomic.Int64 // windows left on stale credits by LP failure
 	cacheHits    atomic.Int64 // windows whose plan came from the shared cache
+	degraded     atomic.Int64 // windows scheduled on reduced (re-interpreted) capacity
 
 	underMC []atomic.Int64 // windows served below the mandatory share
 	overUB  []atomic.Int64 // windows admitted above the MC+OC ceiling
@@ -79,6 +80,9 @@ func (a *Auditor) Observe(rec *Record) {
 	}
 	if rec.CacheHit {
 		a.cacheHits.Add(1)
+	}
+	if rec.Degraded {
+		a.degraded.Add(1)
 	}
 	n := len(a.underMC)
 	if len(rec.Served) < n {
@@ -143,6 +147,15 @@ func (a *Auditor) CacheHits() int64 {
 		return 0
 	}
 	return a.cacheHits.Load()
+}
+
+// Degraded reports windows scheduled while the health checker held at least
+// one backend down (entitlements recomputed from reduced capacity).
+func (a *Auditor) Degraded() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.degraded.Load()
 }
 
 // UnderMC reports windows in which principal i was served below its

@@ -101,6 +101,18 @@ func WriteMetric(w io.Writer, name, kind, help string, v float64) {
 	promMetric(w, name, kind, help, v)
 }
 
+// WriteMetricHeader emits just the HELP/TYPE preamble of a labeled family;
+// follow it with WriteLabeled samples.
+func WriteMetricHeader(w io.Writer, name, kind, help string) {
+	promHeader(w, name, kind, help)
+}
+
+// WriteLabeled emits one sample of a labeled family with a single label
+// (e.g. target="http://...", principal="A").
+func WriteLabeled(w io.Writer, name, label, value string, v float64) {
+	fmt.Fprintf(w, "%s{%s=%q} %s\n", name, label, value, formatFloat(v))
+}
+
 func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if h.cfg.Mode != "" || h.cfg.Window > 0 {
@@ -120,6 +132,9 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 			"Windows whose LP solve failed (previous credits kept).", float64(a.SolveErrors()))
 		promMetric(w, "rsa_window_cache_hits_total", "counter",
 			"Windows planned from the shared plan cache.", float64(a.CacheHits()))
+		promMetric(w, "rsa_windows_degraded_total", "counter",
+			"Windows scheduled on reduced, health-re-interpreted capacity (a backend was down).",
+			float64(a.Degraded()))
 
 		names := a.Names()
 		promHeader(w, "rsa_windows_under_mc_total", "counter",

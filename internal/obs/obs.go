@@ -64,6 +64,11 @@ type Record struct {
 	TreeMsgsIn      uint64 `json:"tree_msgs_in"`
 	TreeMsgsOut     uint64 `json:"tree_msgs_out"`
 
+	// Degraded reports the window was scheduled while the health checker held
+	// at least one backend down — entitlements were computed from reduced,
+	// re-interpreted capacities (§2.2).
+	Degraded bool `json:"degraded"`
+
 	// CacheHit reports the window plan came from the engine's shared plan
 	// cache; SolveNanos is the wall-clock latency of acquiring the plan
 	// (lookup or LP solve). SolveErr marks a window whose solve failed, so
@@ -157,12 +162,13 @@ const DefaultRingDepth = 256
 // snapshots and metric scrapes; each Observer expects a single committing
 // writer (its redirector's window loop).
 type Observer struct {
-	id       int
-	n        int
-	ring     *Ring
-	auditor  *Auditor
-	logger   *Logger
-	treeInfo func() TreeInfo
+	id         int
+	n          int
+	ring       *Ring
+	auditor    *Auditor
+	logger     *Logger
+	treeInfo   func() TreeInfo
+	healthInfo func() bool
 }
 
 // NewObserver builds an observer.
@@ -221,6 +227,12 @@ func (o *Observer) Logger() *Logger {
 // node directly.
 func (o *Observer) SetTreeInfo(fn func() TreeInfo) { o.treeInfo = fn }
 
+// SetHealthInfo installs a degraded-state callback, invoked once per window
+// alongside the tree snapshot. It reports whether any backend is currently
+// held down by the health checker; windows scheduled in that state carry the
+// Degraded flag.
+func (o *Observer) SetHealthInfo(fn func() bool) { o.healthInfo = fn }
+
 // NewRecord allocates a record sized for this observer's principals, stamped
 // with its redirector id. Redirectors allocate one and reuse it every
 // window.
@@ -241,6 +253,15 @@ func (o *Observer) FillTree(rec *Record) {
 	rec.TreeGlobalEpoch = ti.GlobalEpoch
 	rec.TreeMsgsIn = ti.MsgsIn
 	rec.TreeMsgsOut = ti.MsgsOut
+}
+
+// FillHealth stamps rec with the current degraded flag (no-op without a
+// callback). Zero allocations.
+func (o *Observer) FillHealth(rec *Record) {
+	if o.healthInfo == nil {
+		return
+	}
+	rec.Degraded = o.healthInfo()
 }
 
 // Commit publishes one completed window: the record is appended to the ring

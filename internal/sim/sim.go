@@ -21,6 +21,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/simnet"
@@ -106,6 +107,15 @@ type Sim struct {
 	windowWorkers  int
 	windowTicker   *vclock.Ticker
 
+	// Fault-injection state (see fault.go in this package): servers by
+	// name, their owners and base capacities, which are currently crashed,
+	// and the optional capacity re-interpreter driven by crashes.
+	byName  map[string]*cluster.Server
+	owners  map[string]agreement.Principal
+	baseCap map[string]float64
+	crashed map[string]bool
+	reint   *health.Reinterpreter
+
 	// Reconfigurations counts topology rebuilds triggered by failure
 	// detection.
 	Reconfigurations int
@@ -160,6 +170,10 @@ func New(cfg Config) (*Sim, error) {
 		failed:         make(map[int]bool),
 		failureTimeout: cfg.FailureTimeout,
 		meanBytes:      cfg.MeanRequestBytes,
+		byName:         make(map[string]*cluster.Server),
+		owners:         make(map[string]agreement.Principal),
+		baseCap:        make(map[string]float64),
+		crashed:        make(map[string]bool),
 	}
 	s.Net = simnet.New(s.Clock, cfg.TreeDelay)
 
@@ -175,6 +189,9 @@ func New(cfg Config) (*Sim, error) {
 					s.Latency.Observe(req.Principal, at-req.IssuedAt)
 				})
 			s.Servers[spec.Owner] = append(s.Servers[spec.Owner], srv)
+			s.byName[name] = srv
+			s.owners[name] = spec.Owner
+			s.baseCap[name] = spec.Capacity
 		}
 	}
 
@@ -419,11 +436,15 @@ func (rn *RNode) Submit(req workload.Request) bool {
 	return true
 }
 
-// pickServer chooses the owner's least-backlogged server.
+// pickServer chooses the owner's least-backlogged live server (crashed
+// servers — see CrashServer — take no new work).
 func (s *Sim) pickServer(owner agreement.Principal) *cluster.Server {
 	servers := s.Servers[owner]
 	var best *cluster.Server
 	for _, srv := range servers {
+		if s.crashed[srv.Name()] {
+			continue
+		}
 		if best == nil || srv.QueueLen() < best.QueueLen() {
 			best = srv
 		}

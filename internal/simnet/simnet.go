@@ -29,6 +29,7 @@ type Network struct {
 	clock        *vclock.Clock
 	defaultDelay time.Duration
 	delays       map[link]time.Duration
+	cut          map[link]bool
 	handlers     map[NodeID]Handler
 	lossRate     float64
 	rng          *rand.Rand
@@ -49,6 +50,7 @@ func New(clock *vclock.Clock, defaultDelay time.Duration) *Network {
 		clock:        clock,
 		defaultDelay: defaultDelay,
 		delays:       make(map[link]time.Duration),
+		cut:          make(map[link]bool),
 		handlers:     make(map[NodeID]Handler),
 		rng:          rand.New(rand.NewSource(1)),
 	}
@@ -70,6 +72,19 @@ func (n *Network) SetDelay(from, to NodeID, d time.Duration) {
 func (n *Network) SetSymmetricDelay(a, b NodeID, d time.Duration) {
 	n.SetDelay(a, b, d)
 	n.SetDelay(b, a, d)
+}
+
+// SetPartitioned cuts (down=true) or heals (down=false) the link between a
+// and b in both directions. Messages sent over a cut link are counted as
+// sent but silently dropped — a network partition, not a delay.
+func (n *Network) SetPartitioned(a, b NodeID, down bool) {
+	if down {
+		n.cut[link{a, b}] = true
+		n.cut[link{b, a}] = true
+	} else {
+		delete(n.cut, link{a, b})
+		delete(n.cut, link{b, a})
+	}
 }
 
 // SetLossRate drops each message independently with probability p (0 ≤ p ≤ 1),
@@ -104,6 +119,9 @@ func (n *Network) Send(from, to NodeID, msg interface{}) {
 func (n *Network) SendSized(from, to NodeID, msg interface{}, size int) {
 	n.Sent++
 	n.Bytes += size
+	if n.cut[link{from, to}] {
+		return
+	}
 	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
 		return
 	}

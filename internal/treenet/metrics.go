@@ -1,0 +1,32 @@
+package treenet
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteMetrics appends the rsa_treenet_* Prometheus series for one tree
+// transport (and optional reparenter) to w. Either argument may be nil;
+// both front-ends call this from their obs.Handler Extra callbacks — before
+// this the transport's send errors were counted but unscrapeable.
+func WriteMetrics(w io.Writer, t *Transport, rep *Reparenter) {
+	if t == nil {
+		return
+	}
+	st := t.Stats()
+	obs.WriteMetric(w, "rsa_treenet_send_errors_total", "counter",
+		"Tree messages dropped (unknown peer, full queue, failed dial or write).", float64(st.SendErrors))
+	obs.WriteMetric(w, "rsa_treenet_queue_drops_total", "counter",
+		"Tree messages dropped because a peer's send queue was full.", float64(st.QueueDrops))
+	obs.WriteMetric(w, "rsa_treenet_dials_total", "counter",
+		"Peer connections established.", float64(st.Dials))
+	obs.WriteMetric(w, "rsa_treenet_reconnects_total", "counter",
+		"Peer connections re-established after a break.", float64(st.Reconnects))
+	obs.WriteMetric(w, "rsa_treenet_peers_connected", "gauge",
+		"Live outbound peer connections.", float64(st.PeersConnected))
+	if rep != nil {
+		obs.WriteMetric(w, "rsa_treenet_reparents_total", "counter",
+			"Times this node rewired itself around a silent tree neighbor.", float64(rep.Reparents()))
+	}
+}

@@ -1,0 +1,119 @@
+package treenet
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/combining"
+)
+
+// Reparenter is the failure detector that lets a real-TCP combining tree
+// survive dead peers. Every node runs one, seeded with the full member list
+// and fan-out, so each survivor holds the same deterministic topology
+// (combining.BuildTree) and — on detecting a silent neighbor — independently
+// computes the same repaired tree (combining.Topology.RemoveNode) and
+// rewires its own combining.Node. No coordination protocol is needed: the
+// rebuild is a pure function of (members, fanout, removed set), exactly like
+// internal/sim's virtual-time failure handling.
+//
+// Detection is local: a node only prunes neighbors it can observe (parent
+// and children) via combining.Node.LastHeard. If several nodes fail in ways
+// only some survivors can see, topologies may diverge until the silent
+// peers are observed locally; the paper's single-failure story (§3.2) is
+// what this guarantees, and conservative MC/R claiming covers the gap.
+type Reparenter struct {
+	mu         sync.Mutex
+	self       combining.NodeID
+	fanout     int
+	timeout    time.Duration
+	topo       combining.Topology
+	removed    map[combining.NodeID]bool
+	graceUntil time.Duration
+	started    bool
+	reparents  int
+}
+
+// NewReparenter builds a detector for node self in a tree of members laid
+// out by combining.BuildTree(members, fanout). timeout is how long a tree
+// neighbor may stay silent before it is declared dead; detection is
+// suppressed for one timeout after start and after every repair, giving new
+// neighbors a chance to be heard from.
+func NewReparenter(self combining.NodeID, members []combining.NodeID, fanout int, timeout time.Duration) *Reparenter {
+	return &Reparenter{
+		self:    self,
+		fanout:  fanout,
+		timeout: timeout,
+		topo:    combining.BuildTree(members, fanout),
+		removed: make(map[combining.NodeID]bool),
+	}
+}
+
+// Parent returns self's current parent (-1 when self is the root).
+func (r *Reparenter) Parent() combining.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.topo.Parent[r.self]
+}
+
+// Children returns self's current children.
+func (r *Reparenter) Children() []combining.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]combining.NodeID(nil), r.topo.Children[r.self]...)
+}
+
+// Reparents reports how many times this node rewired itself.
+func (r *Reparenter) Reparents() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reparents
+}
+
+// Check inspects self's tree neighbors at time now (on the same clock the
+// combining node's `now` callback uses) and, if one has been silent past
+// the failure timeout, removes it from the local topology and reconfigures
+// node. It reports whether a repair happened. Callers already serialize
+// node access (the window loop); Check must run under that same lock.
+func (r *Reparenter) Check(node *combining.Node, now time.Duration) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timeout <= 0 {
+		return false
+	}
+	if !r.started {
+		r.started = true
+		r.graceUntil = now + r.timeout
+	}
+	if now < r.graceUntil {
+		return false
+	}
+	neighbors := make([]combining.NodeID, 0, 1+len(r.topo.Children[r.self]))
+	if p := r.topo.Parent[r.self]; p >= 0 {
+		neighbors = append(neighbors, p)
+	}
+	neighbors = append(neighbors, r.topo.Children[r.self]...)
+
+	var failed combining.NodeID = -1
+	for _, nb := range neighbors {
+		at, heard := node.LastHeard(nb)
+		// A neighbor never heard from is measured from the end of the last
+		// grace window; one heard from is measured from its last message.
+		silentSince := r.graceUntil - r.timeout
+		if heard && at > silentSince {
+			silentSince = at
+		}
+		if now-silentSince > r.timeout {
+			failed = nb
+			break
+		}
+	}
+	if failed < 0 {
+		return false
+	}
+	r.topo = r.topo.RemoveNode(failed)
+	r.removed[failed] = true
+	r.graceUntil = now + r.timeout
+	r.reparents++
+	node.Reconfigure(r.topo.Parent[r.self], r.topo.Children[r.self])
+	return true
+}

@@ -1,11 +1,15 @@
 // Package treenet carries combining-tree messages between redirector
-// processes over TCP, one JSON-encoded message per connection. It is the
-// wide-area transport behind the real Layer-7/Layer-4 redirectors; the
-// virtual-time harness uses internal/simnet instead.
+// processes over TCP. It is the wide-area transport behind the real
+// Layer-7/Layer-4 redirectors; the virtual-time harness uses internal/simnet
+// instead.
 //
-// Delivery is best effort, exactly like the paper's scheme assumes: a lost
-// report only means the parent aggregates slightly staler data for one
-// epoch.
+// Each peer gets one persistent connection fed by a bounded send queue and a
+// single writer goroutine: a Send never blocks the window loop and never
+// spawns a goroutine, a broken connection is redialed with exponential
+// backoff, and a slow or dead peer costs at most the queue's buffered
+// messages. Delivery stays best effort, exactly like the paper's scheme
+// assumes: a lost report only means the parent aggregates slightly staler
+// data for one epoch.
 package treenet
 
 import (
@@ -19,6 +23,20 @@ import (
 	"repro/internal/combining"
 )
 
+const (
+	// sendQueueDepth bounds in-flight messages per peer; the window loop
+	// produces one report per epoch, so depth buys many epochs of outage.
+	sendQueueDepth = 128
+	dialTimeout    = 2 * time.Second
+	writeTimeout   = 2 * time.Second
+	// idleTimeout closes inbound connections with no traffic; peers redial
+	// transparently.
+	idleTimeout = 60 * time.Second
+	// backoffBase/backoffMax bound the redial schedule of a peer writer.
+	backoffBase = 50 * time.Millisecond
+	backoffMax  = 2 * time.Second
+)
+
 // Spec describes one node's place in a combining tree of redirector
 // processes, plus the transport addresses of its peers. Both the Layer-7
 // and Layer-4 redirectors take a Spec to join a tree.
@@ -29,6 +47,15 @@ type Spec struct {
 	Peers    map[combining.NodeID]string
 	// ListenAddr is the tree transport bind address (default 127.0.0.1:0).
 	ListenAddr string
+	// Members lists every tree node id. When set (with Fanout), the
+	// redirector can rebuild the topology locally after a peer failure; see
+	// Reparenter.
+	Members []combining.NodeID
+	// Fanout is the tree fan-out Members was laid out with (default 2).
+	Fanout int
+	// FailureTimeout is how long a tree neighbor may stay silent before the
+	// node re-parents around it (0 disables failure detection).
+	FailureTimeout time.Duration
 }
 
 // Handler receives decoded tree messages. It is called from connection
@@ -43,6 +70,42 @@ type envelope struct {
 	Agg   combining.Aggregate `json:"agg"`
 }
 
+// peer is one neighbor's outbound state: an address, a bounded queue, and a
+// writer goroutine that owns the connection.
+type peer struct {
+	id combining.NodeID
+	ch chan envelope
+
+	mu         sync.Mutex
+	addr       string
+	backoff    time.Duration
+	nextDialAt time.Time
+	everDialed bool
+}
+
+func (p *peer) address() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// Stats is a snapshot of the transport's health counters, exported through
+// /metrics as the rsa_treenet_* series.
+type Stats struct {
+	// SendErrors counts messages dropped for any reason: unknown peer,
+	// closed transport, full queue, failed dial or write.
+	SendErrors int
+	// QueueDrops counts the SendErrors caused by a full per-peer queue.
+	QueueDrops int
+	// Dials counts connections successfully established.
+	Dials int
+	// Reconnects counts successful dials beyond the first per peer — each
+	// one is a connection that broke and was repaired.
+	Reconnects int
+	// PeersConnected is the current number of live outbound connections.
+	PeersConnected int
+}
+
 // Transport is one node's endpoint.
 type Transport struct {
 	self    combining.NodeID
@@ -50,13 +113,12 @@ type Transport struct {
 	handler Handler
 
 	mu     sync.Mutex
-	peers  map[combining.NodeID]string
+	peers  map[combining.NodeID]*peer
 	closed bool
+	stats  Stats
 
-	// SendErrors counts messages dropped because a peer was unreachable or
-	// unknown.
-	sendErrors int
-	wg         sync.WaitGroup
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
 // Listen starts a transport for node self on addr (use "127.0.0.1:0" for an
@@ -70,7 +132,8 @@ func Listen(self combining.NodeID, addr string, handler Handler) (*Transport, er
 		self:    self,
 		ln:      ln,
 		handler: handler,
-		peers:   make(map[combining.NodeID]string),
+		peers:   make(map[combining.NodeID]*peer),
+		stop:    make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -80,32 +143,57 @@ func Listen(self combining.NodeID, addr string, handler Handler) (*Transport, er
 // Addr returns the transport's bound address for peer configuration.
 func (t *Transport) Addr() string { return t.ln.Addr().String() }
 
-// SetPeer registers (or updates) the address of a tree neighbor.
+// SetPeer registers (or updates) the address of a tree neighbor. The peer's
+// writer picks the new address up on its next (re)dial.
 func (t *Transport) SetPeer(id combining.NodeID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.peers[id] = addr
+	if p, ok := t.peers[id]; ok {
+		p.mu.Lock()
+		if p.addr != addr {
+			p.addr = addr
+			// New address: dial eagerly, the old backoff no longer applies.
+			p.nextDialAt = time.Time{}
+			p.backoff = backoffBase
+		}
+		p.mu.Unlock()
+		return
+	}
+	p := &peer{id: id, ch: make(chan envelope, sendQueueDepth), addr: addr, backoff: backoffBase}
+	t.peers[id] = p
+	if !t.closed {
+		t.wg.Add(1)
+		go t.writeLoop(p)
+	}
 }
 
 // SendErrors reports how many sends were dropped so far.
 func (t *Transport) SendErrors() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.sendErrors
+	return t.stats.SendErrors
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
 }
 
 func (t *Transport) dropSend() {
 	t.mu.Lock()
-	t.sendErrors++
+	t.stats.SendErrors++
 	t.mu.Unlock()
 }
 
 // Send transmits a combining.Report or combining.Broadcast to a peer. It
-// satisfies combining.SendFunc and never blocks the caller beyond a dial
-// timeout; failures are counted, not returned.
+// satisfies combining.SendFunc and never blocks: the message is queued for
+// the peer's writer goroutine, and dropped (counted) if the queue is full,
+// the peer is unknown, or the transport is closed.
 func (t *Transport) Send(to combining.NodeID, msg interface{}) {
 	t.mu.Lock()
-	addr, ok := t.peers[to]
+	p, ok := t.peers[to]
 	closed := t.closed
 	t.mu.Unlock()
 	if !ok || closed {
@@ -122,20 +210,94 @@ func (t *Transport) Send(to combining.NodeID, msg interface{}) {
 		t.dropSend()
 		return
 	}
-	t.wg.Add(1)
-	go func() {
-		defer t.wg.Done()
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err != nil {
-			t.dropSend()
+	select {
+	case p.ch <- env:
+	default:
+		t.mu.Lock()
+		t.stats.SendErrors++
+		t.stats.QueueDrops++
+		t.mu.Unlock()
+	}
+}
+
+// writeLoop owns peer p's connection: it dials lazily on the first queued
+// message, re-dials with exponential backoff after failures, and retries a
+// message once on a stale connection (the peer may have restarted since the
+// last write).
+func (t *Transport) writeLoop(p *peer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var enc *json.Encoder
+	disconnect := func() {
+		if conn != nil {
+			conn.Close()
+			conn, enc = nil, nil
+			t.mu.Lock()
+			t.stats.PeersConnected--
+			t.mu.Unlock()
+		}
+	}
+	defer disconnect()
+	for {
+		select {
+		case <-t.stop:
 			return
+		case env := <-p.ch:
+			sent := false
+			for attempt := 0; attempt < 2 && !sent; attempt++ {
+				if conn == nil && !t.redial(p, &conn, &enc) {
+					break
+				}
+				_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				if err := enc.Encode(env); err != nil {
+					disconnect()
+					continue
+				}
+				sent = true
+			}
+			if !sent {
+				t.dropSend()
+			}
 		}
-		defer conn.Close()
-		_ = conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		if err := json.NewEncoder(conn).Encode(env); err != nil {
-			t.dropSend()
+	}
+}
+
+// redial establishes peer p's connection, respecting the backoff window. It
+// reports whether conn is usable afterwards.
+func (t *Transport) redial(p *peer, conn *net.Conn, enc **json.Encoder) bool {
+	p.mu.Lock()
+	addr := p.addr
+	wait := !p.nextDialAt.IsZero() && time.Now().Before(p.nextDialAt)
+	p.mu.Unlock()
+	if wait {
+		return false
+	}
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	p.mu.Lock()
+	if err != nil {
+		p.nextDialAt = time.Now().Add(p.backoff)
+		p.backoff *= 2
+		if p.backoff > backoffMax {
+			p.backoff = backoffMax
 		}
-	}()
+		p.mu.Unlock()
+		return false
+	}
+	p.backoff = backoffBase
+	p.nextDialAt = time.Time{}
+	again := p.everDialed
+	p.everDialed = true
+	p.mu.Unlock()
+
+	*conn, *enc = c, json.NewEncoder(c)
+	t.mu.Lock()
+	t.stats.Dials++
+	t.stats.PeersConnected++
+	if again {
+		t.stats.Reconnects++
+	}
+	t.mu.Unlock()
+	return true
 }
 
 func (t *Transport) acceptLoop() {
@@ -149,29 +311,48 @@ func (t *Transport) acceptLoop() {
 			continue
 		}
 		t.wg.Add(1)
-		go func() {
-			defer t.wg.Done()
-			defer conn.Close()
-			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-			var env envelope
-			if err := json.NewDecoder(conn).Decode(&env); err != nil {
-				return
-			}
-			var msg interface{}
-			switch env.Kind {
-			case "report":
-				msg = combining.Report{Epoch: env.Epoch, Agg: env.Agg}
-			case "broadcast":
-				msg = combining.Broadcast{Epoch: env.Epoch, Agg: env.Agg}
-			default:
-				return
-			}
-			t.handler(combining.NodeID(env.From), msg)
-		}()
+		go t.readLoop(conn)
 	}
 }
 
-// Close shuts the listener down and waits for in-flight handlers and sends.
+// readLoop decodes a stream of envelopes from one inbound connection until
+// the peer hangs up, a decode fails, or the idle deadline expires.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	done := make(chan struct{})
+	defer close(done)
+	defer conn.Close()
+	t.wg.Add(1)
+	go func() { // unblock the pending Read when the transport closes
+		defer t.wg.Done()
+		select {
+		case <-t.stop:
+			conn.Close()
+		case <-done:
+		}
+	}()
+	dec := json.NewDecoder(conn)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(idleTimeout))
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		var msg interface{}
+		switch env.Kind {
+		case "report":
+			msg = combining.Report{Epoch: env.Epoch, Agg: env.Agg}
+		case "broadcast":
+			msg = combining.Broadcast{Epoch: env.Epoch, Agg: env.Agg}
+		default:
+			continue
+		}
+		t.handler(combining.NodeID(env.From), msg)
+	}
+}
+
+// Close shuts the listener down, tears down peer connections, and waits for
+// the writer and reader goroutines.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -180,6 +361,7 @@ func (t *Transport) Close() error {
 	}
 	t.closed = true
 	t.mu.Unlock()
+	close(t.stop)
 	err := t.ln.Close()
 	t.wg.Wait()
 	return err
