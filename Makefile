@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json experiments fmt cover
+.PHONY: all build vet test test-short race bench bench-json experiments fmt cover apicompat
 
 all: build vet test
 
@@ -35,6 +35,11 @@ bench-json:
 # Regenerate every paper figure and print paper-vs-measured tables.
 experiments:
 	$(GO) run ./cmd/experiment -id all
+
+# Exported-API compatibility against the parent commit (see
+# scripts/apicompat.allow for deliberate breaks).
+apicompat:
+	scripts/apicompat.sh
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,225 @@
+// Command apisurface prints the repository's exported Go API surface as
+// sorted plain text, one declaration per line:
+//
+//	internal/core: func (*Engine) StageSet(set *agreement.Set, gateEpoch int) (Version, error)
+//	internal/core: type Engine struct
+//	internal/core: type Config struct { field System *agreement.System }
+//
+// It is the fingerprint behind scripts/apicompat.sh: CI renders the surface
+// of HEAD and its parent and diffs them, so removing or re-typing an
+// exported declaration fails the build unless the change is allowlisted.
+// Only exported identifiers reachable from an exported parent appear;
+// unexported struct fields, interface embeds of unexported types, and test
+// files are invisible to the fingerprint.
+//
+// Usage: apisurface [root] (default ".") — walks every non-test Go file
+// under root, skipping vendor/, testdata/, and hidden directories.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	lines, err := surface(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apisurface:", err)
+		os.Exit(1)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// surface renders the exported API of every package under root as sorted
+// "pkgdir: decl" lines.
+func surface(root string) ([]string, error) {
+	fset := token.NewFileSet()
+	var lines []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return perr
+		}
+		pkg, rerr := filepath.Rel(root, filepath.Dir(path))
+		if rerr != nil {
+			pkg = filepath.Dir(path)
+		}
+		lines = append(lines, fileSurface(fset, pkg, f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(lines)
+	// The same declaration can repeat across files only by build-tag
+	// duplication; dedupe so it cannot double-count.
+	out := lines[:0]
+	for i, l := range lines {
+		if i == 0 || l != lines[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}
+
+func fileSurface(fset *token.FileSet, pkg string, f *ast.File) []string {
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf("%s: ", pkg)+fmt.Sprintf(format, args...))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+				continue
+			}
+			add("%s", render(fset, &ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}))
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					lines = append(lines, typeSurface(fset, pkg, s)...)
+				case *ast.ValueSpec:
+					kw := "var"
+					if d.Tok == token.CONST {
+						kw = "const"
+					}
+					for _, n := range s.Names {
+						if !n.IsExported() {
+							continue
+						}
+						if s.Type != nil {
+							add("%s %s %s", kw, n.Name, render(fset, s.Type))
+						} else {
+							add("%s %s", kw, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// typeSurface renders an exported type: its kind, then one line per exported
+// struct field or interface method, so adding an unexported field is
+// invisible while removing an exported one is a distinct diff line.
+func typeSurface(fset *token.FileSet, pkg string, s *ast.TypeSpec) []string {
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf("%s: ", pkg)+fmt.Sprintf(format, args...))
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		add("type %s struct", s.Name.Name)
+		for _, f := range t.Fields.List {
+			if len(f.Names) == 0 { // embedded
+				if name := embeddedName(f.Type); name != "" && ast.IsExported(name) {
+					add("type %s struct { embed %s }", s.Name.Name, render(fset, f.Type))
+				}
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					add("type %s struct { field %s %s }", s.Name.Name, n.Name, render(fset, f.Type))
+				}
+			}
+		}
+	case *ast.InterfaceType:
+		add("type %s interface", s.Name.Name)
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				add("type %s interface { embed %s }", s.Name.Name, render(fset, m.Type))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					add("type %s interface { method %s%s }", s.Name.Name, n.Name,
+						strings.TrimPrefix(render(fset, m.Type), "func"))
+				}
+			}
+		}
+	default:
+		add("type %s = %s", s.Name.Name, render(fset, s.Type))
+	}
+	return lines
+}
+
+// exportedRecv reports whether a method's receiver type is itself exported
+// (methods on unexported types are not API).
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true // plain function
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func embeddedName(t ast.Expr) string {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// render prints an AST node on one line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

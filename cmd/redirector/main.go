@@ -94,8 +94,10 @@ func main() {
 		r, err := l7.NewRedirector(l7.RedirectorConfig{
 			Engine: eng, ID: *id, Addr: f.L7.Addr,
 			Orgs: orgs, Backends: backends, Tree: tree,
-			Proxy:  f.L7.Proxy,
-			Health: f.Health.Options(),
+			Proxy:    f.L7.Proxy,
+			Health:   f.Health.Options(),
+			Ctrl:     f.Ctrl != nil && f.Ctrl.Enabled,
+			CtrlLead: ctrlLead(f),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -127,7 +129,9 @@ func main() {
 		}
 		r, err := l4.NewRedirector(l4.Config{
 			Engine: eng, ID: *id, Services: services, Backends: backends, Tree: tree,
-			Health: f.Health.Options(),
+			Health:   f.Health.Options(),
+			Ctrl:     f.Ctrl != nil && f.Ctrl.Enabled,
+			CtrlLead: ctrlLead(f),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -165,6 +169,15 @@ func serveAdmin(addr string, h *obs.Handler) string {
 		log.Fatalf("admin listener %s: %v", addr, err)
 	}
 	return bound
+}
+
+// ctrlLead extracts the rollout lead (0 lets the front-end pick the
+// default) from the optional ctrl section.
+func ctrlLead(f *config.File) int {
+	if f.Ctrl == nil {
+		return 0
+	}
+	return f.Ctrl.RolloutLeadEpochs
 }
 
 func treeSpec(f *config.File) (*treenet.Spec, error) {

@@ -206,11 +206,18 @@ func (s *System) Agreements() []Agreement {
 }
 
 // mandatoryOut is Σ_j lb_pj — the fraction of p's currency granted away
-// mandatorily (the "leak" in Figure 5b).
+// mandatorily (the "leak" in Figure 5b). Summation runs in sorted user order
+// so the float result is identical across calls; fold determinism (and with
+// it the control plane's bit-reproducible rollouts) depends on it.
 func (s *System) mandatoryOut(p Principal) float64 {
+	users := make([]Principal, 0, len(s.edges[p]))
+	for u := range s.edges[p] {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
 	total := 0.0
-	for _, b := range s.edges[p] {
-		total += b[0]
+	for _, u := range users {
+		total += s.edges[p][u][0]
 	}
 	return total
 }

@@ -1,6 +1,9 @@
 package agreement
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Flows holds the capacity-independent path sums of Figure 5, precomputed so
 // that entitlements under any capacity vector are a cheap scaling (the paper:
@@ -29,9 +32,90 @@ const maxPathExpansions = 4_000_000
 
 // Flows enumerates simple paths in the agreement graph and returns the
 // precomputed MT/OT matrices. The result snapshots the agreement structure:
-// later SetAgreement calls require recomputation, while capacity changes do
-// not (use Access with a fresh capacity vector).
+// later SetAgreement calls require recomputation (see RefoldFrom for the
+// incremental form), while capacity changes do not (use Access with a fresh
+// capacity vector).
 func (s *System) Flows() (*Flows, error) {
+	n := len(s.names)
+	f := s.emptyFlows()
+	w := &folder{f: f, adj: s.flowAdjacency(), visited: make([]bool, n)}
+	for k := 0; k < n; k++ {
+		if err := w.foldRow(k); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// RefoldFrom recomputes the path sums after a structural change confined to
+// the given dirty owners — principals whose *outgoing* agreement edges were
+// added, removed, or rebounded — reusing prev's rows for every unaffected
+// source. Row k of MT/OT changes only if some simple path from k crosses a
+// changed edge, and every changed edge originates at a dirty owner, so the
+// affected sources are exactly those that can reach a dirty owner in the
+// post-change graph (a removed edge leaves its owner dirty, so no source
+// that used it is missed). Refold cost is proportional to the dirty paths,
+// not the whole graph; the re-run rows accumulate in the same deterministic
+// order as Flows, so refolded and from-scratch results are bit-identical.
+//
+// A nil prev (or a principal-count mismatch) degrades to a full Flows; an
+// empty dirty set returns prev unchanged, since capacity changes never touch
+// the path sums (§2.2).
+func (s *System) RefoldFrom(prev *Flows, dirty []Principal) (*Flows, error) {
+	n := len(s.names)
+	if prev == nil || prev.n != n {
+		return s.Flows()
+	}
+	if len(dirty) == 0 {
+		return prev, nil
+	}
+	adj := s.flowAdjacency()
+	rev := make([][]int, n)
+	for o := range adj {
+		for _, e := range adj[o] {
+			rev[e.to] = append(rev[e.to], o)
+		}
+	}
+	affected := make([]bool, n)
+	queue := make([]int, 0, n)
+	for _, d := range dirty {
+		if !s.valid(d) {
+			return nil, fmt.Errorf("%w: %d", ErrUnknown, int(d))
+		}
+		if !affected[d] {
+			affected[d] = true
+			queue = append(queue, int(d))
+		}
+	}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		for _, src := range rev[at] {
+			if !affected[src] {
+				affected[src] = true
+				queue = append(queue, src)
+			}
+		}
+	}
+
+	f := s.emptyFlows()
+	w := &folder{f: f, adj: adj, visited: make([]bool, n)}
+	for k := 0; k < n; k++ {
+		if !affected[k] {
+			copy(f.MT[k], prev.MT[k])
+			copy(f.OT[k], prev.OT[k])
+			continue
+		}
+		if err := w.foldRow(k); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// emptyFlows allocates a Flows shell with the system's current sumLB vector
+// (cheap; recomputed wholesale on every fold and refold).
+func (s *System) emptyFlows() *Flows {
 	n := len(s.names)
 	f := &Flows{
 		n:      n,
@@ -43,58 +127,75 @@ func (s *System) Flows() (*Flows, error) {
 	for i := 0; i < n; i++ {
 		f.sumLB[i] = s.mandatoryOut(Principal(i))
 	}
+	return f
+}
 
-	type edge struct {
-		to     int
-		lb, ub float64
-	}
-	adj := make([][]edge, n)
+// flowEdge is one directed agreement edge in adjacency-list form.
+type flowEdge struct {
+	to     int
+	lb, ub float64
+}
+
+// flowAdjacency builds the adjacency lists sorted by target principal, so
+// floating-point path sums always accumulate in the same order: two folds of
+// the same graph — full or incremental — are bit-identical. The control
+// plane's reproducible-rollout guarantee relies on this.
+func (s *System) flowAdjacency() [][]flowEdge {
+	n := len(s.names)
+	adj := make([][]flowEdge, n)
 	for o := 0; o < n; o++ {
 		for u, b := range s.edges[o] {
-			adj[o] = append(adj[o], edge{to: int(u), lb: b[0], ub: b[1]})
+			adj[o] = append(adj[o], flowEdge{to: int(u), lb: b[0], ub: b[1]})
 		}
+		sort.Slice(adj[o], func(i, j int) bool { return adj[o][i].to < adj[o][j].to })
 	}
+	return adj
+}
 
-	expansions := 0
-	visited := make([]bool, n)
-	// dfs walks simple paths from source k carrying two running products:
-	// mand = Π lb over the path so far, and opt = Σ over choices of the
-	// optional hop r of (Π_{<r} lb)·(ub_r−lb_r)·(Π_{>r} ub).
-	var dfs func(k, at int, mand, opt float64) error
-	dfs = func(k, at int, mand, opt float64) error {
-		for _, e := range adj[at] {
-			if visited[e.to] {
-				continue
-			}
-			expansions++
-			if expansions > maxPathExpansions {
-				return fmt.Errorf("%w: more than %d path expansions", ErrTooManyPaths, maxPathExpansions)
-			}
-			nm := mand * e.lb
-			no := opt*e.ub + mand*(e.ub-e.lb)
-			f.MT[k][e.to] += nm
-			f.OT[k][e.to] += no
-			if nm == 0 && no == 0 {
-				continue // nothing further can flow down this path
-			}
-			visited[e.to] = true
-			if err := dfs(k, e.to, nm, no); err != nil {
-				return err
-			}
-			visited[e.to] = false
-		}
-		return nil
-	}
+// folder runs the Figure-5 simple-path enumeration for one fold (or refold),
+// carrying the expansion budget across rows.
+type folder struct {
+	f          *Flows
+	adj        [][]flowEdge
+	visited    []bool
+	expansions int
+}
 
-	for k := 0; k < n; k++ {
-		f.MT[k][k] = 1 // a currency always includes its own physical backing
-		visited[k] = true
-		if err := dfs(k, k, 1, 0); err != nil {
-			return nil, err
+// foldRow computes MT[k]/OT[k] from scratch.
+func (w *folder) foldRow(k int) error {
+	w.f.MT[k][k] = 1 // a currency always includes its own physical backing
+	w.visited[k] = true
+	err := w.dfs(k, k, 1, 0)
+	w.visited[k] = false
+	return err
+}
+
+// dfs walks simple paths from source k carrying two running products:
+// mand = Π lb over the path so far, and opt = Σ over choices of the
+// optional hop r of (Π_{<r} lb)·(ub_r−lb_r)·(Π_{>r} ub).
+func (w *folder) dfs(k, at int, mand, opt float64) error {
+	for _, e := range w.adj[at] {
+		if w.visited[e.to] {
+			continue
 		}
-		visited[k] = false
+		w.expansions++
+		if w.expansions > maxPathExpansions {
+			return fmt.Errorf("%w: more than %d path expansions", ErrTooManyPaths, maxPathExpansions)
+		}
+		nm := mand * e.lb
+		no := opt*e.ub + mand*(e.ub-e.lb)
+		w.f.MT[k][e.to] += nm
+		w.f.OT[k][e.to] += no
+		if nm == 0 && no == 0 {
+			continue // nothing further can flow down this path
+		}
+		w.visited[e.to] = true
+		if err := w.dfs(k, e.to, nm, no); err != nil {
+			return err
+		}
+		w.visited[e.to] = false
 	}
-	return f, nil
+	return nil
 }
 
 func newMatrix(n int) [][]float64 {

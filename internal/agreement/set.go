@@ -1,0 +1,155 @@
+package agreement
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// SetPrincipal is one principal's entry in a Set snapshot. A departed
+// principal stays in the snapshot with zero capacity and no agreements, so
+// Principal indices remain stable across every node applying the same set.
+type SetPrincipal struct {
+	Name     string  `json:"name"`
+	Capacity float64 `json:"capacity"`
+}
+
+// Set is an immutable, monotonically versioned snapshot of the whole
+// agreement state: the control plane produces one per accepted mutation and
+// the combining tree distributes it to every redirector. Snapshots are
+// self-contained (full state, not deltas), so a node that missed
+// intermediate versions converges by applying only the newest one.
+type Set struct {
+	Version    uint64         `json:"version"`
+	Principals []SetPrincipal `json:"principals"`
+	Agreements []Agreement    `json:"agreements"`
+}
+
+// Snapshot captures the system's current principals and agreements as a Set
+// stamped with the given version. The agreements are in the deterministic
+// (owner, user) order of Agreements.
+func (s *System) Snapshot(version uint64) *Set {
+	set := &Set{Version: version, Principals: make([]SetPrincipal, len(s.names))}
+	for i, name := range s.names {
+		set.Principals[i] = SetPrincipal{Name: name, Capacity: s.capacities[i]}
+	}
+	set.Agreements = s.Agreements()
+	return set
+}
+
+// Encode serializes the set for distribution (the combining-tree piggyback
+// payload).
+func (s *Set) Encode() ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSet parses a Set produced by Encode.
+func DecodeSet(data []byte) (*Set, error) {
+	var s Set
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("agreement: decode set: %w", err)
+	}
+	return &s, nil
+}
+
+// Clone returns a deep copy of the system. The control plane validates
+// mutations against a clone before committing them to the live engine.
+func (s *System) Clone() *System {
+	c := &System{
+		names:      append([]string(nil), s.names...),
+		capacities: append([]float64(nil), s.capacities...),
+		byName:     make(map[string]Principal, len(s.byName)),
+		edges:      make([]map[Principal][2]float64, len(s.edges)),
+	}
+	for name, p := range s.byName {
+		c.byName[name] = p
+	}
+	for o, m := range s.edges {
+		if m == nil {
+			continue
+		}
+		c.edges[o] = make(map[Principal][2]float64, len(m))
+		for u, b := range m {
+			c.edges[o][u] = b
+		}
+	}
+	return c
+}
+
+// ApplySet reconciles the system in place with the snapshot: capacities are
+// updated and the direct agreement edges are replaced wholesale. The
+// principal universe is fixed — the set must name the same principals in the
+// same order (join/leave are capacity and agreement changes over a
+// pre-declared universe, keeping Principal indices stable fleet-wide). The
+// whole set is validated before anything is mutated; on error the system is
+// unchanged. On success it returns the owners whose outgoing agreements
+// changed — the dirty set for RefoldFrom.
+func (s *System) ApplySet(set *Set) ([]Principal, error) {
+	n := len(s.names)
+	if set == nil || len(set.Principals) != n {
+		got := 0
+		if set != nil {
+			got = len(set.Principals)
+		}
+		return nil, fmt.Errorf("%w: set has %d principals, system has %d", ErrDimensionLength, got, n)
+	}
+	for i, p := range set.Principals {
+		if p.Name != s.names[i] {
+			return nil, fmt.Errorf("%w: set principal %d is %q, system has %q", ErrUnknown, i, p.Name, s.names[i])
+		}
+		if math.IsNaN(p.Capacity) || math.IsInf(p.Capacity, 0) || p.Capacity < 0 {
+			return nil, fmt.Errorf("%w: %q has capacity %v", ErrBadCapacity, p.Name, p.Capacity)
+		}
+	}
+	// Build and validate the desired edge maps before touching anything.
+	desired := make([]map[Principal][2]float64, n)
+	for _, a := range set.Agreements {
+		if !s.valid(a.Owner) || !s.valid(a.User) {
+			return nil, fmt.Errorf("%w: %d→%d", ErrUnknown, int(a.Owner), int(a.User))
+		}
+		if a.Owner == a.User {
+			return nil, fmt.Errorf("%w: %s", ErrSelfAgreement, s.names[a.Owner])
+		}
+		if math.IsNaN(a.LB) || math.IsNaN(a.UB) || a.LB < 0 || a.UB < a.LB || a.UB > 1 {
+			return nil, fmt.Errorf("%w: [%v, %v]", ErrBadBounds, a.LB, a.UB)
+		}
+		if a.LB == 0 && a.UB == 0 {
+			continue // an explicit removal: simply absent from the desired state
+		}
+		if desired[a.Owner] == nil {
+			desired[a.Owner] = make(map[Principal][2]float64)
+		}
+		desired[a.Owner][a.User] = [2]float64{a.LB, a.UB}
+	}
+	for o := 0; o < n; o++ {
+		total := 0.0
+		for _, b := range desired[o] {
+			total += b[0]
+		}
+		if total > 1+1e-12 {
+			return nil, fmt.Errorf("%w: %s would grant %.3f mandatorily", ErrOverCommitted, s.names[o], total)
+		}
+	}
+	// Commit: capacities, then edges, collecting the dirty owners.
+	for i, p := range set.Principals {
+		s.capacities[i] = p.Capacity
+	}
+	var dirty []Principal
+	for o := 0; o < n; o++ {
+		if !edgesEqual(s.edges[o], desired[o]) {
+			s.edges[o] = desired[o]
+			dirty = append(dirty, Principal(o))
+		}
+	}
+	return dirty, nil
+}
+
+func edgesEqual(a, b map[Principal][2]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u, ba := range a {
+		if bb, ok := b[u]; !ok || bb != ba {
+			return false
+		}
+	}
+	return true
+}

@@ -15,6 +15,7 @@ package combining
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -110,25 +111,51 @@ func (a Aggregate) clone() Aggregate {
 	return c
 }
 
+// ConfigUpdate is a versioned configuration payload piggybacked on the
+// tree's own epoch messages: the control plane hands the root an encoded
+// agreement-set snapshot, every downward Broadcast carries the newest one,
+// and upward Reports acknowledge the version each node holds. No extra
+// messages are spent — distribution rides the existing 2(n−1)/epoch flow.
+// A ConfigUpdate is immutable once published; nodes share the pointer.
+type ConfigUpdate struct {
+	// Version is the fleet-wide agreement-set version (monotonic).
+	Version uint64
+	// GateEpoch is the root epoch at which redirectors swap to this
+	// configuration's scheduling state (the epoch gate).
+	GateEpoch int
+	// Payload is the encoded agreement.Set.
+	Payload []byte
+}
+
 // Report flows up the tree: the combined aggregate of a subtree.
 type Report struct {
 	Epoch int
 	Agg   Aggregate
+	// AckVersion is the configuration version the sender currently holds
+	// (0 when none) — the root's visibility into rollout progress.
+	AckVersion uint64
 }
 
-// Broadcast flows down the tree: the global aggregate computed at the root.
+// Broadcast flows down the tree: the global aggregate computed at the root,
+// plus the newest configuration update (nil when none has been published).
 type Broadcast struct {
-	Epoch int
-	Agg   Aggregate
+	Epoch  int
+	Agg    Aggregate
+	Config *ConfigUpdate
 }
 
 // SendFunc transmits a message toward another node.
 type SendFunc func(to NodeID, msg interface{})
 
-// Node is one combining-tree participant. Not safe for concurrent use; the
-// owner serializes Tick/OnMessage/SetLocal (the simulation loop or a single
-// network goroutine).
+// Node is one combining-tree participant. All methods are safe for
+// concurrent use: the window loop Ticks it, the transport goroutine feeds
+// OnMessage, and the control plane reads Epoch/Config and publishes
+// SetConfig from admin handlers. Message sends are asynchronous in every
+// transport (simnet schedules deliveries, treenet enqueues), so the
+// internal lock is never held across a blocking operation.
 type Node struct {
+	mu sync.Mutex
+
 	id          NodeID
 	parent      NodeID // -1 at the root
 	children    []NodeID
@@ -144,6 +171,12 @@ type Node struct {
 	globalAt    time.Duration
 	globalEpoch int
 	haveGlobal  bool
+
+	// config is the newest configuration update seen (nil when none);
+	// onConfig fires when a strictly newer version arrives from the parent.
+	config    *ConfigUpdate
+	onConfig  func(*ConfigUpdate)
+	childAcks map[NodeID]uint64
 
 	reportsIn    uint64
 	broadcastsIn uint64
@@ -165,6 +198,7 @@ func NewNode(id NodeID, parent NodeID, children []NodeID, numPrincipals int,
 		childAggs:   make(map[NodeID]Aggregate),
 		childEpochs: make(map[NodeID]int),
 		lastHeard:   make(map[NodeID]time.Duration),
+		childAcks:   make(map[NodeID]uint64),
 	}
 }
 
@@ -172,10 +206,19 @@ func NewNode(id NodeID, parent NodeID, children []NodeID, numPrincipals int,
 func (n *Node) ID() NodeID { return n.id }
 
 // IsRoot reports whether this node is the tree root.
-func (n *Node) IsRoot() bool { return n.parent < 0 }
+func (n *Node) IsRoot() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.isRoot()
+}
+
+// isRoot is IsRoot with the lock already held.
+func (n *Node) isRoot() bool { return n.parent < 0 }
 
 // SetLocal records the node's current local queue-length vector.
 func (n *Node) SetLocal(values []float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	copy(n.local, values)
 	for i := len(values); i < n.numPrin; i++ {
 		n.local[i] = 0
@@ -196,14 +239,16 @@ func (n *Node) subtree() Aggregate {
 // Tick runs one epoch: leaves and intermediates push their subtree aggregate
 // to their parent; the root computes the global aggregate and broadcasts it.
 func (n *Node) Tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.epoch++
 	agg := n.subtree()
-	if n.IsRoot() {
-		n.acceptGlobal(Broadcast{Epoch: n.epoch, Agg: agg})
+	if n.isRoot() {
+		n.acceptGlobal(Broadcast{Epoch: n.epoch, Agg: agg, Config: n.config})
 		return
 	}
 	n.msgsOut++
-	n.send(n.parent, Report{Epoch: n.epoch, Agg: agg.clone()})
+	n.send(n.parent, Report{Epoch: n.epoch, Agg: agg.clone(), AckVersion: n.configVersion()})
 }
 
 func (n *Node) acceptGlobal(b Broadcast) {
@@ -211,9 +256,17 @@ func (n *Node) acceptGlobal(b Broadcast) {
 	n.globalAt = n.now()
 	n.globalEpoch = b.Epoch
 	n.haveGlobal = true
+	if b.Config != nil && (n.config == nil || b.Config.Version > n.config.Version) {
+		n.config = b.Config
+		if n.onConfig != nil {
+			n.onConfig(b.Config)
+		}
+	}
 	for _, c := range n.children {
 		n.msgsOut++
-		n.send(c, Broadcast{Epoch: b.Epoch, Agg: b.Agg.clone()})
+		// Always forward the newest configuration held, not the incoming
+		// one: a reordered older broadcast must not regress descendants.
+		n.send(c, Broadcast{Epoch: b.Epoch, Agg: b.Agg.clone(), Config: n.config})
 	}
 }
 
@@ -222,6 +275,8 @@ func (n *Node) acceptGlobal(b Broadcast) {
 // what is already held — TCP transports may reorder deliveries, and a stale
 // report must not overwrite a fresher one.
 func (n *Node) OnMessage(from NodeID, msg interface{}) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	switch m := msg.(type) {
 	case Report:
 		n.reportsIn++
@@ -231,6 +286,9 @@ func (n *Node) OnMessage(from NodeID, msg interface{}) {
 		}
 		n.childAggs[from] = m.Agg
 		n.childEpochs[from] = m.Epoch
+		if m.AckVersion > n.childAcks[from] {
+			n.childAcks[from] = m.AckVersion
+		}
 	case Broadcast:
 		n.broadcastsIn++
 		n.lastHeard[from] = n.now()
@@ -245,6 +303,8 @@ func (n *Node) OnMessage(from NodeID, msg interface{}) {
 // ok is false if it has never been heard. Failure detectors use this to
 // decide when to rebuild the tree.
 func (n *Node) LastHeard(neighbor NodeID) (time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	at, ok := n.lastHeard[neighbor]
 	return at, ok
 }
@@ -252,20 +312,83 @@ func (n *Node) LastHeard(neighbor NodeID) (time.Duration, bool) {
 // Global returns the latest global aggregate, its timestamp, and whether one
 // has been received at all.
 func (n *Node) Global() (Aggregate, time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return n.global, n.globalAt, n.haveGlobal
 }
 
 // Epoch reports the node's local epoch (incremented each Tick).
-func (n *Node) Epoch() int { return n.epoch }
+func (n *Node) Epoch() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
 
 // GlobalEpoch reports the epoch of the last global broadcast applied (0 when
 // none has arrived).
-func (n *Node) GlobalEpoch() int { return n.globalEpoch }
+func (n *Node) GlobalEpoch() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.globalEpoch
+}
+
+// SetConfig publishes a configuration update from this node (the root of
+// the tree; the control plane lives there). Older or equal versions are
+// ignored. The update rides on the next Tick's broadcast; the publisher is
+// expected to have applied it locally already, so no handler fires here.
+func (n *Node) SetConfig(cu *ConfigUpdate) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cu == nil || (n.config != nil && cu.Version <= n.config.Version) {
+		return
+	}
+	n.config = cu
+}
+
+// Config returns the newest configuration update this node holds (nil when
+// none has arrived). The returned value is shared and must not be mutated.
+func (n *Node) Config() *ConfigUpdate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.config
+}
+
+// SetConfigHandler installs the callback fired when a strictly newer
+// configuration version arrives from the parent. It runs on the goroutine
+// delivering the message, with the node's lock held — the handler must not
+// call back into this Node.
+func (n *Node) SetConfigHandler(fn func(*ConfigUpdate)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onConfig = fn
+}
+
+// configVersion is the version this node acknowledges upward.
+func (n *Node) configVersion() uint64 {
+	if n.config == nil {
+		return 0
+	}
+	return n.config.Version
+}
+
+// ChildConfigAcks returns the newest configuration version each current
+// child has acknowledged — the root's rollout-progress view.
+func (n *Node) ChildConfigAcks() map[NodeID]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[NodeID]uint64, len(n.children))
+	for _, c := range n.children {
+		out[c] = n.childAcks[c]
+	}
+	return out
+}
 
 // MessageCounts reports cumulative tree traffic at this node: reports and
 // broadcasts received, and messages sent. Together with Epoch they verify
 // the 2(n−1) messages/epoch bound and feed per-window trace records.
 func (n *Node) MessageCounts() (reportsIn, broadcastsIn, sent uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return n.reportsIn, n.broadcastsIn, n.msgsOut
 }
 
@@ -277,6 +400,8 @@ func (n *Node) MessageCounts() (reportsIn, broadcastsIn, sent uint64) {
 // dead root's. The last global aggregate is kept — it stays usable until its
 // timestamp ages past the staleness bound.
 func (n *Node) Reconfigure(parent NodeID, children []NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	n.parent = parent
 	n.children = append(n.children[:0], children...)
 	n.globalEpoch = 0
@@ -288,11 +413,17 @@ func (n *Node) Reconfigure(parent NodeID, children []NodeID) {
 		if !keep[id] {
 			delete(n.childAggs, id)
 			delete(n.childEpochs, id)
+			delete(n.childAcks, id)
 		}
 	}
+	// n.config survives reconfiguration: the newest agreement set stays in
+	// force while the tree heals, and a promoted root keeps re-broadcasting
+	// it so late joiners converge.
 }
 
 // String renders the node's tree position.
 func (n *Node) String() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return fmt.Sprintf("combining.Node{id=%d parent=%d children=%v}", n.id, n.parent, n.children)
 }

@@ -9,11 +9,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/core"
 	"repro/internal/health"
+	"repro/internal/obs"
 )
 
 // ErrConfig reports an invalid configuration file.
@@ -84,6 +87,17 @@ func (h *HealthSpec) Options() *health.Options {
 	}
 }
 
+// CtrlSpec enables the dynamic agreement control plane on the front-end:
+// the /v1/agreements and /v1/principals admin endpoints accept runtime
+// renegotiations, versioned and rolled out behind the combining tree's
+// epoch gate. Enable it on the tree root only.
+type CtrlSpec struct {
+	Enabled bool `json:"enabled"`
+	// RolloutLeadEpochs is how many tree epochs ahead of the current one a
+	// rollout is gated (<=0 selects ctrlplane.DefaultLead).
+	RolloutLeadEpochs int `json:"rollout_lead_epochs"`
+}
+
 // L7Spec configures a Layer-7 redirector front-end.
 type L7Spec struct {
 	Addr string `json:"addr"`
@@ -120,17 +134,108 @@ type File struct {
 	// Health, when present, enables active backend health checking and
 	// capacity re-interpretation on the front-end.
 	Health *HealthSpec `json:"health"`
-	// AdminAddr, when set, serves the observability endpoints (/metrics,
-	// /debug/windows, /debug/pprof) on a dedicated listener. The Layer-7
-	// redirector also mounts them on its traffic listener; Layer-4 has no
-	// HTTP server, so this is its only scrape point.
+	// Ctrl, when present and enabled, attaches the dynamic agreement
+	// control plane to the front-end's admin surface.
+	Ctrl *CtrlSpec `json:"ctrl"`
+	// AdminAddr, when set, serves the versioned admin endpoints
+	// (/v1/metrics, /v1/debug/windows, /v1/agreements, /debug/pprof) on a
+	// dedicated listener. The Layer-7 redirector also mounts them on its
+	// traffic listener; Layer-4 has no HTTP server, so this is its only
+	// scrape point.
 	AdminAddr string `json:"admin_addr"`
 }
 
-// Parse decodes and sanity-checks a scenario.
+// Field names are canonically snake_case. Earlier revisions accepted
+// camelCase spellings for some of them; those decode with a once-per-process
+// deprecation warning. Keys are scoped by the object that holds them ("" is
+// the top level).
+var fieldAliases = map[string]map[string]string{
+	"": {
+		"windowMS":       "window_ms",
+		"numRedirectors": "num_redirectors",
+		"stalenessMS":    "staleness_ms",
+		"adminAddr":      "admin_addr",
+	},
+	"tree": {
+		"nodeId":           "node_id",
+		"listenAddr":       "listen_addr",
+		"failureTimeoutMS": "failure_timeout_ms",
+	},
+	"health": {
+		"intervalMS":       "interval_ms",
+		"timeoutMS":        "timeout_ms",
+		"failThreshold":    "fail_threshold",
+		"successThreshold": "success_threshold",
+		"backoffMaxMS":     "backoff_max_ms",
+	},
+	"ctrl": {
+		"rolloutLeadEpochs": "rollout_lead_epochs",
+	},
+}
+
+// aliasWarned makes each deprecated spelling warn once per process, not once
+// per Parse call (long-lived processes reload configs).
+var aliasWarned sync.Map
+
+func applyAliases(m map[string]json.RawMessage, scope string) {
+	for old, canon := range fieldAliases[scope] {
+		v, ok := m[old]
+		if !ok {
+			continue
+		}
+		if _, exists := m[canon]; !exists {
+			m[canon] = v
+		}
+		delete(m, old)
+		key := scope + "." + old
+		if _, dup := aliasWarned.LoadOrStore(key, true); !dup {
+			obs.Default().With("config").Warn("deprecated field name",
+				"field", strings.TrimPrefix(key, "."), "use", canon)
+		}
+	}
+}
+
+// canonicalize rewrites deprecated camelCase field spellings to their
+// snake_case forms before the typed decode. Unknown fields pass through
+// untouched; a non-object document is returned as-is for the typed decode
+// to reject with its own error.
+func canonicalize(data []byte) []byte {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return data
+	}
+	applyAliases(raw, "")
+	for scope := range fieldAliases {
+		if scope == "" {
+			continue
+		}
+		sub, ok := raw[scope]
+		if !ok {
+			continue
+		}
+		var sm map[string]json.RawMessage
+		if err := json.Unmarshal(sub, &sm); err != nil || sm == nil {
+			continue
+		}
+		applyAliases(sm, scope)
+		enc, err := json.Marshal(sm)
+		if err != nil {
+			continue
+		}
+		raw[scope] = enc
+	}
+	out, err := json.Marshal(raw)
+	if err != nil {
+		return data
+	}
+	return out
+}
+
+// Parse decodes and sanity-checks a scenario. Deprecated camelCase field
+// spellings are accepted with a once-per-process warning; see fieldAliases.
 func Parse(data []byte) (*File, error) {
 	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
+	if err := json.Unmarshal(canonicalize(data), &f); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	if f.Mode != "community" && f.Mode != "provider" {

@@ -147,3 +147,47 @@ func TestResolvePrincipalsUnknown(t *testing.T) {
 		t.Fatal("unknown principal resolved")
 	}
 }
+
+func TestDeprecatedFieldAliases(t *testing.T) {
+	f, err := Parse([]byte(`{
+	  "mode": "community",
+	  "windowMS": 250,
+	  "numRedirectors": 3,
+	  "stalenessMS": 900,
+	  "adminAddr": "127.0.0.1:9100",
+	  "principals": [{"name": "A", "capacity": 10}],
+	  "tree": {"nodeId": 4, "parent": -1, "listenAddr": "127.0.0.1:0", "failureTimeoutMS": 1500},
+	  "health": {"intervalMS": 50, "timeoutMS": 20, "failThreshold": 2, "successThreshold": 3, "backoffMaxMS": 400},
+	  "ctrl": {"enabled": true, "rolloutLeadEpochs": 4}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.WindowMS != 250 || f.NumRedirectors != 3 || f.StalenessMS != 900 || f.AdminAddr != "127.0.0.1:9100" {
+		t.Fatalf("top-level aliases not applied: %+v", f)
+	}
+	if f.Tree == nil || f.Tree.NodeID != 4 || f.Tree.ListenAddr != "127.0.0.1:0" || f.Tree.FailureTimeoutMS != 1500 {
+		t.Fatalf("tree aliases not applied: %+v", f.Tree)
+	}
+	if f.Health == nil || f.Health.IntervalMS != 50 || f.Health.TimeoutMS != 20 ||
+		f.Health.FailThreshold != 2 || f.Health.SuccessThreshold != 3 || f.Health.BackoffMaxMS != 400 {
+		t.Fatalf("health aliases not applied: %+v", f.Health)
+	}
+	if f.Ctrl == nil || !f.Ctrl.Enabled || f.Ctrl.RolloutLeadEpochs != 4 {
+		t.Fatalf("ctrl aliases not applied: %+v", f.Ctrl)
+	}
+}
+
+func TestCanonicalFieldWinsOverAlias(t *testing.T) {
+	f, err := Parse([]byte(`{
+	  "mode": "community",
+	  "window_ms": 100, "windowMS": 999,
+	  "principals": [{"name": "A", "capacity": 10}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.WindowMS != 100 {
+		t.Fatalf("alias overrode canonical field: window_ms = %d", f.WindowMS)
+	}
+}

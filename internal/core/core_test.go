@@ -457,7 +457,7 @@ func TestUpdateCapacitiesRescalesEntitlements(t *testing.T) {
 	}
 	// B's server degrades to half capacity: A's entitlement drops from
 	// 480 to 320+80 = 400 req/s (40/window) without re-enumerating paths.
-	if err := e.UpdateCapacities([]float64{320, 160}); err != nil {
+	if _, err := e.UpdateCapacities([]float64{320, 160}); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Access().MC[a]; math.Abs(got-40) > 1e-9 {
@@ -472,10 +472,10 @@ func TestUpdateCapacitiesRescalesEntitlements(t *testing.T) {
 	if math.Abs(admitted[a]-40) > 2 || math.Abs(admitted[b]-8) > 2 {
 		t.Fatalf("post-update admissions = %v, want ≈[40 8]", admitted)
 	}
-	if err := e.UpdateCapacities([]float64{1}); err == nil {
+	if _, err := e.UpdateCapacities([]float64{1}); err == nil {
 		t.Fatal("short capacity vector accepted")
 	}
-	if err := e.UpdateCapacities([]float64{-1, 5}); err == nil {
+	if _, err := e.UpdateCapacities([]float64{-1, 5}); err == nil {
 		t.Fatal("negative capacity accepted")
 	}
 }
@@ -494,7 +494,7 @@ func TestUpdateSystemRefoldsAgreements(t *testing.T) {
 	}
 	// The agreement is renegotiated: B now grants only 25%.
 	s.MustSetAgreement(b, a, 0.25, 0.25)
-	if err := e.UpdateSystem(); err != nil {
+	if _, err := e.UpdateSystem(); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Access().MC[a]; math.Abs(got-40) > 1e-9 {

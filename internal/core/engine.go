@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/agreement"
@@ -117,11 +118,30 @@ type MultiResourceConfig struct {
 	Costs [][]float64
 }
 
+// Version numbers the engine's immutable scheduling generations. Every
+// accepted mutation — capacity re-interpretation, agreement renegotiation, a
+// control-plane set rollout — produces the next Version; a window is
+// scheduled entirely against one generation, never a mix.
+type Version uint64
+
 // Engine holds the precomputed enforcement state shared by redirectors.
 // Entitlements fold the agreement graph once; capacity changes re-scale
 // them cheaply via UpdateCapacities (the paper's dynamic interpretation of
 // agreements, §2.2). The mutex makes scheduler swaps safe against
 // concurrently running redirector windows in the socket front-ends.
+//
+// # Mutator contract
+//
+// UpdateCapacities, UpdateMultiResource, UpdateSystem, SetAgreement, and
+// StageSet share one locked rebuild path: each validates its input, derives
+// a complete new generation (entitlements, scheduler, plan caches) under
+// e.mu, and either commits it atomically or rolls the configuration back,
+// returning the Version now active. They are safe to call concurrently with
+// each other and with running redirector windows: a window that raced the
+// mutation finishes on the generation it snapshotted, and the next
+// StartWindow picks up the new one. Plan caches are created fresh exactly
+// once per generation, so a plan computed against old entitlements can never
+// satisfy a lookup after the swap.
 type Engine struct {
 	cfg     Config
 	n       int
@@ -129,19 +149,51 @@ type Engine struct {
 	flows   *agreement.Flows
 	stats   *metrics.SolverStats // shared fast-path telemetry (never nil)
 
-	mu        sync.RWMutex
-	access    *agreement.Access // entitlements in requests/window
-	community *sched.Community
-	multi     *sched.MultiCommunity
-	provider  *sched.Provider
-	customers []agreement.Principal // Provider mode: LP index → principal
-	provTotal float64               // provider capacity per window
+	mu  sync.RWMutex
+	cur schedState // active generation (version == e.version)
+	// staged, when non-nil, is the next generation waiting behind the epoch
+	// gate of a control-plane rollout (see StageSet/stateFor).
+	staged      *stagedGen
+	version     Version // active generation number
+	lastBuilt   Version // monotonic generation counter (staged included)
+	lastSet     uint64  // newest agreement.Set version accepted
+	redirectors int     // admission points sharing this engine
+	rollouts    uint64  // epoch-gated rollouts completed
 
-	// Per-window plan caches, shared by every redirector and re-created on
-	// each rebuild so stale entitlements can never serve a hit. At most one
-	// is non-nil, matching the engine's mode.
-	plans     *sched.PlanCache[*sched.Plan]
-	provPlans *sched.PlanCache[*sched.ProviderPlan]
+	// rolloutGate is 0 whenever no rollout is in flight — the steady-state
+	// fast path: stateFor does one atomic load and falls through to the
+	// plain RLock snapshot, keeping the window hot path unchanged.
+	rolloutGate atomic.Int64
+}
+
+// stagedGen is a generation staged behind an epoch gate: redirectors swap to
+// state individually once their tree epoch reaches gateEpoch and they have
+// acknowledged the set version; the generation is promoted to cur when every
+// registered redirector has crossed.
+type stagedGen struct {
+	state      schedState
+	setVersion uint64
+	gateEpoch  int
+	crossed    map[int]bool
+}
+
+// RolloutInfo is a snapshot of the engine's version state for the admin API
+// and /metrics.
+type RolloutInfo struct {
+	// Active is the generation windows currently schedule against; Staged
+	// is the generation waiting behind the epoch gate (0 when none).
+	Active Version `json:"active"`
+	Staged Version `json:"staged,omitempty"`
+	// SetVersion is the newest agreement-set version accepted; GateEpoch the
+	// tree epoch the staged generation is gated on.
+	SetVersion uint64 `json:"set_version"`
+	GateEpoch  int    `json:"gate_epoch,omitempty"`
+	// Crossed counts redirectors that have swapped to the staged generation,
+	// out of Redirectors registered.
+	Crossed     int `json:"crossed"`
+	Redirectors int `json:"redirectors"`
+	// Rollouts counts epoch-gated rollouts fully converged since start.
+	Rollouts uint64 `json:"rollouts"`
 }
 
 // NewEngine validates cfg, folds the agreement graph, and builds the window
@@ -191,25 +243,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 		flows:   flows,
 		stats:   &metrics.SolverStats{},
 	}
-	if err := e.rebuild(cfg.System.Capacities()); err != nil {
+	st, err := e.buildState(flows, cfg.System.Capacities())
+	if err != nil {
 		return nil, err
 	}
+	e.commitLocked(flows, st)
 	return e, nil
 }
 
-// rebuild derives entitlements and a fresh scheduler from the given
-// capacity vector (requests/second). Callers hold e.mu or own e exclusively.
-func (e *Engine) rebuild(capacities []float64) error {
-	rateAccess, err := e.flows.Access(capacities)
+// buildState derives a complete new scheduling generation — entitlements,
+// scheduler, fresh plan caches — from flows and the given capacity vector
+// (requests/second). When the active generation's scheduler is structurally
+// compatible, the new one is re-derived from its compiled template
+// (sched.NewCommunityFrom / NewProviderFrom) instead of recompiled. Nothing
+// visible to redirectors changes until the caller commits or stages the
+// result. Callers hold e.mu or own e exclusively.
+func (e *Engine) buildState(flows *agreement.Flows, capacities []float64) (schedState, error) {
+	var st schedState
+	rateAccess, err := flows.Access(capacities)
 	if err != nil {
-		return err
+		return st, err
 	}
 	access := scaleAccess(rateAccess, e.windowS)
 
 	switch e.cfg.Mode {
 	case Community:
 		if e.cfg.MultiResource != nil {
-			return e.rebuildMulti()
+			return e.buildMulti(flows)
 		}
 		capWin := make([]float64, e.n)
 		for i := 0; i < e.n; i++ {
@@ -222,11 +282,11 @@ func (e *Engine) rebuild(capacities []float64) error {
 				loc[i] = c * e.windowS
 			}
 		}
-		community, err := sched.NewCommunity(access, capWin, loc)
+		community, err := sched.NewCommunityFrom(e.cur.community, access, capWin, loc)
 		if err != nil {
-			return err
+			return st, err
 		}
-		e.access, e.community = access, community
+		st.access, st.community = access, community
 	case Provider:
 		p := e.cfg.ProviderPrincipal
 		var customers []agreement.Principal
@@ -245,51 +305,64 @@ func (e *Engine) rebuild(capacities []float64) error {
 			prices = append(prices, price)
 		}
 		provTotal := capacities[p] * e.windowS
-		provider, err := sched.NewProvider(mc, oc, prices, provTotal)
+		provider, err := sched.NewProviderFrom(e.cur.provider, mc, oc, prices, provTotal)
 		if err != nil {
-			return err
+			return st, err
 		}
-		e.access, e.customers, e.provTotal, e.provider = access, customers, provTotal, provider
+		st.access, st.customers, st.provTotal, st.provider = access, customers, provTotal, provider
 	}
-	e.resetFastPath()
-	return nil
+	e.wireState(&st)
+	return st, nil
 }
 
-// resetFastPath wires telemetry into the freshly built schedulers and
-// replaces the shared plan caches: plans computed against the previous
-// entitlements must never satisfy a lookup after a rebuild. Callers hold
-// e.mu or own e exclusively.
-func (e *Engine) resetFastPath() {
-	if e.community != nil {
-		e.community.SetStats(e.stats)
-		e.community.SetLogger(e.Logger())
+// wireState wires telemetry into a freshly built generation and gives it its
+// own plan caches: plans computed against another generation's entitlements
+// must never satisfy a lookup (each Version invalidates the cache exactly
+// once, at build time). Callers hold e.mu or own e exclusively.
+func (e *Engine) wireState(st *schedState) {
+	e.lastBuilt++
+	st.version = e.lastBuilt
+	if st.community != nil {
+		st.community.SetStats(e.stats)
+		st.community.SetLogger(e.Logger())
 	}
-	if e.provider != nil {
-		e.provider.SetStats(e.stats)
-		e.provider.SetLogger(e.Logger())
+	if st.provider != nil {
+		st.provider.SetStats(e.stats)
+		st.provider.SetLogger(e.Logger())
 	}
-	e.plans, e.provPlans = nil, nil
 	if e.cfg.PlanCacheQuantum < 0 {
 		return // caching disabled: every StartWindow solves
 	}
 	switch e.cfg.Mode {
 	case Community:
-		e.plans = sched.NewPlanCache[*sched.Plan](e.cfg.PlanCacheQuantum, e.cfg.PlanCacheLimit, e.stats)
+		st.plans = sched.NewPlanCache[*sched.Plan](e.cfg.PlanCacheQuantum, e.cfg.PlanCacheLimit, e.stats)
 	case Provider:
-		e.provPlans = sched.NewPlanCache[*sched.ProviderPlan](e.cfg.PlanCacheQuantum, e.cfg.PlanCacheLimit, e.stats)
+		st.provPlans = sched.NewPlanCache[*sched.ProviderPlan](e.cfg.PlanCacheQuantum, e.cfg.PlanCacheLimit, e.stats)
 	}
 }
 
-// rebuildMulti builds the multi-dimensional scheduler and a synthetic
+// commitLocked installs a built generation as the active one, cancelling any
+// staged rollout (the direct mutation supersedes it). Callers hold e.mu or
+// own e exclusively.
+func (e *Engine) commitLocked(flows *agreement.Flows, st schedState) {
+	e.flows = flows
+	e.cur = st
+	e.version = st.version
+	e.staged = nil
+	e.rolloutGate.Store(0)
+}
+
+// buildMulti builds the multi-dimensional scheduler and a synthetic
 // request-denominated Access (the binding minimum across dimensions) used
 // for conservative fallback and introspection.
-func (e *Engine) rebuildMulti() error {
+func (e *Engine) buildMulti(flows *agreement.Flows) (schedState, error) {
+	var st schedState
 	mr := e.cfg.MultiResource
 	dims := len(mr.Capacities)
 	capWin := make([][]float64, dims)
 	for d := range mr.Capacities {
 		if len(mr.Capacities[d]) != e.n {
-			return fmt.Errorf("%w: multi capacity dim %d has %d principals, want %d",
+			return st, fmt.Errorf("%w: multi capacity dim %d has %d principals, want %d",
 				ErrConfig, d, len(mr.Capacities[d]), e.n)
 		}
 		capWin[d] = make([]float64, e.n)
@@ -297,13 +370,13 @@ func (e *Engine) rebuildMulti() error {
 			capWin[d][p] = v * e.windowS
 		}
 	}
-	accs, err := e.flows.MultiAccess(capWin)
+	accs, err := flows.MultiAccess(capWin)
 	if err != nil {
-		return err
+		return st, err
 	}
 	multi, err := sched.NewMultiCommunity(accs, capWin, mr.Costs)
 	if err != nil {
-		return err
+		return st, err
 	}
 
 	// Synthetic per-request entitlements: per pair, the binding minimum
@@ -348,50 +421,70 @@ func (e *Engine) rebuildMulti() error {
 			access.OC[i] += total - mi
 		}
 	}
-	e.access, e.multi = access, multi
-	e.resetFastPath()
-	return nil
+	st.access, st.multi = access, multi
+	e.wireState(&st)
+	return st, nil
 }
 
 // UpdateMultiResource re-interprets the agreements against new capacity
-// vectors in multi-resource mode (the §2.2 dynamic property, vectorized).
-func (e *Engine) UpdateMultiResource(capacities [][]float64) error {
-	if e.cfg.MultiResource == nil {
-		return fmt.Errorf("%w: engine is not multi-resource", ErrConfig)
-	}
+// vectors in multi-resource mode (the §2.2 dynamic property, vectorized) and
+// returns the Version now active. See the Engine mutator contract: the whole
+// rebuild runs under e.mu, the configuration is rolled back on error, and
+// the new generation gets fresh plan caches.
+func (e *Engine) UpdateMultiResource(capacities [][]float64) (Version, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.cfg.MultiResource == nil {
+		return e.version, fmt.Errorf("%w: engine is not multi-resource", ErrConfig)
+	}
 	old := e.cfg.MultiResource.Capacities
 	e.cfg.MultiResource.Capacities = capacities
-	if err := e.rebuildMulti(); err != nil {
+	st, err := e.buildMulti(e.flows)
+	if err != nil {
 		e.cfg.MultiResource.Capacities = old
-		return err
+		return e.version, err
 	}
-	return nil
+	e.commitLocked(e.flows, st)
+	return e.version, nil
 }
 
 // UpdateCapacities re-interprets the agreements against new physical
 // resource levels (requests/second, indexed by principal) without
 // re-enumerating agreement paths — the paper's §2.2 dynamic-interpretation
-// property. The system object is kept in sync. Safe to call while
-// redirectors are running; the next StartWindow uses the new entitlements.
-func (e *Engine) UpdateCapacities(capacities []float64) error {
-	if e.cfg.MultiResource != nil {
-		return fmt.Errorf("%w: use UpdateMultiResource on a multi-resource engine", ErrConfig)
-	}
-	if len(capacities) != e.n {
-		return fmt.Errorf("%w: %d capacities for %d principals", ErrConfig, len(capacities), e.n)
-	}
+// property — and returns the Version now active. The system object is kept
+// in sync; on error both it and the schedulers are left as they were. See
+// the Engine mutator contract: safe to call while redirectors are running
+// (health checkers do, from their probe goroutines); the next StartWindow
+// uses the new entitlements.
+func (e *Engine) UpdateCapacities(capacities []float64) (Version, error) {
 	// The whole update runs under e.mu: health checkers call this from their
 	// probe goroutines, concurrently with window scheduling and each other.
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.cfg.MultiResource != nil {
+		return e.version, fmt.Errorf("%w: use UpdateMultiResource on a multi-resource engine", ErrConfig)
+	}
+	if len(capacities) != e.n {
+		return e.version, fmt.Errorf("%w: %d capacities for %d principals", ErrConfig, len(capacities), e.n)
+	}
+	old := e.cfg.System.Capacities()
 	for i, v := range capacities {
 		if err := e.cfg.System.SetCapacity(agreement.Principal(i), v); err != nil {
-			return err
+			for j := 0; j < i; j++ {
+				_ = e.cfg.System.SetCapacity(agreement.Principal(j), old[j])
+			}
+			return e.version, err
 		}
 	}
-	return e.rebuild(capacities)
+	st, err := e.buildState(e.flows, capacities)
+	if err != nil {
+		for i := range old {
+			_ = e.cfg.System.SetCapacity(agreement.Principal(i), old[i])
+		}
+		return e.version, err
+	}
+	e.commitLocked(e.flows, st)
+	return e.version, nil
 }
 
 // Capacities returns a copy of the current physical capacity vector,
@@ -403,18 +496,147 @@ func (e *Engine) Capacities() []float64 {
 	return e.cfg.System.Capacities()
 }
 
+// System returns the engine's agreement system. Mutating it directly
+// bypasses the mutator contract — use SetAgreement/StageSet (or a
+// ctrlplane.Plane, which validates on a private clone first) instead;
+// direct mutation followed by UpdateSystem remains supported for static
+// reconfiguration in tests.
+func (e *Engine) System() *agreement.System { return e.cfg.System }
+
 // UpdateSystem refolds the agreement graph after structural changes
-// (SetAgreement calls on the engine's System). More expensive than
-// UpdateCapacities: the simple-path enumeration reruns.
-func (e *Engine) UpdateSystem() error {
+// (SetAgreement calls on the engine's System) and returns the Version now
+// active. More expensive than UpdateCapacities: the simple-path enumeration
+// reruns. See the Engine mutator contract.
+func (e *Engine) UpdateSystem() (Version, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	flows, err := e.cfg.System.Flows()
 	if err != nil {
-		return err
+		return e.version, err
+	}
+	st, err := e.buildState(flows, e.cfg.System.Capacities())
+	if err != nil {
+		return e.version, err
+	}
+	e.commitLocked(flows, st)
+	return e.version, nil
+}
+
+// SetAgreement renegotiates one direct agreement owner→user to [lb, ub]
+// (lb = ub = 0 removes it) and commits the resulting generation, returning
+// the Version now active. Unlike UpdateSystem it refolds incrementally: only
+// simple paths through the dirty owner are re-enumerated
+// (agreement.RefoldFrom), so the cost is proportional to the affected
+// subgraph. On error the system is rolled back to the prior agreement. See
+// the Engine mutator contract.
+func (e *Engine) SetAgreement(owner, user agreement.Principal, lb, ub float64) (Version, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	oldLB, oldUB, had := e.cfg.System.AgreementBetween(owner, user)
+	if err := e.cfg.System.SetAgreement(owner, user, lb, ub); err != nil {
+		return e.version, err
+	}
+	undo := func() {
+		if had {
+			_ = e.cfg.System.SetAgreement(owner, user, oldLB, oldUB)
+		} else {
+			_ = e.cfg.System.SetAgreement(owner, user, 0, 0)
+		}
+	}
+	flows, err := e.cfg.System.RefoldFrom(e.flows, []agreement.Principal{owner})
+	if err != nil {
+		undo()
+		return e.version, err
+	}
+	st, err := e.buildState(flows, e.cfg.System.Capacities())
+	if err != nil {
+		undo()
+		return e.version, err
+	}
+	e.commitLocked(flows, st)
+	return e.version, nil
+}
+
+// StageSet applies a versioned agreement set (a control-plane snapshot) and
+// stages the resulting generation behind gateEpoch: every redirector keeps
+// scheduling on the active generation until its combining-tree epoch reaches
+// the gate AND it has learned of the set (Redirector.SetRollout), then swaps
+// at its next window boundary. gateEpoch <= 0 — or an engine with no
+// registered redirectors — commits immediately. Sets at or below the newest
+// accepted version are ignored (idempotent re-delivery). Returns the staged
+// (or committed) Version. See the Engine mutator contract; the incremental
+// refold covers exactly the owners the set changed.
+func (e *Engine) StageSet(set *agreement.Set, gateEpoch int) (Version, error) {
+	if set == nil {
+		return e.Version(), fmt.Errorf("%w: nil agreement set", ErrConfig)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if set.Version <= e.lastSet {
+		return e.version, nil
+	}
+	undo := e.cfg.System.Snapshot(0)
+	dirty, err := e.cfg.System.ApplySet(set)
+	if err != nil {
+		return e.version, err // ApplySet is all-or-nothing
+	}
+	flows, err := e.cfg.System.RefoldFrom(e.flows, dirty)
+	if err != nil {
+		_, _ = e.cfg.System.ApplySet(undo)
+		return e.version, err
+	}
+	st, err := e.buildState(flows, e.cfg.System.Capacities())
+	if err != nil {
+		_, _ = e.cfg.System.ApplySet(undo)
+		return e.version, err
+	}
+	e.lastSet = set.Version
+	if gateEpoch <= 0 || e.redirectors == 0 {
+		e.commitLocked(flows, st)
+		return e.version, nil
+	}
 	e.flows = flows
-	return e.rebuild(e.cfg.System.Capacities())
+	e.staged = &stagedGen{
+		state:      st,
+		setVersion: set.Version,
+		gateEpoch:  gateEpoch,
+		crossed:    make(map[int]bool),
+	}
+	e.rolloutGate.Store(int64(gateEpoch))
+	return st.version, nil
+}
+
+// Version returns the active generation number.
+func (e *Engine) Version() Version {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// LastSetVersion returns the newest agreement-set version accepted by
+// StageSet (0 before any).
+func (e *Engine) LastSetVersion() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lastSet
+}
+
+// Rollout snapshots the version/rollout state for the admin API and metrics.
+func (e *Engine) Rollout() RolloutInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	info := RolloutInfo{
+		Active:      e.version,
+		SetVersion:  e.lastSet,
+		Redirectors: e.redirectors,
+		Rollouts:    e.rollouts,
+	}
+	if e.staged != nil {
+		info.Staged = e.staged.state.version
+		info.GateEpoch = e.staged.gateEpoch
+		info.Crossed = len(e.staged.crossed)
+	}
+	return info
 }
 
 // schedState is the immutable per-window view a redirector schedules
@@ -422,11 +644,13 @@ func (e *Engine) UpdateSystem() error {
 // racing a rebuild stores its plan in the cache generation that matches the
 // scheduler it solved with.
 type schedState struct {
+	version   Version
 	access    *agreement.Access
 	community *sched.Community
 	multi     *sched.MultiCommunity
 	provider  *sched.Provider
 	customers []agreement.Principal
+	provTotal float64
 	plans     *sched.PlanCache[*sched.Plan]
 	provPlans *sched.PlanCache[*sched.ProviderPlan]
 }
@@ -435,15 +659,43 @@ type schedState struct {
 func (e *Engine) snapshot() schedState {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return schedState{
-		access:    e.access,
-		community: e.community,
-		multi:     e.multi,
-		provider:  e.provider,
-		customers: e.customers,
-		plans:     e.plans,
-		provPlans: e.provPlans,
+	return e.cur
+}
+
+// stateFor resolves the generation redirector id's next window schedules
+// against. epoch is the redirector's current combining-tree epoch (the max
+// of local and global-broadcast epochs) and known the newest agreement-set
+// version it has seen from the tree. On the steady-state hot path — no
+// rollout in flight — this is one atomic load on top of the plain snapshot.
+// During a rollout, a redirector whose epoch and known version have both
+// reached the staged gate swaps to the staged generation (and the generation
+// is promoted once all redirectors have); one past the gate epoch that has
+// NOT learned of the new set is stale, and the second result tells it to
+// fall back to the conservative claim rather than enforce superseded
+// entitlements.
+func (e *Engine) stateFor(id, epoch int, known uint64) (schedState, bool) {
+	if e.rolloutGate.Load() == 0 {
+		return e.snapshot(), false
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sg := e.staged
+	if sg == nil {
+		return e.cur, false
+	}
+	if epoch < sg.gateEpoch {
+		return e.cur, false // rollout not due yet at this admission point
+	}
+	if known < sg.setVersion {
+		return e.cur, true // past the gate without the set: conservative
+	}
+	sg.crossed[id] = true
+	if len(sg.crossed) >= e.redirectors {
+		e.rollouts++
+		e.commitLocked(e.flows, sg.state)
+		return e.cur, false
+	}
+	return sg.state, false
 }
 
 // communityPlan returns the window plan for the global queue vector n,
@@ -555,7 +807,7 @@ func (e *Engine) Mode() Mode { return e.cfg.Mode }
 func (e *Engine) Access() *agreement.Access {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.access
+	return e.cur.access
 }
 
 // Customers returns, in LP order, the customer principals of a Provider
@@ -563,7 +815,7 @@ func (e *Engine) Access() *agreement.Access {
 func (e *Engine) Customers() []agreement.Principal {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return append([]agreement.Principal(nil), e.customers...)
+	return append([]agreement.Principal(nil), e.cur.customers...)
 }
 
 // DescribeEntitlements renders the folded per-principal entitlements in
@@ -571,7 +823,7 @@ func (e *Engine) Customers() []agreement.Principal {
 // startup so a deployment's effective guarantees are visible at a glance.
 func (e *Engine) DescribeEntitlements() string {
 	e.mu.RLock()
-	access := e.access
+	access := e.cur.access
 	e.mu.RUnlock()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "entitlements (%s mode, %v windows):\n", e.cfg.Mode, e.cfg.Window)

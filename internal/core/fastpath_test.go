@@ -94,7 +94,7 @@ func TestCacheInvalidatedOnRebuild(t *testing.T) {
 	// the rebuilt scheduler, not the cached pre-rebuild plan.
 	caps := make([]float64, e.NumPrincipals())
 	caps[a], caps[bPr] = 160, 160
-	if err := e.UpdateCapacities(caps); err != nil {
+	if _, err := e.UpdateCapacities(caps); err != nil {
 		t.Fatal(err)
 	}
 	r.SetGlobal(global, 0)

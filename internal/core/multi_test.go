@@ -126,26 +126,26 @@ func TestUpdateMultiResource(t *testing.T) {
 	e, a, _ := multiEngine(t, 1000, 400)
 	base := e.Access().MC[a]
 	// Bandwidth doubles: A's binding dimension relaxes.
-	if err := e.UpdateMultiResource([][]float64{{1000, 0, 0}, {800, 0, 0}}); err != nil {
+	if _, err := e.UpdateMultiResource([][]float64{{1000, 0, 0}, {800, 0, 0}}); err != nil {
 		t.Fatal(err)
 	}
 	if got := e.Access().MC[a]; math.Abs(got-2*base) > 1e-9 {
 		t.Fatalf("MC[A] after bandwidth doubling = %v, want %v", got, 2*base)
 	}
 	// Invalid update rolls back.
-	if err := e.UpdateMultiResource([][]float64{{1}}); err == nil {
+	if _, err := e.UpdateMultiResource([][]float64{{1}}); err == nil {
 		t.Fatal("bad capacity vector accepted")
 	}
 	if got := e.Access().MC[a]; math.Abs(got-2*base) > 1e-9 {
 		t.Fatal("failed update corrupted state")
 	}
 	// Single-resource updater is rejected on multi engines.
-	if err := e.UpdateCapacities([]float64{1, 2, 3}); err == nil {
+	if _, err := e.UpdateCapacities([]float64{1, 2, 3}); err == nil {
 		t.Fatal("UpdateCapacities accepted on multi engine")
 	}
 	// And UpdateMultiResource is rejected on single-resource engines.
 	e2, _, _ := communityEngine(t, 1)
-	if err := e2.UpdateMultiResource([][]float64{{1, 2}}); err == nil {
+	if _, err := e2.UpdateMultiResource([][]float64{{1, 2}}); err == nil {
 		t.Fatal("UpdateMultiResource accepted on scalar engine")
 	}
 }

@@ -23,6 +23,12 @@ type Redirector struct {
 	globalAt time.Duration
 	haveGlob bool
 
+	// rolloutEpoch/rolloutKnown feed the engine's epoch gate: the combining
+	// tree epoch this redirector has reached and the newest agreement-set
+	// version it has learned of (see SetRollout and Engine.stateFor).
+	rolloutEpoch int
+	rolloutKnown uint64
+
 	nbuf []float64 // scratch for the per-window global n_i vector
 
 	// credits[p][k]: remaining admissions for principal p toward owner k's
@@ -48,8 +54,13 @@ type Redirector struct {
 	Conservative int // windows run in conservative fallback
 }
 
-// NewRedirector stamps out admission state for one redirector node.
+// NewRedirector stamps out admission state for one redirector node and
+// registers it with the engine's rollout gate: a staged configuration is
+// promoted only after every registered redirector has crossed.
 func (e *Engine) NewRedirector(id int) *Redirector {
+	e.mu.Lock()
+	e.redirectors++
+	e.mu.Unlock()
 	r := &Redirector{
 		e:            e,
 		id:           id,
@@ -100,6 +111,18 @@ func (r *Redirector) SetGlobal(queues []float64, at time.Duration) {
 
 // HasGlobal reports whether any global aggregate has been received.
 func (r *Redirector) HasGlobal() bool { return r.haveGlob }
+
+// SetRollout records the redirector's rollout position before a window:
+// epoch is its current combining-tree epoch (use the max of the local and
+// global-broadcast epochs) and known the newest agreement-set version
+// received from the tree. The next StartWindow passes both to the engine's
+// epoch gate, which decides whether this admission point swaps to a staged
+// configuration generation at that window boundary. Call from the goroutine
+// that owns the redirector.
+func (r *Redirector) SetRollout(epoch int, known uint64) {
+	r.rolloutEpoch = epoch
+	r.rolloutKnown = known
+}
 
 // SetObserver attaches a window-trace observer (nil detaches). The
 // redirector fills one record per scheduling window and commits it when the
@@ -172,9 +195,15 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 		r.admittedP[i] = 0
 	}
 
-	st := r.e.snapshot()
+	st, lagging := r.e.stateFor(r.id, r.rolloutEpoch, r.rolloutKnown)
 	rec := r.openWindowRecord(now)
-	stale := !r.haveGlob
+	if rec != nil {
+		rec.ConfigVersion = uint64(st.version)
+	}
+	// lagging marks a redirector past a rollout's gate epoch that has not
+	// received the new agreement set: its entitlements are superseded, so it
+	// falls back to the conservative claim like any other blind window.
+	stale := !r.haveGlob || lagging
 	if r.e.cfg.Staleness > 0 && r.haveGlob && now-r.globalAt > r.e.cfg.Staleness {
 		stale = true
 	}

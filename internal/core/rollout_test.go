@@ -1,0 +1,277 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/obs"
+)
+
+// stageRenegotiation clones the engine's system, renegotiates B→A to
+// [lb, ub], and stages the resulting snapshot behind gateEpoch — the same
+// set a ctrlplane.Plane would publish.
+func stageRenegotiation(t *testing.T, e *Engine, a, b agreement.Principal, lb, ub float64, version uint64, gateEpoch int) {
+	t.Helper()
+	clone := e.System().Clone()
+	if err := clone.SetAgreement(b, a, lb, ub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.StageSet(clone.Snapshot(version), gateEpoch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochGatedSwapGolden pins the rollout contract at the swap boundary:
+// with a set staged behind gate epoch 8 and both redirectors learning the
+// version before the gate, every window runs a single agreement version
+// fleet-wide — the generation flips for both redirectors at exactly the
+// gate window, the auditor sees zero mixed-version windows, and no window
+// (including the boundary one) under-serves a mandatory floor.
+func TestEpochGatedSwapGolden(t *testing.T) {
+	const (
+		gate    = 8
+		windows = 12
+	)
+	e, a, b := communityEngine(t, 2)
+	auditor := obs.NewAuditor(e.PrincipalNames())
+	reds := make([]*Redirector, 2)
+	for i := range reds {
+		reds[i] = e.NewRedirector(i)
+		reds[i].SetObserver(e.NewObserver(i, auditor, windows+2))
+	}
+	if mc := e.Access().MC[a]; mc != 48 {
+		t.Fatalf("initial MC_A = %v, want 48", mc)
+	}
+
+	// knownAt simulates tree propagation: redirector 0 holds version 1 from
+	// epoch 5, redirector 1 from epoch 6 — both before the gate.
+	knownAt := func(id, epoch int) uint64 {
+		if epoch >= 5+id {
+			return 1
+		}
+		return 0
+	}
+	global := []float64{80, 40}
+	var settledA, settledB int64
+	for w := 1; w <= windows+1; w++ {
+		now := time.Duration(w) * 100 * time.Millisecond
+		for id, r := range reds {
+			r.SetGlobal(global, now)
+			r.SetRollout(w, knownAt(id, w))
+			if err := r.StartWindow(now); err != nil {
+				t.Fatal(err)
+			}
+			// Window demand: both principals over their floors, so the
+			// auditor's under-floor check is armed every window.
+			for k := 0; k < 60; k++ {
+				r.Admit(a)
+				r.Admit(b)
+			}
+		}
+		if w == 4 {
+			stageRenegotiation(t, e, a, b, 0.25, 0.25, 1, gate)
+			if info := e.Rollout(); info.Staged == 0 || info.GateEpoch != gate {
+				t.Fatalf("staging missing: %+v", info)
+			}
+		}
+		if w == 6 {
+			// Demand estimates have settled; from here through the swap and
+			// beyond, no window may under-serve a floor. (Windows 1-4 carry
+			// EWMA warm-up transients unrelated to the rollout.)
+			settledA, settledB = auditor.UnderMC(int(a)), auditor.UnderMC(int(b))
+		}
+	}
+
+	if mc := e.Access().MC[a]; mc != 40 {
+		t.Fatalf("post-swap MC_A = %v, want 40", mc)
+	}
+	info := e.Rollout()
+	if info.Staged != 0 || info.Rollouts != 1 {
+		t.Fatalf("rollout did not converge: %+v", info)
+	}
+
+	// Golden version sequence: one generation per window, flip at the gate,
+	// identical across redirectors.
+	v0 := uint64(0)
+	for id, r := range reds {
+		recs := r.obsv.Ring().Snapshot(windows + 2)
+		if len(recs) < windows {
+			t.Fatalf("redirector %d has %d records", id, len(recs))
+		}
+		for _, rec := range recs {
+			if rec.ConfigVersion == 0 {
+				t.Fatalf("redirector %d window %d has no config version", id, rec.Window)
+			}
+			if v0 == 0 {
+				v0 = recs[0].ConfigVersion // oldest record, pre-swap
+			}
+			want := v0
+			if int(rec.Window) >= gate {
+				want = v0 + 1
+			}
+			if rec.ConfigVersion != want {
+				t.Fatalf("redirector %d window %d ran version %d, want %d",
+					id, rec.Window, rec.ConfigVersion, want)
+			}
+		}
+	}
+	if mixed := auditor.MixedVersion(); mixed != 0 {
+		t.Fatalf("%d mixed-version windows", mixed)
+	}
+	if dA, dB := auditor.UnderMC(int(a))-settledA, auditor.UnderMC(int(b))-settledB; dA != 0 || dB != 0 {
+		t.Fatalf("under-floor windows across the swap: A +%d, B +%d", dA, dB)
+	}
+}
+
+// TestLaggingRedirectorConservative pins the fallback: a redirector whose
+// epoch passes the gate without having received the staged version must not
+// run the old entitlements as if nothing happened — it falls back to the
+// conservative claim, and the rollout holds (no promotion) until every
+// registered redirector has crossed.
+func TestLaggingRedirectorConservative(t *testing.T) {
+	e, a, b := communityEngine(t, 2)
+	r0, r1 := e.NewRedirector(0), e.NewRedirector(1)
+	global := []float64{80, 40}
+	for w := 1; w <= 3; w++ {
+		now := time.Duration(w) * 100 * time.Millisecond
+		for _, r := range []*Redirector{r0, r1} {
+			r.SetGlobal(global, now)
+			r.SetRollout(w, 0)
+			if err := r.StartWindow(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stageRenegotiation(t, e, a, b, 0.25, 0.25, 1, 5)
+
+	// Window 6 is past the gate. Redirector 0 has the set; redirector 1
+	// never received it.
+	now := 600 * time.Millisecond
+	r0.SetGlobal(global, now)
+	r0.SetRollout(6, 1)
+	if err := r0.StartWindow(now); err != nil {
+		t.Fatal(err)
+	}
+	r1.SetGlobal(global, now)
+	r1.SetRollout(6, 0)
+	consBefore := r1.Conservative
+	if err := r1.StartWindow(now); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Conservative != consBefore+1 {
+		t.Fatalf("lagging redirector did not fall back to the conservative claim (%d → %d)",
+			consBefore, r1.Conservative)
+	}
+	if info := e.Rollout(); info.Staged == 0 || info.Rollouts != 0 {
+		t.Fatalf("rollout promoted with a lagging redirector: %+v", info)
+	}
+
+	// The set arrives one window later: both cross, the generation commits.
+	now = 700 * time.Millisecond
+	for _, r := range []*Redirector{r0, r1} {
+		r.SetGlobal(global, now)
+		r.SetRollout(7, 1)
+		if err := r.StartWindow(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if info := e.Rollout(); info.Staged != 0 || info.Rollouts != 1 {
+		t.Fatalf("rollout did not converge after the set arrived: %+v", info)
+	}
+	if mc := e.Access().MC[a]; mc != 40 {
+		t.Fatalf("post-swap MC_A = %v, want 40", mc)
+	}
+}
+
+// TestStageSetIdempotent guards re-delivery: the tree may hand the same
+// versioned set to the engine many times (every broadcast repeats the newest
+// config); only the first staging may act.
+func TestStageSetIdempotent(t *testing.T) {
+	e, a, b := communityEngine(t, 0)
+	clone := e.System().Clone()
+	if err := clone.SetAgreement(b, a, 0.25, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	set := clone.Snapshot(1)
+	v1, err := e.StageSet(set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e.StageSet(set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("re-delivered set produced a new generation: %d then %d", v1, v2)
+	}
+	if got := e.Access().MC[a]; got != 40 {
+		t.Fatalf("MC_A = %v, want 40", got)
+	}
+}
+
+// TestConcurrentRolloutRace hammers the rollout machinery from many
+// goroutines — windows starting, admissions flowing, sets staging,
+// capacities re-interpreting — and relies on -race to flag any unsynchronized
+// access. Run with: go test -race.
+func TestConcurrentRolloutRace(t *testing.T) {
+	e, a, b := communityEngine(t, 4)
+	const iters = 200
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		r := e.NewRedirector(id)
+		wg.Add(1)
+		go func(id int, r *Redirector) {
+			defer wg.Done()
+			global := []float64{80, 40}
+			for w := 1; w <= iters; w++ {
+				now := time.Duration(w) * time.Millisecond
+				r.SetGlobal(global, now)
+				r.SetRollout(w, uint64(w/2))
+				if err := r.StartWindow(now); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Admit(a)
+				r.Admit(b)
+			}
+		}(id, r)
+	}
+	// The staging goroutine models the tree-delivery path: sets are built from
+	// a private base system (a ctrlplane.Plane's clone, or a decoded network
+	// payload) — never from the engine's live system, which mutators own.
+	base := e.System().Clone()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			lb := 0.25
+			if i%2 == 1 {
+				lb = 0.5
+			}
+			clone := base.Clone()
+			if err := clone.SetAgreement(b, a, lb, lb); err != nil {
+				continue
+			}
+			if _, err := e.StageSet(clone.Snapshot(uint64(i+1)), i*4); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			caps := []float64{320, 320}
+			if i%2 == 1 {
+				caps = []float64{160, 160}
+			}
+			if _, err := e.UpdateCapacities(caps); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

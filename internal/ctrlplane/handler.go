@@ -1,0 +1,161 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+)
+
+// agreementJSON is the wire form of one direct agreement on the admin API.
+type agreementJSON struct {
+	Owner string  `json:"owner"`
+	User  string  `json:"user"`
+	LB    float64 `json:"lb"`
+	UB    float64 `json:"ub"`
+}
+
+// principalJSON is the wire form of one principal.
+type principalJSON struct {
+	Name     string  `json:"name"`
+	Capacity float64 `json:"capacity"`
+}
+
+// statusJSON is the GET /v1/agreements response body.
+type statusJSON struct {
+	Version    uint64            `json:"version"`
+	Principals []principalJSON   `json:"principals"`
+	Agreements []agreementJSON   `json:"agreements"`
+	Rollout    *core.RolloutInfo `json:"rollout,omitempty"`
+}
+
+// Handler returns the control plane's admin HTTP surface, designed to be
+// mounted by obs.Handler under /v1:
+//
+//	GET    /v1/agreements            current set, version, rollout state
+//	POST   /v1/agreements            upsert one agreement {owner,user,lb,ub}
+//	                                 (lb = ub = 0 removes it)
+//	DELETE /v1/agreements?owner=&user=  remove one agreement
+//	POST   /v1/principals/join       {name, capacity}
+//	POST   /v1/principals/leave      {name}
+//
+// Every accepted mutation responds 200 with {"version": N} — the snapshot
+// version now rolling out. Validation failures respond 400 and change
+// nothing.
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/agreements", p.serveAgreements)
+	mux.HandleFunc("/v1/principals/join", p.serveJoin)
+	mux.HandleFunc("/v1/principals/leave", p.serveLeave)
+	return mux
+}
+
+func writeVersion(w http.ResponseWriter, v uint64) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Version uint64 `json:"version"`
+	}{v})
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if !errors.Is(err, ErrPlane) && !errors.Is(err, agreement.ErrBadBounds) &&
+		!errors.Is(err, agreement.ErrOverCommitted) && !errors.Is(err, agreement.ErrBadCapacity) &&
+		!errors.Is(err, agreement.ErrSelfAgreement) && !errors.Is(err, agreement.ErrUnknown) {
+		status = http.StatusInternalServerError
+	}
+	http.Error(w, err.Error(), status)
+}
+
+func (p *Plane) serveAgreements(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		p.serveStatus(w)
+	case http.MethodPost:
+		var body agreementJSON
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		v, err := p.SetAgreement(body.Owner, body.User, body.LB, body.UB)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeVersion(w, v)
+	case http.MethodDelete:
+		q := r.URL.Query()
+		v, err := p.SetAgreement(q.Get("owner"), q.Get("user"), 0, 0)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeVersion(w, v)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (p *Plane) serveStatus(w http.ResponseWriter) {
+	p.mu.Lock()
+	set := p.sys.Snapshot(p.version)
+	p.mu.Unlock()
+	st := statusJSON{Version: set.Version}
+	for _, pr := range set.Principals {
+		st.Principals = append(st.Principals, principalJSON{Name: pr.Name, Capacity: pr.Capacity})
+	}
+	for _, a := range set.Agreements {
+		st.Agreements = append(st.Agreements, agreementJSON{
+			Owner: set.Principals[a.Owner].Name,
+			User:  set.Principals[a.User].Name,
+			LB:    a.LB,
+			UB:    a.UB,
+		})
+	}
+	if p.eng != nil {
+		info := p.eng.Rollout()
+		st.Rollout = &info
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}
+
+func (p *Plane) serveJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body principalJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	v, err := p.Join(body.Name, body.Capacity)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeVersion(w, v)
+}
+
+func (p *Plane) serveLeave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body principalJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	v, err := p.Leave(body.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeVersion(w, v)
+}

@@ -179,6 +179,7 @@ var registry = []struct {
 	{"ext-dynamic", ExtDynamicCapacity},
 	{"ext-failover", ExtFailover},
 	{"ext-chaos", ExtChaos},
+	{"ext-reconfig", ExtReconfig},
 }
 
 // IDs lists all experiment identifiers in order.

@@ -214,7 +214,7 @@ func TestExperimentsAreDeterministic(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil || !strings.Contains(err.Error(), "unknown id") {
@@ -233,5 +233,22 @@ func TestResultMeasuredMissing(t *testing.T) {
 	}
 	if !strings.Contains(res.Summary(), "MISMATCH") {
 		t.Fatal("Summary must surface mismatches")
+	}
+}
+
+// TestExtReconfig: a mid-run SLA renegotiation flows through the versioned
+// control plane, rides the combining tree, and swaps fleet-wide at one
+// epoch-gated window boundary — with no mixed-version windows, no settled
+// under-floor windows, and a bit-identical replay.
+func TestExtReconfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "ext-reconfig")
+	if res.Values["mixed-version@windows"] != 0 {
+		t.Fatalf("%v windows mixed agreement versions", res.Values["mixed-version@windows"])
+	}
+	if res.Values["identical@replay"] != 1 {
+		t.Fatal("two runs of the experiment diverged: not deterministic")
 	}
 }

@@ -129,7 +129,7 @@ func ExtDynamicCapacity() (*Result, error) {
 
 	sm.At(60*time.Second, func() {
 		sm.Servers[b][0].SetCapacity(160)
-		if err := eng.UpdateCapacities([]float64{320, 160}); err != nil {
+		if _, err := eng.UpdateCapacities([]float64{320, 160}); err != nil {
 			panic(err)
 		}
 	})

@@ -6,13 +6,15 @@ import (
 	"sync/atomic"
 
 	"repro/internal/agreement"
+	"repro/internal/core"
 )
 
 // Engine is the slice of core.Engine the re-interpreter needs: read the
-// current capacity vector and install a new one.
+// current capacity vector and install a new one. UpdateCapacities returns
+// the configuration Version the update produced (see core.Engine).
 type Engine interface {
 	Capacities() []float64
-	UpdateCapacities([]float64) error
+	UpdateCapacities([]float64) (core.Version, error)
 }
 
 // Reinterpreter turns backend up/down transitions into the paper's §2.2
@@ -106,7 +108,8 @@ func (r *Reinterpreter) SetBackendDown(target string, isDown bool) error {
 	if !nowDegraded && wasDegraded {
 		r.recovered.Add(1)
 	}
-	return r.eng.UpdateCapacities(caps)
+	_, err := r.eng.UpdateCapacities(caps)
+	return err
 }
 
 // HandleTransition adapts Checker.OnTransition to SetBackendDown; engine

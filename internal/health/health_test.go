@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/core"
 )
 
 // fakeProber scripts probe outcomes per target; tests flip `ok` between
@@ -263,10 +264,10 @@ func (f *fakeEngine) Capacities() []float64 {
 	return out
 }
 
-func (f *fakeEngine) UpdateCapacities(v []float64) error {
+func (f *fakeEngine) UpdateCapacities(v []float64) (core.Version, error) {
 	f.caps = append([]float64(nil), v...)
 	f.updates = append(f.updates, f.caps)
-	return nil
+	return core.Version(len(f.updates)), nil
 }
 
 func TestReinterpreterScalesOwnerCapacity(t *testing.T) {

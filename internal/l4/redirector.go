@@ -25,6 +25,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/ctrlplane"
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/treenet"
@@ -64,6 +65,14 @@ type Config struct {
 	// backends are skipped by backend choice and every down/up transition
 	// re-interprets the agreements against the surviving capacity.
 	Health *health.Options
+	// Ctrl, if true, attaches the dynamic agreement control plane to the
+	// ObsHandler admin surface (/v1/agreements, /v1/principals/...). With
+	// a tree, accepted mutations are epoch-gated and piggybacked on this
+	// node's downward broadcasts — enable Ctrl on the tree root only.
+	Ctrl bool
+	// CtrlLead is the rollout gate lead in tree epochs (<=0 selects
+	// ctrlplane.DefaultLead). Ignored unless Ctrl is set.
+	CtrlLead int
 }
 
 type heldConn struct {
@@ -95,6 +104,7 @@ type Redirector struct {
 
 	obsv    *obs.Observer
 	handler *obs.Handler
+	plane   *ctrlplane.Plane
 
 	ticker    *time.Ticker
 	done      chan struct{}
@@ -173,6 +183,50 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 			}
 			r.reparent = treenet.NewReparenter(cfg.Tree.NodeID, members, fanout, cfg.Tree.FailureTimeout)
 		}
+		// Configuration updates arriving from the parent stage a new
+		// scheduling generation on the local engine behind the sender's
+		// epoch gate; runWindow swaps once this node's epoch crosses it.
+		// Runs on the transport goroutine under r.mu (OnMessage).
+		r.tree.SetConfigHandler(func(cu *combining.ConfigUpdate) {
+			set, derr := agreement.DecodeSet(cu.Payload)
+			if derr != nil {
+				cfg.Engine.Logger().Error("bad config payload", "version", cu.Version, "err", derr)
+				return
+			}
+			if _, serr := cfg.Engine.StageSet(set, cu.GateEpoch); serr != nil {
+				cfg.Engine.Logger().Error("stage agreement set", "version", cu.Version, "err", serr)
+			}
+		})
+	}
+
+	if cfg.Ctrl {
+		opt := ctrlplane.Options{Lead: cfg.CtrlLead, Logger: cfg.Engine.Logger()}
+		if r.tree != nil {
+			tree := r.tree
+			opt.Epoch = func() int {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				return tree.Epoch()
+			}
+			opt.Publish = func(set *agreement.Set, gate int) {
+				data, perr := set.Encode()
+				if perr != nil {
+					cfg.Engine.Logger().Error("encode agreement set", "version", set.Version, "err", perr)
+					return
+				}
+				r.mu.Lock()
+				tree.SetConfig(&combining.ConfigUpdate{Version: set.Version, GateEpoch: gate, Payload: data})
+				r.mu.Unlock()
+			}
+		}
+		var perr error
+		r.plane, perr = ctrlplane.New(cfg.Engine.System(), cfg.Engine, opt)
+		if perr != nil {
+			if r.transport != nil {
+				r.transport.Close()
+			}
+			return nil, perr
+		}
 	}
 
 	// Window tracing: the tree snapshot runs inside runWindow under r.mu, so
@@ -206,14 +260,28 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 	}
 
 	r.red.SetObserver(r.obsv)
-	r.handler = obs.NewHandler(obs.HandlerConfig{
+	hcfg := obs.HandlerConfig{
 		Observers: []*obs.Observer{r.obsv},
 		Auditor:   r.obsv.Auditor(),
 		Solver:    cfg.Engine.Stats(),
 		Mode:      cfg.Engine.Mode().String(),
 		Window:    cfg.Engine.Window(),
 		Extra:     r.extraMetrics,
-	})
+		Config: func() obs.ConfigInfo {
+			info := cfg.Engine.Rollout()
+			return obs.ConfigInfo{
+				Active:     uint64(info.Active),
+				Staged:     uint64(info.Staged),
+				SetVersion: info.SetVersion,
+				GateEpoch:  info.GateEpoch,
+				Rollouts:   info.Rollouts,
+			}
+		},
+	}
+	if r.plane != nil {
+		hcfg.Control = r.plane.Handler()
+	}
+	r.handler = obs.NewHandler(hcfg)
 
 	for _, svc := range cfg.Services {
 		ln, err := net.Listen("tcp", svc.Addr)
@@ -414,6 +482,19 @@ func (r *Redirector) runWindow() {
 	} else {
 		r.red.SetGlobal(r.estBuf, r.elapsed())
 	}
+	if r.tree != nil {
+		// Rollout view for the epoch gate: this node's epoch and the
+		// newest agreement-set version the tree delivered.
+		epoch := r.tree.Epoch()
+		if ge := r.tree.GlobalEpoch(); ge > epoch {
+			epoch = ge
+		}
+		var known uint64
+		if cu := r.tree.Config(); cu != nil {
+			known = cu.Version
+		}
+		r.red.SetRollout(epoch, known)
+	}
 	if err := r.red.StartWindow(r.elapsed()); err != nil {
 		r.mu.Unlock()
 		return
@@ -484,6 +565,10 @@ func (r *Redirector) DialStats() (dialFailures, reparked int) {
 
 // Observer exposes the window-trace observer (auditor counters, trace ring).
 func (r *Redirector) Observer() *obs.Observer { return r.obsv }
+
+// Plane exposes the dynamic agreement control plane (nil unless Ctrl was
+// set); its HTTP surface is part of ObsHandler.
+func (r *Redirector) Plane() *ctrlplane.Plane { return r.plane }
 
 // ObsHandler exposes the observability endpoints (/metrics, /debug/windows,
 // pprof) for mounting on an admin listener — the Layer-4 switch itself

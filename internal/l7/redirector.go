@@ -14,6 +14,7 @@ import (
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/ctrlplane"
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/treenet"
@@ -54,6 +55,15 @@ type RedirectorConfig struct {
 	// re-interprets the agreements against the surviving capacity
 	// (Engine.UpdateCapacities, the paper's §2.2 made automatic).
 	Health *health.Options
+	// Ctrl, if true, attaches the dynamic agreement control plane to this
+	// redirector's admin surface (/v1/agreements, /v1/principals/...).
+	// With a tree, accepted mutations are epoch-gated and piggybacked on
+	// this node's downward broadcasts — enable Ctrl on the tree root only.
+	// Without a tree, mutations commit at the next window boundary.
+	Ctrl bool
+	// CtrlLead is the rollout gate lead in tree epochs (<=0 selects
+	// ctrlplane.DefaultLead). Ignored unless Ctrl is set.
+	CtrlLead int
 }
 
 // Redirector is the Layer-7 switch: an HTTP server answering every request
@@ -74,6 +84,7 @@ type Redirector struct {
 
 	obsv    *obs.Observer
 	handler *obs.Handler
+	plane   *ctrlplane.Plane
 
 	checker *health.Checker
 	reint   *health.Reinterpreter
@@ -149,6 +160,50 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 			}
 			r.reparent = treenet.NewReparenter(cfg.Tree.NodeID, members, fanout, cfg.Tree.FailureTimeout)
 		}
+		// Configuration updates arriving from the parent stage a new
+		// scheduling generation on the local engine behind the sender's
+		// epoch gate; the window loop swaps once this node's epoch crosses
+		// it. Runs on the transport goroutine under r.mu (OnMessage).
+		r.tree.SetConfigHandler(func(cu *combining.ConfigUpdate) {
+			set, derr := agreement.DecodeSet(cu.Payload)
+			if derr != nil {
+				cfg.Engine.Logger().Error("bad config payload", "version", cu.Version, "err", derr)
+				return
+			}
+			if _, serr := cfg.Engine.StageSet(set, cu.GateEpoch); serr != nil {
+				cfg.Engine.Logger().Error("stage agreement set", "version", cu.Version, "err", serr)
+			}
+		})
+	}
+
+	if cfg.Ctrl {
+		opt := ctrlplane.Options{Lead: cfg.CtrlLead, Logger: cfg.Engine.Logger()}
+		if r.tree != nil {
+			tree := r.tree
+			opt.Epoch = func() int {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				return tree.Epoch()
+			}
+			opt.Publish = func(set *agreement.Set, gate int) {
+				data, perr := set.Encode()
+				if perr != nil {
+					cfg.Engine.Logger().Error("encode agreement set", "version", set.Version, "err", perr)
+					return
+				}
+				r.mu.Lock()
+				tree.SetConfig(&combining.ConfigUpdate{Version: set.Version, GateEpoch: gate, Payload: data})
+				r.mu.Unlock()
+			}
+		}
+		r.plane, err = ctrlplane.New(cfg.Engine.System(), cfg.Engine, opt)
+		if err != nil {
+			ln.Close()
+			if r.transport != nil {
+				r.transport.Close()
+			}
+			return nil, err
+		}
 	}
 
 	// Window tracing + exposition: one observer per redirector, scraped from
@@ -183,14 +238,28 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 	}
 
 	r.red.SetObserver(r.obsv)
-	r.handler = obs.NewHandler(obs.HandlerConfig{
+	hcfg := obs.HandlerConfig{
 		Observers: []*obs.Observer{r.obsv},
 		Auditor:   r.obsv.Auditor(),
 		Solver:    cfg.Engine.Stats(),
 		Mode:      cfg.Engine.Mode().String(),
 		Window:    cfg.Engine.Window(),
 		Extra:     r.extraMetrics,
-	})
+		Config: func() obs.ConfigInfo {
+			info := cfg.Engine.Rollout()
+			return obs.ConfigInfo{
+				Active:     uint64(info.Active),
+				Staged:     uint64(info.Staged),
+				SetVersion: info.SetVersion,
+				GateEpoch:  info.GateEpoch,
+				Rollouts:   info.Rollouts,
+			}
+		},
+	}
+	if r.plane != nil {
+		hcfg.Control = r.plane.Handler()
+	}
+	r.handler = obs.NewHandler(hcfg)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/svc/", r.handle)
@@ -254,6 +323,19 @@ func (r *Redirector) windowLoop() {
 			} else {
 				// Single redirector: its own estimate is the global truth.
 				r.red.SetGlobal(r.estBuf, r.elapsed())
+			}
+			if r.tree != nil {
+				// Rollout view for the epoch gate: this node's epoch and
+				// the newest agreement-set version the tree delivered.
+				epoch := r.tree.Epoch()
+				if ge := r.tree.GlobalEpoch(); ge > epoch {
+					epoch = ge
+				}
+				var known uint64
+				if cu := r.tree.Config(); cu != nil {
+					known = cu.Version
+				}
+				r.red.SetRollout(epoch, known)
 			}
 			if err := r.red.StartWindow(r.elapsed()); err != nil {
 				// Scheduling failures leave last window's credits in
@@ -390,6 +472,11 @@ func (r *Redirector) Stats() (admitted, rejected int) {
 
 // Observer exposes the window-trace observer (auditor counters, trace ring).
 func (r *Redirector) Observer() *obs.Observer { return r.obsv }
+
+// Plane exposes the dynamic agreement control plane (nil unless Ctrl was
+// set). Its HTTP surface is already mounted under /v1 on the redirector's
+// own mux.
+func (r *Redirector) Plane() *ctrlplane.Plane { return r.plane }
 
 // ObsHandler exposes the observability handler, already mounted on the
 // redirector's own mux; cmd front-ends can additionally serve it on a

@@ -40,7 +40,21 @@ type Auditor struct {
 	overUB  []atomic.Int64 // windows admitted above the MC+OC ceiling
 	served  []atomicFloat64
 	arrived []atomicFloat64
+
+	// versionSlots detects mixed-version windows during configuration
+	// rollouts: slot w%128 holds window<<16 | version&0xffff for the newest
+	// window number observed in it. Two redirectors committing the same
+	// window number with different configuration versions bump mixedVersion
+	// — the epoch-gate invariant ("no window mixes old and new
+	// entitlements") as a scrapeable counter. Windows are 1-based, so the
+	// zero slot never aliases a real observation.
+	versionSlots [versionSlotCount]atomic.Uint64
+	mixedVersion atomic.Int64
 }
+
+// versionSlotCount is the mixed-version detector's ring size; it only needs
+// to cover the windows simultaneously in flight across redirectors.
+const versionSlotCount = 128
 
 // NewAuditor builds an auditor labeling principals with names.
 func NewAuditor(names []string) *Auditor {
@@ -83,6 +97,25 @@ func (a *Auditor) Observe(rec *Record) {
 	}
 	if rec.Degraded {
 		a.degraded.Add(1)
+	}
+	if rec.ConfigVersion > 0 {
+		slot := &a.versionSlots[rec.Window%versionSlotCount]
+		packed := rec.Window<<16 | (rec.ConfigVersion & 0xffff)
+		for {
+			old := slot.Load()
+			if old>>16 > rec.Window {
+				break // a newer window already owns the slot
+			}
+			if old>>16 == rec.Window {
+				if old&0xffff != packed&0xffff {
+					a.mixedVersion.Add(1)
+				}
+				break
+			}
+			if slot.CompareAndSwap(old, packed) {
+				break
+			}
+		}
 	}
 	n := len(a.underMC)
 	if len(rec.Served) < n {
@@ -156,6 +189,17 @@ func (a *Auditor) Degraded() int64 {
 		return 0
 	}
 	return a.degraded.Load()
+}
+
+// MixedVersion reports how many times two redirectors ran the same window
+// number against different configuration versions — zero whenever the
+// epoch-gated rollout swapped every admission point atomically at a window
+// boundary.
+func (a *Auditor) MixedVersion() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.mixedVersion.Load()
 }
 
 // UnderMC reports windows in which principal i was served below its

@@ -33,16 +33,42 @@ type HandlerConfig struct {
 	Extra func(w io.Writer)
 	// DisablePprof leaves net/http/pprof unregistered.
 	DisablePprof bool
+
+	// Control, when non-nil, is mounted under /v1/agreements and
+	// /v1/principals — the dynamic agreement control plane's admin API
+	// (internal/ctrlplane.Handler).
+	Control http.Handler
+	// Config, when non-nil, supplies the engine's configuration-version
+	// state for the rsa_config_* series.
+	Config func() ConfigInfo
 }
 
-// Handler serves the observability endpoints:
+// ConfigInfo is the configuration-version snapshot exported by /metrics
+// (mirrors core.RolloutInfo without importing core).
+type ConfigInfo struct {
+	// Active and Staged are the engine generations (staged 0 when no
+	// rollout is in flight); SetVersion is the newest agreement-set version
+	// accepted; GateEpoch the tree epoch a staged generation waits on.
+	Active     uint64
+	Staged     uint64
+	SetVersion uint64
+	GateEpoch  int
+	// Rollouts counts fully converged epoch-gated rollouts.
+	Rollouts uint64
+}
+
+// Handler serves the versioned admin/observability API:
 //
-//	/metrics          Prometheus text exposition
-//	/debug/windows    JSON array of the last N window trace records (?n=)
-//	/debug/pprof/...  net/http/pprof
+//	/v1/metrics          Prometheus text exposition
+//	/v1/debug/windows    JSON array of the last N window trace records (?n=)
+//	/v1/agreements       dynamic agreement control plane (when configured)
+//	/v1/principals/...   principal join/leave (when configured)
+//	/debug/pprof/...     net/http/pprof
 //
-// Mount it on an existing mux with Register, or serve it directly (it
-// implements http.Handler) on a dedicated admin listener.
+// The pre-versioning paths /metrics and /debug/windows remain as aliases;
+// responses on them carry a Deprecation header and a Link to the successor
+// under /v1. Mount the handler on an existing mux with Register, or serve it
+// directly (it implements http.Handler) on a dedicated admin listener.
 type Handler struct {
 	cfg HandlerConfig
 	mux *http.ServeMux
@@ -60,11 +86,28 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
+// deprecatedAlias wraps a /v1 handler for its legacy path: same behavior,
+// plus RFC 8594-style headers pointing clients at the successor.
+func deprecatedAlias(successor string, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		fn(w, r)
+	}
+}
+
 // Register mounts the endpoints on mux (for front-ends that already run an
 // HTTP server, like the Layer-7 redirector).
 func (h *Handler) Register(mux *http.ServeMux) {
-	mux.HandleFunc("/metrics", h.serveMetrics)
-	mux.HandleFunc("/debug/windows", h.serveWindows)
+	mux.HandleFunc("/v1/metrics", h.serveMetrics)
+	mux.HandleFunc("/v1/debug/windows", h.serveWindows)
+	mux.HandleFunc("/metrics", deprecatedAlias("/v1/metrics", h.serveMetrics))
+	mux.HandleFunc("/debug/windows", deprecatedAlias("/v1/debug/windows", h.serveWindows))
+	if h.cfg.Control != nil {
+		mux.Handle("/v1/agreements", h.cfg.Control)
+		mux.Handle("/v1/agreements/", h.cfg.Control)
+		mux.Handle("/v1/principals/", h.cfg.Control)
+	}
 	if !h.cfg.DisablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -135,6 +178,9 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		promMetric(w, "rsa_windows_degraded_total", "counter",
 			"Windows scheduled on reduced, health-re-interpreted capacity (a backend was down).",
 			float64(a.Degraded()))
+		promMetric(w, "rsa_windows_mixed_version_total", "counter",
+			"Same-numbered windows observed under different configuration versions (must stay 0).",
+			float64(a.MixedVersion()))
 
 		names := a.Names()
 		promHeader(w, "rsa_windows_under_mc_total", "counter",
@@ -172,6 +218,21 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 			"Mean LP solve latency.", s.MeanSolve().Seconds())
 		promMetric(w, "rsa_solver_solve_seconds_max", "gauge",
 			"Max LP solve latency.", s.MaxSolve().Seconds())
+	}
+	if h.cfg.Config != nil {
+		ci := h.cfg.Config()
+		promMetric(w, "rsa_config_version", "gauge",
+			"Active engine configuration generation.", float64(ci.Active))
+		promMetric(w, "rsa_config_staged_version", "gauge",
+			"Configuration generation staged behind the rollout epoch gate (0 when none).",
+			float64(ci.Staged))
+		promMetric(w, "rsa_config_set_version", "gauge",
+			"Newest agreement-set version accepted from the control plane.", float64(ci.SetVersion))
+		promMetric(w, "rsa_config_gate_epoch", "gauge",
+			"Combining-tree epoch the staged generation is gated on (0 when none).",
+			float64(ci.GateEpoch))
+		promMetric(w, "rsa_config_rollouts_total", "counter",
+			"Epoch-gated configuration rollouts fully converged.", float64(ci.Rollouts))
 	}
 	if h.cfg.Extra != nil {
 		h.cfg.Extra(w)

@@ -77,6 +77,11 @@ type Record struct {
 	SolveNanos int64 `json:"solve_ns"`
 	SolveErr   bool  `json:"solve_err"`
 
+	// ConfigVersion is the engine configuration generation (see
+	// core.Engine.Version) the window was scheduled against — the rollout
+	// audit trail for runtime renegotiations. 0 when unknown.
+	ConfigVersion uint64 `json:"config_version"`
+
 	// Local is the EWMA demand estimate the window scheduled with; Global is
 	// the global queue aggregate used (zero when conservative).
 	Local  []float64 `json:"local"`

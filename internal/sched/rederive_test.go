@@ -1,0 +1,269 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"repro/internal/agreement"
+	"testing"
+)
+
+// perturbAccess scales every existing entitlement by a random positive
+// factor, preserving the sparsity and floor patterns NewCommunityFrom keys
+// on — the shape of a pure [lb, ub] renegotiation.
+func perturbAccess(rng *rand.Rand, acc *agreement.Access) *agreement.Access {
+	n := len(acc.MC)
+	out := &agreement.Access{
+		MI: make([][]float64, n),
+		OI: make([][]float64, n),
+		MC: make([]float64, n),
+		OC: make([]float64, n),
+	}
+	for k := 0; k < n; k++ {
+		out.MI[k] = make([]float64, n)
+		out.OI[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			if acc.MI[k][i] > 0 {
+				out.MI[k][i] = acc.MI[k][i] * (0.25 + rng.Float64())
+			}
+			if acc.OI[k][i] > 0 {
+				out.OI[k][i] = acc.OI[k][i] * (0.25 + rng.Float64())
+			}
+			out.MC[i] += out.MI[k][i]
+			out.OC[i] += out.OI[k][i]
+		}
+	}
+	return out
+}
+
+func samePlan(a, b *Plan) bool {
+	if a.Theta != b.Theta {
+		return false
+	}
+	for i := range a.X {
+		for k := range a.X[i] {
+			if a.X[i][k] != b.X[i][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCommunityFromMatchesFresh pins the control plane's re-derivation
+// guarantee: a scheduler re-derived from a structurally compatible
+// predecessor must produce plans bit-identical to a freshly compiled one,
+// and the predecessor must keep producing its own old plans untouched.
+func TestCommunityFromMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(4)
+		acc := randomAccess(rng, n)
+		capacity := make([]float64, n)
+		for k := range capacity {
+			capacity[k] = math.Round(rng.Float64()*400) / 2
+		}
+		var locality []float64
+		if rng.Intn(2) == 0 {
+			locality = make([]float64, n)
+			for k := range locality {
+				locality[k] = math.Round(rng.Float64() * 300)
+			}
+		}
+		prev, err := NewCommunity(acc, capacity, locality)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		queues := make([]float64, n)
+		for i := range queues {
+			queues[i] = 1 + math.Round(rng.Float64()*500)/2
+		}
+		prevPlan, err := prev.Schedule(queues)
+		if err != nil {
+			t.Fatalf("iter %d: prev schedule: %v", iter, err)
+		}
+
+		acc2 := perturbAccess(rng, acc)
+		capacity2 := make([]float64, n)
+		for k := range capacity2 {
+			capacity2[k] = math.Round(rng.Float64()*400) / 2
+		}
+		locality2 := locality
+		if locality != nil {
+			locality2 = make([]float64, n)
+			for k := range locality2 {
+				locality2[k] = math.Round(rng.Float64() * 300)
+			}
+		}
+		derived, err := NewCommunityFrom(prev, acc2, capacity2, locality2)
+		if err != nil {
+			t.Fatalf("iter %d: derive: %v", iter, err)
+		}
+		fresh, err := NewCommunity(acc2, capacity2, locality2)
+		if err != nil {
+			t.Fatalf("iter %d: fresh: %v", iter, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			q := make([]float64, n)
+			for i := range q {
+				q[i] = 1 + math.Round(rng.Float64()*500)/2
+			}
+			dp, err := derived.Schedule(q)
+			if err != nil {
+				t.Fatalf("iter %d: derived schedule: %v", iter, err)
+			}
+			fp, err := fresh.Schedule(q)
+			if err != nil {
+				t.Fatalf("iter %d: fresh schedule: %v", iter, err)
+			}
+			if !samePlan(dp, fp) {
+				t.Fatalf("iter %d rep %d: derived plan diverges from fresh compile (queues %v)", iter, rep, q)
+			}
+		}
+		// The previous generation must be untouched: in-flight windows on the
+		// old scheduler keep their old plans.
+		again, err := prev.Schedule(queues)
+		if err != nil {
+			t.Fatalf("iter %d: prev re-schedule: %v", iter, err)
+		}
+		if !samePlan(prevPlan, again) {
+			t.Fatalf("iter %d: deriving a new generation mutated the previous scheduler", iter)
+		}
+	}
+}
+
+// TestCommunityFromFallsBack checks structural mismatches (changed
+// sparsity) silently take the full-compile path and still schedule
+// correctly.
+func TestCommunityFromFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	acc := randomAccess(rng, 3)
+	capacity := []float64{100, 100, 100}
+	prev, err := NewCommunity(acc, capacity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill one entitlement entirely: the variable set changes.
+	acc2 := perturbAccess(rng, acc)
+	for k := 0; k < 3; k++ {
+		for i := 0; i < 3; i++ {
+			if acc2.MI[k][i] > 0 || acc2.OI[k][i] > 0 {
+				acc2.MC[i] -= acc2.MI[k][i]
+				acc2.OC[i] -= acc2.OI[k][i]
+				acc2.MI[k][i], acc2.OI[k][i] = 0, 0
+				k = 3
+				break
+			}
+		}
+	}
+	derived, err := NewCommunityFrom(prev, acc2, capacity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewCommunity(acc2, capacity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{50, 60, 70}
+	dp, err := derived.Schedule(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := fresh.Schedule(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePlan(dp, fp) {
+		t.Fatal("fallback path diverges from fresh compile")
+	}
+}
+
+// TestProviderFromMatchesFresh is the provider-mode analogue: re-derived
+// schedulers must match fresh compiles exactly when the floor pattern and
+// prices are unchanged.
+func TestProviderFromMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(4)
+		mc := make([]float64, n)
+		oc := make([]float64, n)
+		prices := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				mc[i] = math.Round(rng.Float64()*100) / 2
+			}
+			oc[i] = math.Round(rng.Float64()*100) / 2
+			prices[i] = math.Round(rng.Float64()*10) / 2
+		}
+		capacity := math.Round(rng.Float64() * 300)
+		prev, err := NewProvider(mc, oc, prices, capacity)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		mc2 := make([]float64, n)
+		oc2 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if mc[i] > 0 {
+				mc2[i] = mc[i] * (0.25 + rng.Float64())
+			}
+			oc2[i] = oc[i] * (0.25 + rng.Float64())
+		}
+		capacity2 := math.Round(rng.Float64() * 300)
+		derived, err := NewProviderFrom(prev, mc2, oc2, prices, capacity2)
+		if err != nil {
+			t.Fatalf("iter %d: derive: %v", iter, err)
+		}
+		fresh, err := NewProvider(mc2, oc2, prices, capacity2)
+		if err != nil {
+			t.Fatalf("iter %d: fresh: %v", iter, err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			q := make([]float64, n)
+			for i := range q {
+				q[i] = math.Round(rng.Float64() * 200)
+			}
+			dp, err := derived.Schedule(q)
+			if err != nil {
+				t.Fatalf("iter %d: derived: %v", iter, err)
+			}
+			fp, err := fresh.Schedule(q)
+			if err != nil {
+				t.Fatalf("iter %d: fresh: %v", iter, err)
+			}
+			if dp.Income != fp.Income {
+				t.Fatalf("iter %d rep %d: income %g vs %g", iter, rep, dp.Income, fp.Income)
+			}
+			for i := range dp.X {
+				if dp.X[i] != fp.X[i] {
+					t.Fatalf("iter %d rep %d: X[%d] %g vs %g", iter, rep, i, dp.X[i], fp.X[i])
+				}
+			}
+		}
+		// Changed prices must fall back to a full compile (objective differs).
+		prices2 := make([]float64, n)
+		copy(prices2, prices)
+		prices2[0] += 1
+		fb, err := NewProviderFrom(prev, mc2, oc2, prices2, capacity2)
+		if err != nil {
+			t.Fatalf("iter %d: price fallback: %v", iter, err)
+		}
+		freshP, err := NewProvider(mc2, oc2, prices2, capacity2)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		q := make([]float64, n)
+		for i := range q {
+			q[i] = math.Round(rng.Float64() * 200)
+		}
+		fbp, err := fb.Schedule(q)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		fpp, err := freshP.Schedule(q)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if fbp.Income != fpp.Income {
+			t.Fatalf("iter %d: price-change fallback income %g vs %g", iter, fbp.Income, fpp.Income)
+		}
+	}
+}

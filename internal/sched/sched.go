@@ -65,6 +65,14 @@ type Community struct {
 	demandRow []int // Σ_k x_ik ≤ n_i            (RHS ← n_i)
 	floorRow  []int // Σ_k x_ik ≥ min(n_i, MC_i) (RHS ← floor, 0 on fallback)
 	blockRow  []int // θ n_i ≤ 0 for unentitled i (θ coefficient ← n_i)
+	// Bound/capacity row positions, recorded so NewCommunityFrom can
+	// re-derive an existing template's bounds under renegotiated
+	// entitlements without recompiling: varHiRow[v] is variable v's upper
+	// bound row (x_ik ≤ MI+OI), capRow/locRow[k] owner k's capacity and
+	// locality rows (-1 when absent).
+	varHiRow []int
+	capRow   []int
+	locRow   []int
 
 	// states pools per-worker template clones + solvers so that distinct
 	// queue vectors can be scheduled in parallel.
@@ -101,6 +109,81 @@ func NewCommunity(acc *agreement.Access, capacity, locality []float64) (*Communi
 	return c, nil
 }
 
+// NewCommunityFrom builds a community scheduler for renegotiated
+// entitlements by re-deriving the bounds of prev's compiled template: when
+// the new Access has the same entitlement sparsity and mandatory-floor
+// pattern (the common case for a pure [lb, ub] or capacity renegotiation),
+// the constraint layout is identical and only the upper-bound, capacity, and
+// locality rows need new right-hand sides — no recompilation, and the
+// template stays row-for-row identical to a fresh compile, so plans are
+// bit-identical too. Structurally incompatible inputs fall back to a full
+// NewCommunity. prev is read-only and remains valid: in-flight windows on
+// the previous generation are unaffected.
+func NewCommunityFrom(prev *Community, acc *agreement.Access, capacity, locality []float64) (*Community, error) {
+	n := len(acc.MC)
+	if prev == nil || prev.n != n || !prev.compatible(acc, locality) {
+		return NewCommunity(acc, capacity, locality)
+	}
+	if len(capacity) != n {
+		return nil, fmt.Errorf("%w: capacity length %d, want %d", ErrInput, len(capacity), n)
+	}
+	c := &Community{
+		n: n, acc: acc, capacity: capacity, locality: locality,
+		obj2: prev.obj2, xv: prev.xv,
+		servedRow: prev.servedRow, demandRow: prev.demandRow,
+		floorRow: prev.floorRow, blockRow: prev.blockRow,
+		varHiRow: prev.varHiRow, capRow: prev.capRow, locRow: prev.locRow,
+	}
+	c.tmpl = prev.tmpl.Clone()
+	cons := c.tmpl.Constraints
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if v := c.xv[i][k]; v >= 0 {
+				cons[c.varHiRow[v]].RHS = acc.MI[k][i] + acc.OI[k][i]
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		if r := c.capRow[k]; r >= 0 {
+			cons[r].RHS = capacity[k]
+		}
+		if r := c.locRow[k]; r >= 0 {
+			cons[r].RHS = locality[k]
+		}
+	}
+	c.states.New = func() any {
+		return &commState{p: c.tmpl.Clone(), solver: lp.NewSolver()}
+	}
+	return c, nil
+}
+
+// compatible reports whether acc/locality produce the same compiled row
+// structure as the receiver's: same entitlement sparsity (which x variables
+// exist), same floor pattern (which floor rows exist), and the same locality
+// row pattern.
+func (c *Community) compatible(acc *agreement.Access, locality []float64) bool {
+	if len(acc.MC) != c.n {
+		return false
+	}
+	if (c.locality == nil) != (locality == nil) {
+		return false
+	}
+	for i := 0; i < c.n; i++ {
+		if (c.acc.MC[i] > 0) != (acc.MC[i] > 0) {
+			return false
+		}
+		for k := 0; k < c.n; k++ {
+			if (c.acc.MI[k][i]+c.acc.OI[k][i] > 0) != (acc.MI[k][i]+acc.OI[k][i] > 0) {
+				return false
+			}
+		}
+		if locality != nil && math.IsInf(c.locality[i], 1) != math.IsInf(locality[i], 1) {
+			return false
+		}
+	}
+	return true
+}
+
 // SetStats wires shared fast-path telemetry (may be nil). Typically called
 // by the owning engine right after construction.
 func (c *Community) SetStats(s *metrics.SolverStats) { c.stats = s }
@@ -124,6 +207,7 @@ func (c *Community) compile() {
 	b := lp.NewBuilder()
 	theta := b.NewVar(1)
 	b.Bound(theta, 0, 1)
+	c.varHiRow = append(c.varHiRow[:0], b.NumConstraints()-1)
 
 	c.xv = make([][]lp.Var, n)
 	for i := 0; i < n; i++ {
@@ -133,6 +217,7 @@ func (c *Community) compile() {
 			if hi := c.acc.MI[k][i] + c.acc.OI[k][i]; hi > 0 {
 				v := b.NewVar(0)
 				b.Bound(v, 0, hi)
+				c.varHiRow = append(c.varHiRow, b.NumConstraints()-1)
 				c.xv[i][k] = v
 			}
 		}
@@ -173,6 +258,8 @@ func (c *Community) compile() {
 	}
 
 	// Server capacity: Σ_i x_ik ≤ V_k, and locality caps.
+	c.capRow = filled(n, -1)
+	c.locRow = filled(n, -1)
 	for k := 0; k < n; k++ {
 		var load []lp.Term
 		for i := 0; i < n; i++ {
@@ -183,8 +270,10 @@ func (c *Community) compile() {
 		if len(load) == 0 {
 			continue
 		}
+		c.capRow[k] = b.NumConstraints()
 		b.Constrain(lp.LE, c.capacity[k], load...)
 		if c.locality != nil && !math.IsInf(c.locality[k], 1) {
+			c.locRow[k] = b.NumConstraints()
 			b.Constrain(lp.LE, c.locality[k], load...)
 		}
 	}
@@ -426,6 +515,9 @@ type Provider struct {
 	obj2  []float64
 	loRow []int // x_i ≥ min(MC_i, n_i)                 (RHS ← lo)
 	hiRow []int // x_i ≤ min(MC_i+OC_i, n_i, capacity)  (RHS ← hi)
+	// capRow is the aggregate capacity row, recorded so NewProviderFrom can
+	// re-derive the template under renegotiated entitlements.
+	capRow int
 
 	states sync.Pool
 
@@ -460,6 +552,56 @@ func NewProvider(mc, oc, prices []float64, capacity float64) (*Provider, error) 
 	return p, nil
 }
 
+// NewProviderFrom builds a provider scheduler for renegotiated entitlements
+// by re-deriving the bounds of prev's compiled template. Schedule rewrites
+// the per-customer lo/hi rows from mc/oc/capacity on every call, so when the
+// floor pattern (mc_i > 0) and the compiled price objective are unchanged
+// only the aggregate capacity row needs a new right-hand side. Incompatible
+// inputs fall back to a full NewProvider; prev remains valid either way.
+func NewProviderFrom(prev *Provider, mc, oc, prices []float64, capacity float64) (*Provider, error) {
+	if prev == nil || !prev.compatible(mc, prices) {
+		return NewProvider(mc, oc, prices, capacity)
+	}
+	n := len(mc)
+	if len(oc) != n || len(prices) != n {
+		return nil, fmt.Errorf("%w: mc/oc/prices lengths %d/%d/%d", ErrInput, n, len(oc), len(prices))
+	}
+	if capacity < 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("%w: capacity %v", ErrInput, capacity)
+	}
+	for i := 0; i < n; i++ {
+		if mc[i] < 0 || oc[i] < 0 {
+			return nil, fmt.Errorf("%w: negative entitlement for customer %d", ErrInput, i)
+		}
+	}
+	p := &Provider{
+		n: n, mc: mc, oc: oc, prices: prices, capacity: capacity,
+		obj2: prev.obj2, loRow: prev.loRow, hiRow: prev.hiRow, capRow: prev.capRow,
+	}
+	p.tmpl = prev.tmpl.Clone()
+	p.tmpl.Constraints[p.capRow].RHS = capacity
+	p.states.New = func() any {
+		return &commState{p: p.tmpl.Clone(), solver: lp.NewSolver()}
+	}
+	return p, nil
+}
+
+// compatible reports whether mc/prices produce the same compiled row
+// structure and objective as the receiver's: the same floor pattern (which
+// lo rows exist) and identical per-request prices (compiled into the
+// objective, not rewritten per call).
+func (p *Provider) compatible(mc, prices []float64) bool {
+	if len(mc) != p.n || len(prices) != p.n {
+		return false
+	}
+	for i := 0; i < p.n; i++ {
+		if (p.mc[i] > 0) != (mc[i] > 0) || p.prices[i] != prices[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // SetStats wires shared fast-path telemetry (may be nil).
 func (p *Provider) SetStats(s *metrics.SolverStats) { p.stats = s }
 
@@ -491,6 +633,7 @@ func (p *Provider) compile() {
 		b.Constrain(lp.LE, math.Min(p.mc[i]+p.oc[i], p.capacity), lp.T(v, 1))
 		all = append(all, lp.T(v, 1))
 	}
+	p.capRow = b.NumConstraints()
 	b.Constrain(lp.LE, p.capacity, all...)
 
 	p.tmpl = b.Problem()

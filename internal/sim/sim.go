@@ -21,6 +21,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/combining"
 	"repro/internal/core"
+	"repro/internal/ctrlplane"
 	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -293,6 +294,20 @@ func (s *Sim) startWindows() {
 		if rn.Tree.IsRoot() {
 			rn.pushGlobal() // root sees its own broadcast instantly
 		}
+		// Feed the redirector its rollout view before the window starts:
+		// its epoch (local ticks, advanced in lockstep fleet-wide) and the
+		// newest configuration version the tree has delivered to it. The
+		// engine's epoch gate decides whether this window runs the old
+		// generation, the staged one, or the conservative fallback.
+		epoch := rn.Tree.Epoch()
+		if ge := rn.Tree.GlobalEpoch(); ge > epoch {
+			epoch = ge
+		}
+		var known uint64
+		if cu := rn.Tree.Config(); cu != nil {
+			known = cu.Version
+		}
+		rn.Red.SetRollout(epoch, known)
 		return rn.Red.StartWindow(now)
 	}
 	workers := s.windowWorkers
@@ -336,6 +351,42 @@ func (s *Sim) startWindows() {
 	if firstErr != nil {
 		panic(fmt.Sprintf("sim: window schedule failed: %v", firstErr))
 	}
+}
+
+// EnableControlPlane attaches a dynamic agreement control plane to the
+// simulation, rooted (like the paper's combining tree) at the tree root.
+// Accepted mutations are staged on the shared engine behind an epoch gate
+// of the root's current epoch plus lead (<=0 selects ctrlplane.DefaultLead)
+// and piggybacked on the root's downward broadcasts, so every redirector
+// learns the new agreement-set version through the tree before its gate
+// epoch arrives and swaps at a window boundary.
+func (s *Sim) EnableControlPlane(lead int) (*ctrlplane.Plane, error) {
+	var root *RNode
+	for i, rn := range s.Redirectors {
+		if !s.failed[i] && rn.Tree.IsRoot() {
+			root = rn
+			break
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: no live tree root", ErrConfig)
+	}
+	tree := root.Tree
+	return ctrlplane.New(s.Engine.System(), s.Engine, ctrlplane.Options{
+		Lead:  lead,
+		Epoch: tree.Epoch,
+		Publish: func(set *agreement.Set, gate int) {
+			data, err := set.Encode()
+			if err != nil {
+				panic(fmt.Sprintf("sim: encode agreement set v%d: %v", set.Version, err))
+			}
+			tree.SetConfig(&combining.ConfigUpdate{
+				Version:   set.Version,
+				GateEpoch: gate,
+				Payload:   data,
+			})
+		},
+	})
 }
 
 // FailRedirector kills redirector i: it stops participating in the tree

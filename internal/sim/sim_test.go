@@ -314,3 +314,61 @@ func TestTraceDepthZeroDisablesTracing(t *testing.T) {
 		t.Fatal("tracing wired despite TraceDepth 0")
 	}
 }
+
+// TestControlPlaneRacesParallelWindows runs control-plane mutations from a
+// separate goroutine while the simulation schedules redirector windows on
+// its parallel worker pool — the combination the race detector must bless
+// (CI runs this package under -race). Determinism is irrelevant here; only
+// synchronization is under test.
+func TestControlPlaneRacesParallelWindows(t *testing.T) {
+	s := agreement.New()
+	a := s.MustAddPrincipal("A", 320)
+	b := s.MustAddPrincipal("B", 320)
+	s.MustSetAgreement(b, a, 0.5, 0.5)
+	eng, err := core.NewEngine(core.Config{Mode: core.Community, System: s, NumRedirectors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := New(Config{
+		Engine:      eng,
+		Redirectors: 4,
+		Servers: []ServerSpec{
+			{Owner: a, Capacity: 160, Count: 2},
+			{Owner: b, Capacity: 160, Count: 2},
+		},
+		Names: []string{"A", "B"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane, err := sm.EnableControlPlane(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.NewClient(0, workload.Config{Principal: int(a), Rate: 400}).SetActive(true)
+	sm.NewClient(1, workload.Config{Principal: int(b), Rate: 400}).SetActive(true)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			lb := 0.25
+			if i%2 == 1 {
+				lb = 0.5
+			}
+			if _, err := plane.SetAgreement("B", "A", lb, lb); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := eng.UpdateSystem(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	sm.Run(20 * time.Second)
+	<-done
+	if plane.Version() == 0 {
+		t.Fatal("no mutation landed")
+	}
+}

@@ -68,6 +68,12 @@ type envelope struct {
 	Kind  string              `json:"kind"` // "report" or "broadcast"
 	Epoch int                 `json:"epoch"`
 	Agg   combining.Aggregate `json:"agg"`
+	// Configuration piggyback (see combining.ConfigUpdate): reports carry
+	// the acknowledged version, broadcasts the newest update.
+	AckVersion uint64 `json:"ack_version,omitempty"`
+	CfgVersion uint64 `json:"cfg_version,omitempty"`
+	CfgGate    int    `json:"cfg_gate,omitempty"`
+	CfgPayload []byte `json:"cfg_payload,omitempty"`
 }
 
 // peer is one neighbor's outbound state: an address, a bounded queue, and a
@@ -204,8 +210,14 @@ func (t *Transport) Send(to combining.NodeID, msg interface{}) {
 	switch m := msg.(type) {
 	case combining.Report:
 		env.Kind, env.Epoch, env.Agg = "report", m.Epoch, m.Agg
+		env.AckVersion = m.AckVersion
 	case combining.Broadcast:
 		env.Kind, env.Epoch, env.Agg = "broadcast", m.Epoch, m.Agg
+		if m.Config != nil {
+			env.CfgVersion = m.Config.Version
+			env.CfgGate = m.Config.GateEpoch
+			env.CfgPayload = m.Config.Payload
+		}
 	default:
 		t.dropSend()
 		return
@@ -341,9 +353,17 @@ func (t *Transport) readLoop(conn net.Conn) {
 		var msg interface{}
 		switch env.Kind {
 		case "report":
-			msg = combining.Report{Epoch: env.Epoch, Agg: env.Agg}
+			msg = combining.Report{Epoch: env.Epoch, Agg: env.Agg, AckVersion: env.AckVersion}
 		case "broadcast":
-			msg = combining.Broadcast{Epoch: env.Epoch, Agg: env.Agg}
+			b := combining.Broadcast{Epoch: env.Epoch, Agg: env.Agg}
+			if env.CfgVersion > 0 {
+				b.Config = &combining.ConfigUpdate{
+					Version:   env.CfgVersion,
+					GateEpoch: env.CfgGate,
+					Payload:   env.CfgPayload,
+				}
+			}
+			msg = b
 		default:
 			continue
 		}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# apicompat.sh — fail when an exported Go declaration present in the parent
+# commit is gone from the working tree, unless scripts/apicompat.allow lists
+# it. Additions never fail (the surface may grow freely); removals and
+# signature changes of exported API must be deliberate.
+#
+# Usage: scripts/apicompat.sh [base-rev]   (default HEAD^)
+#
+# Exits 0 with a notice when the base revision does not exist (first commit,
+# shallow clone) — compatibility against nothing is vacuous.
+set -eu
+
+cd "$(dirname "$0")/.."
+base="${1:-HEAD^}"
+
+if ! git rev-parse --verify --quiet "$base" >/dev/null; then
+    echo "apicompat: no base revision ($base); skipping"
+    exit 0
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; git worktree prune >/dev/null 2>&1 || true' EXIT
+
+git worktree add --detach --quiet "$tmp/base" "$base"
+go run ./cmd/apisurface "$tmp/base" | sort >"$tmp/old"
+go run ./cmd/apisurface . | sort >"$tmp/new"
+
+# Declarations in the base surface missing from the current one.
+comm -23 "$tmp/old" "$tmp/new" >"$tmp/removed" || true
+
+if [ -f scripts/apicompat.allow ]; then
+    grep -v '^[[:space:]]*\(#\|$\)' scripts/apicompat.allow >"$tmp/allow" || true
+else
+    : >"$tmp/allow"
+fi
+
+fail=0
+while IFS= read -r line; do
+    [ -n "$line" ] || continue
+    if grep -Fxq "$line" "$tmp/allow"; then
+        echo "apicompat: allowed removal: $line"
+    else
+        echo "apicompat: REMOVED: $line"
+        fail=1
+    fi
+done <"$tmp/removed"
+
+if [ "$fail" -ne 0 ]; then
+    echo "apicompat: exported API removed or re-typed relative to $base."
+    echo "apicompat: if intentional, add the exact line(s) to scripts/apicompat.allow."
+    exit 1
+fi
+echo "apicompat: OK ($(wc -l <"$tmp/new" | tr -d ' ') exported declarations, none removed)"
