@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json experiments fmt cover apicompat
+.PHONY: all build vet test test-short race bench bench-json bench-scale experiments fmt cover apicompat doclint linkcheck
 
 all: build vet test
 
@@ -31,6 +31,23 @@ bench-json:
 	$(GO) test -run XXX -bench 'WindowSchedule|AdmitPerRequest|WindowTraceOverhead' -benchmem . \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_seed.json -o BENCH_lp_fastpath.json
 	@cat BENCH_lp_fastpath.json
+
+# Macro-benchmark scale sweep: boot an in-process Layer-7 fleet per grid
+# point (redirector count × tree fanout × offered load), drive it with
+# open-loop seeded Poisson streams over loopback TCP, and emit
+# BENCH_scale.json (benchjson shape). Fails if any point settles with
+# under-floor windows or transport errors.
+bench-scale:
+	$(GO) run ./cmd/loadgen -sweep -o BENCH_scale.json
+	@cat BENCH_scale.json
+
+# Documentation gates: exported-identifier godoc coverage and markdown
+# link integrity (both also run in CI).
+doclint:
+	scripts/doclint.sh
+
+linkcheck:
+	scripts/linkcheck.sh
 
 # Regenerate every paper figure and print paper-vs-measured tables.
 experiments:

@@ -125,7 +125,7 @@ func main() {
 	time.Sleep(*runFor)
 	close(stop)
 
-	metrics := scrape(red.URL() + "/metrics")
+	metrics := scrape(red.URL() + "/v1/metrics")
 	deg := counter(metrics, "rsa_health_degraded_transitions_total")
 	rec := counter(metrics, "rsa_health_recovered_transitions_total")
 	log.Printf("chaos: served=%d failed=%d degraded=%g recovered=%g",

@@ -1,0 +1,230 @@
+// Command doclint enforces godoc coverage: every package must carry a
+// package comment, and every exported top-level identifier — functions,
+// methods, types, and grouped or standalone consts and vars — must have a
+// doc comment on the declaration or its enclosing group.
+//
+// Usage:
+//
+//	doclint [dir ...]
+//
+// With no arguments it walks the current module (., cmd/..., internal/...),
+// skipping _test.go files and testdata directories. Findings are printed
+// one per line as file:line: message; any finding makes the exit status 1,
+// which is how CI fails the documentation gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// finding is one missing-documentation report.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+// lintDir parses one directory's non-test Go files and reports
+// documentation gaps.
+func lintDir(fset *token.FileSet, dir string) ([]finding, error) {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []finding
+	for _, pkg := range pkgs {
+		out = append(out, lintPackage(fset, pkg)...)
+	}
+	return out, nil
+}
+
+// lintPackage checks one parsed package: a package comment somewhere, and a
+// doc comment on every exported declaration.
+func lintPackage(fset *token.FileSet, pkg *ast.Package) []finding {
+	var out []finding
+	hasPkgDoc := false
+	var firstFile *ast.File
+	var firstName string
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := pkg.Files[name]
+		if firstFile == nil {
+			firstFile, firstName = f, name
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			hasPkgDoc = true
+		}
+		out = append(out, lintFile(fset, f)...)
+	}
+	if !hasPkgDoc && firstFile != nil {
+		out = append(out, finding{
+			pos: token.Position{Filename: firstName, Line: 1},
+			msg: fmt.Sprintf("package %s has no package comment", pkg.Name),
+		})
+	}
+	return out
+}
+
+// lintFile checks one file's top-level declarations.
+func lintFile(fset *token.FileSet, f *ast.File) []finding {
+	var out []finding
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, finding{pos: fset.Position(pos), msg: fmt.Sprintf(format, args...)})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || hasDoc(d.Doc) {
+				continue
+			}
+			if d.Recv != nil {
+				recv := receiverName(d.Recv)
+				if recv != "" && !ast.IsExported(recv) {
+					continue // method on an unexported type
+				}
+				report(d.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+			} else {
+				report(d.Pos(), "exported function %s has no doc comment", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			lintGenDecl(report, d)
+		}
+	}
+	return out
+}
+
+// lintGenDecl checks a const/var/type declaration. A doc comment on the
+// group (`const ( ... )`) covers every spec inside it; an undocumented
+// group requires per-spec comments on each exported name.
+func lintGenDecl(report func(token.Pos, string, ...interface{}), d *ast.GenDecl) {
+	if d.Tok == token.IMPORT {
+		return
+	}
+	groupDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && !hasDoc(s.Doc) && !hasDoc(s.Comment) {
+				report(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || hasDoc(s.Doc) || hasDoc(s.Comment) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), "exported %s %s has no doc comment", d.Tok, name.Name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// hasDoc reports whether a comment group carries actual text.
+func hasDoc(g *ast.CommentGroup) bool {
+	return g != nil && strings.TrimSpace(g.Text()) != ""
+}
+
+// receiverName extracts the receiver's type name (sans pointer).
+func receiverName(fields *ast.FieldList) string {
+	if fields == nil || len(fields.List) == 0 {
+		return ""
+	}
+	t := fields.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch e := t.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := e.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// collectDirs walks roots for directories containing Go files.
+func collectDirs(roots []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dir := filepath.Dir(path)
+				if !seen[dir] {
+					seen[dir] = true
+					dirs = append(dirs, dir)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func main() {
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	dirs, err := collectDirs(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	fset := token.NewFileSet()
+	var all []finding
+	for _, dir := range dirs {
+		fs, err := lintDir(fset, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].pos.Filename != all[j].pos.Filename {
+			return all[i].pos.Filename < all[j].pos.Filename
+		}
+		return all[i].pos.Line < all[j].pos.Line
+	})
+	for _, f := range all {
+		fmt.Printf("%s:%d: %s\n", f.pos.Filename, f.pos.Line, f.msg)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported identifiers\n", len(all))
+		os.Exit(1)
+	}
+}

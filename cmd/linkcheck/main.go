@@ -1,0 +1,157 @@
+// Command linkcheck validates markdown cross-references offline: every
+// relative link target must exist on disk, and every fragment — in-page or
+// cross-file — must match a heading anchor computed the way GitHub computes
+// them. External http(s) and mailto links are skipped, so the check is
+// deterministic and runs without network access.
+//
+// Usage:
+//
+//	linkcheck README.md DESIGN.md ...
+//
+// Findings print as file:line: message; any finding exits 1.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile("^#{1,6}\\s+(.*)$")
+
+// codeSpanRe strips inline code from heading text before slugging.
+var codeSpanRe = regexp.MustCompile("`([^`]*)`")
+
+// anchorStrip removes everything GitHub's slugger drops: anything that is
+// not a letter, digit, space, hyphen, or underscore.
+var anchorStrip = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+
+// slug converts one heading to its GitHub anchor.
+func slug(heading string) string {
+	s := codeSpanRe.ReplaceAllString(heading, "$1")
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = anchorStrip.ReplaceAllString(s, "")
+	s = strings.ReplaceAll(s, " ", "-")
+	return s
+}
+
+// anchors extracts the set of heading anchors of one markdown file,
+// numbering duplicates -1, -2, ... as GitHub does.
+func anchors(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		base := slug(m[1])
+		if n := counts[base]; n > 0 {
+			out[fmt.Sprintf("%s-%d", base, n)] = true
+		} else {
+			out[base] = true
+		}
+		counts[base]++
+	}
+	return out, nil
+}
+
+// checkFile validates every link in one markdown file, returning findings.
+func checkFile(path string, anchorCache map[string]map[string]bool) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	dir := filepath.Dir(path)
+	inFence := false
+	for ln, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			resolved := path
+			if file != "" {
+				resolved = filepath.Join(dir, file)
+				if _, err := os.Stat(resolved); err != nil {
+					findings = append(findings,
+						fmt.Sprintf("%s:%d: broken link %q: %s does not exist", path, ln+1, target, resolved))
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(strings.ToLower(resolved), ".md") {
+				continue // fragments into non-markdown files are not ours to judge
+			}
+			set, ok := anchorCache[resolved]
+			if !ok {
+				set, err = anchors(resolved)
+				if err != nil {
+					return nil, err
+				}
+				anchorCache[resolved] = set
+			}
+			if !set[frag] {
+				findings = append(findings,
+					fmt.Sprintf("%s:%d: broken anchor %q: no heading in %s slugs to #%s",
+						path, ln+1, target, resolved, frag))
+			}
+		}
+	}
+	return findings, nil
+}
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck file.md ...")
+		os.Exit(2)
+	}
+	cache := make(map[string]map[string]bool)
+	bad := 0
+	for _, f := range files {
+		findings, err := checkFile(f, cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		for _, msg := range findings {
+			fmt.Println(msg)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links\n", bad)
+		os.Exit(1)
+	}
+}

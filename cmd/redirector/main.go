@@ -44,7 +44,7 @@ func main() {
 	path := flag.String("config", "", "scenario JSON file (required)")
 	layer := flag.String("layer", "l7", "l7 (HTTP 302 switch) or l4 (TCP NAT-style switch)")
 	id := flag.Int("id", 0, "this redirector's id")
-	admin := flag.String("admin", "", "admin listener for /metrics, /debug/windows and pprof (overrides scenario admin_addr)")
+	admin := flag.String("admin", "", "admin listener for /v1/metrics, /v1/debug/windows and pprof (overrides scenario admin_addr)")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()

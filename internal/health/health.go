@@ -205,8 +205,10 @@ func (c *Checker) Snapshot() map[string]bool {
 	return out
 }
 
-// Probes reports total probes run; Failures reports how many failed.
-func (c *Checker) Probes() uint64   { return c.probes.Load() }
+// Probes reports total probes run.
+func (c *Checker) Probes() uint64 { return c.probes.Load() }
+
+// Failures reports how many probes failed.
 func (c *Checker) Failures() uint64 { return c.failures.Load() }
 
 // Transitions reports cumulative down and up transitions.

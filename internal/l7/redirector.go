@@ -85,6 +85,7 @@ type Redirector struct {
 	obsv    *obs.Observer
 	handler *obs.Handler
 	plane   *ctrlplane.Plane
+	lat     *obs.Histogram // per-request handling latency
 
 	checker *health.Checker
 	reint   *health.Reinterpreter
@@ -238,6 +239,7 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 	}
 
 	r.red.SetObserver(r.obsv)
+	r.lat = obs.NewHistogram()
 	hcfg := obs.HandlerConfig{
 		Observers: []*obs.Observer{r.obsv},
 		Auditor:   r.obsv.Auditor(),
@@ -245,6 +247,11 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		Mode:      cfg.Engine.Mode().String(),
 		Window:    cfg.Engine.Window(),
 		Extra:     r.extraMetrics,
+		Histograms: []obs.NamedHistogram{{
+			Name: "rsa_l7_request_seconds",
+			Help: "Layer-7 request handling latency (admission + redirect or full proxy exchange).",
+			Hist: r.lat,
+		}},
 		Config: func() obs.ConfigInfo {
 			info := cfg.Engine.Rollout()
 			return obs.ConfigInfo{
@@ -282,6 +289,14 @@ func (r *Redirector) TreeAddr() string {
 		return ""
 	}
 	return r.transport.Addr()
+}
+
+// SetTreePeer registers a peer address after construction (fleet harnesses
+// wire nodes once every ephemeral tree port is known).
+func (r *Redirector) SetTreePeer(id combining.NodeID, addr string) {
+	if r.transport != nil {
+		r.transport.SetPeer(id, addr)
+	}
 }
 
 func (r *Redirector) elapsed() time.Duration { return time.Since(r.start) }
@@ -350,6 +365,8 @@ func (r *Redirector) windowLoop() {
 // handle answers /svc/<org>/<rest> with a redirect (or, in proxy mode, the
 // proxied backend response).
 func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
+	handleStart := time.Now()
+	defer func() { r.lat.Observe(time.Since(handleStart)) }()
 	rest := strings.TrimPrefix(req.URL.Path, "/svc/")
 	org, tail, _ := strings.Cut(rest, "/")
 	p, ok := r.cfg.Orgs[org]

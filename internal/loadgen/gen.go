@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Outcome classifies one request's fate.
+type Outcome int
+
+const (
+	// OK: the request reached a backend and completed.
+	OK Outcome = iota
+	// Rejected: the enforcement plane turned the request away for lack of
+	// window credit (self-redirect or 503) — correct behavior under
+	// overload, counted separately from errors.
+	Rejected
+	// Errored: transport failure, unexpected status, timeout.
+	Errored
+)
+
+// Target consumes scheduled requests. Do must be safe for concurrent use.
+type Target interface {
+	Do(req Request) Outcome
+}
+
+// Options parameterizes a load generation run.
+type Options struct {
+	// Streams are the per-principal arrival processes.
+	Streams []Stream
+	// Duration is the scheduled span of the run.
+	Duration time.Duration
+	// Warmup excludes requests scheduled before this offset from the
+	// counters and histograms (the fleet needs a few windows to converge
+	// out of the conservative no-global fallback).
+	Warmup time.Duration
+	// Workers bounds concurrent in-flight requests (default 256). The
+	// pacer never blocks on the pool: queued work keeps its scheduled send
+	// time, so pool pressure shows up as system latency, not lost load.
+	Workers int
+}
+
+// StreamResult accumulates one stream's post-warmup outcomes.
+type StreamResult struct {
+	// Stream echoes the configuration this result measured.
+	Stream Stream
+	// Scheduled counts post-warmup scheduled sends; Sent counts the ones
+	// actually issued (always equal unless the run was cut short).
+	Scheduled, Sent int64
+	// OK/Rejected/Errors partition Sent by outcome.
+	OK, Rejected, Errors int64
+	// WarmupSent counts requests scheduled before the warmup cutoff
+	// (issued, classified, but excluded from everything above).
+	WarmupSent int64
+	// Hist holds send-schedule-based latencies of post-warmup OK requests.
+	Hist *obs.Histogram
+}
+
+// AchievedQPS reports completed (OK) requests per second of measured time.
+func (r *StreamResult) AchievedQPS(measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(r.OK) / measured.Seconds()
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Streams holds one result per configured stream, in order.
+	Streams []StreamResult
+	// Wall is the elapsed real time of the run.
+	Wall time.Duration
+	// Measured is the post-warmup span latencies and rates refer to.
+	Measured time.Duration
+}
+
+// Totals sums the per-stream post-warmup counters.
+func (r *Result) Totals() (sent, ok, rejected, errors int64) {
+	for i := range r.Streams {
+		s := &r.Streams[i]
+		sent += s.Sent
+		ok += s.OK
+		rejected += s.Rejected
+		errors += s.Errors
+	}
+	return
+}
+
+// Run paces the merged schedule against target in real time. It returns
+// after every scheduled request has completed.
+func Run(target Target, opts Options) (*Result, error) {
+	if target == nil {
+		return nil, fmt.Errorf("loadgen: nil target")
+	}
+	if len(opts.Streams) == 0 {
+		return nil, fmt.Errorf("loadgen: no streams")
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive")
+	}
+	if opts.Warmup < 0 || opts.Warmup >= opts.Duration {
+		return nil, fmt.Errorf("loadgen: warmup %v outside run duration %v", opts.Warmup, opts.Duration)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 256
+	}
+
+	reqs := merge(opts.Streams, opts.Duration)
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("loadgen: schedule is empty (rates too low for %v?)", opts.Duration)
+	}
+
+	res := &Result{Streams: make([]StreamResult, len(opts.Streams))}
+	accum := make([]streamAccum, len(opts.Streams))
+	for i := range res.Streams {
+		res.Streams[i].Stream = opts.Streams[i]
+		res.Streams[i].Hist = obs.NewHistogram()
+	}
+
+	// The channel is sized for the whole schedule so the pacer can never
+	// block on slow workers: a request delayed in the queue keeps its
+	// scheduled send time and the delay is charged to the system.
+	work := make(chan Request, len(reqs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range work {
+				a := &accum[req.Stream]
+				warm := req.SendAt >= opts.Warmup
+				if warm {
+					a.sent.Add(1)
+				} else {
+					a.warmupSent.Add(1)
+				}
+				outcome := target.Do(req)
+				lat := time.Since(start.Add(req.SendAt))
+				if !warm {
+					continue
+				}
+				switch outcome {
+				case OK:
+					a.ok.Add(1)
+					res.Streams[req.Stream].Hist.Observe(lat)
+				case Rejected:
+					a.rejected.Add(1)
+				default:
+					a.errors.Add(1)
+				}
+			}
+		}()
+	}
+
+	for _, req := range reqs {
+		if d := time.Until(start.Add(req.SendAt)); d > 0 {
+			time.Sleep(d)
+		}
+		if req.SendAt >= opts.Warmup {
+			accum[req.Stream].scheduled.Add(1)
+		}
+		work <- req
+	}
+	close(work)
+	wg.Wait()
+
+	res.Wall = time.Since(start)
+	res.Measured = opts.Duration - opts.Warmup
+	for i := range res.Streams {
+		s, a := &res.Streams[i], &accum[i]
+		s.Scheduled = a.scheduled.Load()
+		s.Sent = a.sent.Load()
+		s.OK = a.ok.Load()
+		s.Rejected = a.rejected.Load()
+		s.Errors = a.errors.Load()
+		s.WarmupSent = a.warmupSent.Load()
+	}
+	return res, nil
+}
+
+// streamAccum is the concurrent counter set behind one StreamResult.
+type streamAccum struct {
+	scheduled, sent, ok, rejected, errors, warmupSent atomic.Int64
+}

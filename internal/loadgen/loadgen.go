@@ -1,0 +1,202 @@
+// Package loadgen is the macro-benchmark load generator: open-loop request
+// streams with deterministic, seeded arrival processes driving a real
+// redirector fleet (or the virtual-time simulator) and recording
+// coordinated-omission-free latency distributions.
+//
+// It differs from internal/workload, which models the paper's closed-loop
+// WebBench client machines: a closed-loop client slows down when the system
+// slows down, hiding tail latency. Here every request has a *scheduled* send
+// time fixed before the run starts, and latency is measured from that
+// schedule, so a stalled redirector is charged for the stall even if the
+// generator could not physically issue the request on time (the standard
+// correction for coordinated omission in open-loop load testing).
+//
+// The three pieces are:
+//
+//   - Stream: one principal's arrival process (uniform, Poisson, or bursty
+//     on/off), expanded by Schedule into an explicit send-time list —
+//     bit-identical for a given seed, so any run can be replayed exactly.
+//   - Target: where requests go. HTTPTarget speaks to a Layer-7 redirector
+//     (302/proxy aware), TCPTarget to a Layer-4 service address; the
+//     simulator replays the same schedules in virtual time (sim.PlaySchedule).
+//   - Run: paces the merged schedule in real time over a worker pool and
+//     folds outcomes into per-stream obs.Histogram latency distributions
+//     with p50/p95/p99/p999.
+//
+// Enforcement conformance is not measured here but pulled from the fleet's
+// own obs.Auditor counters (scrape.go), so throughput and latency numbers
+// are always tied to "zero under-floor windows", not reported bare.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Process selects an arrival process shape.
+type Process int
+
+const (
+	// Uniform spaces arrivals exactly 1/rate apart.
+	Uniform Process = iota
+	// Poisson draws i.i.d. exponential inter-arrival gaps (memoryless
+	// arrivals, the standard open-system model).
+	Poisson
+	// Bursty is an on/off square wave: Poisson arrivals during BurstOn
+	// compressed so the long-run average still meets Rate, silence during
+	// BurstOff.
+	Bursty
+)
+
+// String names the process.
+func (p Process) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("process(%d)", int(p))
+}
+
+// ParseProcess parses a process name as written by String.
+func ParseProcess(s string) (Process, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "poisson":
+		return Poisson, nil
+	case "bursty":
+		return Bursty, nil
+	}
+	return 0, fmt.Errorf("loadgen: unknown arrival process %q (uniform|poisson|bursty)", s)
+}
+
+// Stream is one principal's open-loop request stream.
+type Stream struct {
+	// Principal indexes the principal this stream loads.
+	Principal int
+	// Org is the Layer-7 organization path segment (/svc/<org>/...);
+	// ignored by Layer-4 targets.
+	Org string
+	// Rate is the long-run offered load in requests/second.
+	Rate float64
+	// Process shapes the arrivals (default Uniform).
+	Process Process
+	// Seed makes the schedule reproducible; streams with different seeds
+	// are independent.
+	Seed uint64
+	// BurstOn/BurstOff set the Bursty duty cycle (defaults 1s/1s).
+	BurstOn, BurstOff time.Duration
+}
+
+// rng is splitmix64: tiny, fast, and — unlike math/rand — guaranteed stable
+// across Go releases, which the bit-identical replay contract depends on.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform sample in [0, 1).
+func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// expGap draws an exponential inter-arrival gap for the given rate.
+func (r *rng) expGap(rate float64) time.Duration {
+	// 1-U is in (0, 1], so the log argument is never zero.
+	u := 1 - r.float64()
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}
+
+// Schedule expands the stream into explicit send offsets over [0, d),
+// sorted ascending. The result is a pure function of the stream and d:
+// identical inputs yield bit-identical schedules on every platform.
+func (s Stream) Schedule(d time.Duration) []time.Duration {
+	if s.Rate <= 0 || d <= 0 {
+		return nil
+	}
+	switch s.Process {
+	case Poisson:
+		r := rng{state: s.Seed}
+		out := make([]time.Duration, 0, int(s.Rate*d.Seconds())+16)
+		t := r.expGap(s.Rate)
+		for t < d {
+			out = append(out, t)
+			t += r.expGap(s.Rate)
+		}
+		return out
+	case Bursty:
+		on, off := s.BurstOn, s.BurstOff
+		if on <= 0 {
+			on = time.Second
+		}
+		if off <= 0 {
+			off = time.Second
+		}
+		// Generate Poisson arrivals over compressed "active" time at the
+		// burst rate, then stretch active time back onto the wall clock by
+		// re-inserting the off intervals.
+		burstRate := s.Rate * float64(on+off) / float64(on)
+		activeTotal := time.Duration(float64(d) * float64(on) / float64(on+off))
+		r := rng{state: s.Seed}
+		out := make([]time.Duration, 0, int(s.Rate*d.Seconds())+16)
+		a := r.expGap(burstRate)
+		for a < activeTotal {
+			cycle := a / on
+			wall := cycle*(on+off) + a%on
+			if wall >= d {
+				break
+			}
+			out = append(out, wall)
+			a += r.expGap(burstRate)
+		}
+		return out
+	default: // Uniform
+		gap := time.Duration(float64(time.Second) / s.Rate)
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		out := make([]time.Duration, 0, int(d/gap)+1)
+		for t := gap; t < d; t += gap {
+			out = append(out, t)
+		}
+		return out
+	}
+}
+
+// Request is one scheduled probe.
+type Request struct {
+	// Stream indexes Options.Streams; Principal and Org are copied from it.
+	Stream    int
+	Principal int
+	Org       string
+	// Seq numbers requests within their stream.
+	Seq int
+	// SendAt is the scheduled send offset from run start. Latency is
+	// measured from here, never from the actual send instant.
+	SendAt time.Duration
+}
+
+// merge flattens per-stream schedules into one send-ordered request list.
+func merge(streams []Stream, d time.Duration) []Request {
+	var reqs []Request
+	for si, s := range streams {
+		sched := s.Schedule(d)
+		for i, at := range sched {
+			reqs = append(reqs, Request{
+				Stream: si, Principal: s.Principal, Org: s.Org,
+				Seq: i, SendAt: at,
+			})
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].SendAt < reqs[j].SendAt })
+	return reqs
+}

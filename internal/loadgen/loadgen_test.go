@@ -1,0 +1,271 @@
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// digest folds a schedule into one comparable value.
+func digest(sched []time.Duration) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, d := range sched {
+		v := uint64(d)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func TestScheduleBitIdenticalReplay(t *testing.T) {
+	// Every sweep point must expand to bit-identical schedules on replay —
+	// the reproducibility contract behind BENCH_scale.json.
+	for _, pt := range DefaultSweep() {
+		first := make([]uint64, 0, 2)
+		for run := 0; run < 2; run++ {
+			var all []time.Duration
+			for _, s := range pt.Streams(SweepDefaults.Capacity, []string{"alpha", "beta"}) {
+				all = append(all, s.Schedule(SweepDefaults.Duration)...)
+			}
+			if len(all) == 0 {
+				t.Fatalf("%s: empty schedule", pt.Name())
+			}
+			first = append(first, digest(all))
+		}
+		if first[0] != first[1] {
+			t.Fatalf("%s: replay diverged: %x vs %x", pt.Name(), first[0], first[1])
+		}
+	}
+}
+
+func TestScheduleGoldenDigest(t *testing.T) {
+	// Pin one point's schedule digest so determinism holds across
+	// machines and Go releases, not just within one process.
+	s := Stream{Principal: 0, Org: "alpha", Rate: 96, Process: Poisson, Seed: 1}
+	sched := s.Schedule(2400 * time.Millisecond)
+	const want = uint64(0x066277ec8319d75c)
+	if got := digest(sched); got != want {
+		t.Fatalf("golden digest = %#x (n=%d), want %#x — the seeded PRNG or "+
+			"exponential sampling changed; bit-identical replay is broken",
+			got, len(sched), want)
+	}
+}
+
+func TestScheduleRates(t *testing.T) {
+	d := 10 * time.Second
+	uni := Stream{Rate: 100, Process: Uniform}.Schedule(d)
+	if len(uni) != 999 { // arrivals at 10ms, 20ms, ..., < 10s
+		t.Fatalf("uniform schedule has %d arrivals, want 999", len(uni))
+	}
+	for i := 1; i < len(uni); i++ {
+		if uni[i] <= uni[i-1] {
+			t.Fatalf("uniform schedule not increasing at %d", i)
+		}
+	}
+	poi := Stream{Rate: 100, Process: Poisson, Seed: 7}.Schedule(d)
+	if got := float64(len(poi)); math.Abs(got-1000) > 150 {
+		t.Fatalf("poisson schedule has %d arrivals, want ≈1000", len(poi))
+	}
+	bur := Stream{Rate: 100, Process: Bursty, Seed: 7,
+		BurstOn: 500 * time.Millisecond, BurstOff: 500 * time.Millisecond}.Schedule(d)
+	if got := float64(len(bur)); math.Abs(got-1000) > 200 {
+		t.Fatalf("bursty schedule has %d arrivals, want ≈1000", len(bur))
+	}
+	for _, at := range bur {
+		phase := at % time.Second
+		if phase >= 500*time.Millisecond {
+			t.Fatalf("bursty arrival at %v falls in the off phase", at)
+		}
+	}
+}
+
+func TestMergeOrdersBySendTime(t *testing.T) {
+	reqs := merge([]Stream{
+		{Principal: 0, Org: "alpha", Rate: 50, Process: Poisson, Seed: 1},
+		{Principal: 1, Org: "beta", Rate: 50, Process: Uniform},
+	}, time.Second)
+	if len(reqs) == 0 {
+		t.Fatal("empty merge")
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].SendAt < reqs[i-1].SendAt {
+			t.Fatalf("merge not ordered at %d", i)
+		}
+	}
+}
+
+// countTarget classifies by principal: principal 1 is always rejected.
+type countTarget struct{ calls atomic.Int64 }
+
+func (c *countTarget) Do(req Request) Outcome {
+	c.calls.Add(1)
+	if req.Principal == 1 {
+		return Rejected
+	}
+	time.Sleep(time.Millisecond)
+	return OK
+}
+
+func TestRunCountsAndWarmup(t *testing.T) {
+	tgt := &countTarget{}
+	res, err := Run(tgt, Options{
+		Streams: []Stream{
+			{Principal: 0, Org: "a", Rate: 200, Process: Uniform},
+			{Principal: 1, Org: "b", Rate: 100, Process: Uniform},
+		},
+		Duration: 600 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+		Workers:  16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, ok, rejected, errs := res.Totals()
+	if int64(tgt.calls.Load()) != sent+res.Streams[0].WarmupSent+res.Streams[1].WarmupSent {
+		t.Fatalf("target saw %d calls, results account for %d", tgt.calls.Load(),
+			sent+res.Streams[0].WarmupSent+res.Streams[1].WarmupSent)
+	}
+	if errs != 0 {
+		t.Fatalf("unexpected errors: %d", errs)
+	}
+	if ok == 0 || rejected == 0 {
+		t.Fatalf("want both outcomes, got ok=%d rejected=%d", ok, rejected)
+	}
+	if res.Streams[1].OK != 0 || res.Streams[0].Rejected != 0 {
+		t.Fatal("outcomes attributed to the wrong stream")
+	}
+	if res.Streams[0].Hist.Count() != res.Streams[0].OK {
+		t.Fatalf("histogram has %d samples for %d OK requests",
+			res.Streams[0].Hist.Count(), res.Streams[0].OK)
+	}
+	if res.Streams[0].WarmupSent == 0 {
+		t.Fatal("warmup phase recorded no sends")
+	}
+	if res.Streams[0].Scheduled != res.Streams[0].Sent {
+		t.Fatalf("scheduled %d != sent %d", res.Streams[0].Scheduled, res.Streams[0].Sent)
+	}
+	// Send-schedule-based latency: ≥ the 1ms the target sleeps.
+	if p50 := res.Streams[0].Hist.Quantile(0.5); p50 < time.Millisecond {
+		t.Fatalf("p50 %v below the target's service time", p50)
+	}
+}
+
+func TestHTTPTargetClassification(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer backend.Close()
+
+	var mode atomic.Value // "ok" | "reject503" | "self" | "backend" | "boom"
+	mode.Store("ok")
+	var srv *httptest.Server
+	srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load().(string) {
+		case "ok":
+			fmt.Fprint(w, "ok")
+		case "reject503":
+			http.Error(w, "over quota", http.StatusServiceUnavailable)
+		case "self":
+			http.Redirect(w, r, srv.URL+r.URL.Path, http.StatusFound)
+		case "backend":
+			http.Redirect(w, r, backend.URL+"/page", http.StatusFound)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+
+	tgt, err := NewHTTPTarget(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Org: "alpha"}
+	for _, tc := range []struct {
+		mode string
+		want Outcome
+	}{
+		{"ok", OK}, {"reject503", Rejected}, {"self", Rejected},
+		{"backend", OK}, {"boom", Errored},
+	} {
+		mode.Store(tc.mode)
+		if got := tgt.Do(req); got != tc.want {
+			t.Fatalf("mode %s: outcome %v, want %v", tc.mode, got, tc.want)
+		}
+	}
+}
+
+func TestParseConformance(t *testing.T) {
+	text := `# HELP rsa_windows_total Scheduling windows audited.
+# TYPE rsa_windows_total counter
+rsa_windows_total 120
+rsa_windows_conservative_total 3
+rsa_windows_mixed_version_total 0
+rsa_windows_under_mc_total{principal="A"} 1
+rsa_windows_under_mc_total{principal="B"} 2
+rsa_windows_over_ub_total{principal="A"} 0
+rsa_windows_over_ub_total{principal="B"} 4
+`
+	c := ConformanceFrom(ParseProm(strings.NewReader(text)))
+	if c.Windows != 120 || c.Conservative != 3 || c.UnderFloor != 3 || c.OverCeiling != 4 {
+		t.Fatalf("conformance = %+v", c)
+	}
+	prev := Conformance{Windows: 100, UnderFloor: 3}
+	d := c.Sub(prev)
+	if d.Windows != 20 || d.UnderFloor != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	sum := c.Add(c)
+	if sum.Windows != 240 || sum.OverCeiling != 8 {
+		t.Fatalf("sum = %+v", sum)
+	}
+}
+
+func TestFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real sockets")
+	}
+	fleet, err := StartFleet(FleetConfig{
+		Redirectors: 2, Fanout: 2, Capacity: 200,
+		Window: 25 * time.Millisecond, Backends: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	tgt, err := fleet.Target()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tgt, Options{
+		Streams: SweepPoint{Redirectors: 2, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 9}.
+			Streams(fleet.Capacity, fleet.Orgs),
+		Duration: 900 * time.Millisecond,
+		Warmup:   300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, _, errs := res.Totals()
+	if ok == 0 {
+		t.Fatalf("no requests completed: %+v", res.Streams)
+	}
+	if errs > 0 {
+		t.Fatalf("%d transport errors against a healthy fleet", errs)
+	}
+	c := fleet.Conformance()
+	if c.Windows == 0 {
+		t.Fatal("auditors recorded no windows")
+	}
+	if c.MixedVersion != 0 {
+		t.Fatalf("mixed-version windows: %v", c.MixedVersion)
+	}
+}

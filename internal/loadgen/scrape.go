@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseProm decodes Prometheus text exposition into a flat map keyed by the
+// sample line's name-plus-labels exactly as exposed
+// (e.g. `rsa_windows_under_mc_total{principal="A"}`). Comments, blank lines
+// and malformed lines are skipped — only what the conformance check needs.
+func ParseProm(r io.Reader) map[string]float64 {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[cut+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSpace(line[:cut])] = v
+	}
+	return out
+}
+
+// Conformance is the slice of the fleet's auditor counters that ties a load
+// run to the paper's enforcement guarantees (see obs.Auditor). Values are
+// sums over whatever endpoints were scraped.
+type Conformance struct {
+	// Windows is the number of audited windows.
+	Windows float64
+	// UnderFloor sums windows in which some principal with sufficient
+	// demand was served below its mandatory share — must be zero once the
+	// fleet has settled.
+	UnderFloor float64
+	// OverCeiling sums windows admitted above a principal's
+	// mandatory+optional ceiling.
+	OverCeiling float64
+	// Conservative counts blind MC/R fallback windows.
+	Conservative float64
+	// MixedVersion counts same-numbered windows run under different
+	// configuration versions (must stay zero).
+	MixedVersion float64
+}
+
+// ConformanceFrom extracts the auditor counters from a parsed scrape.
+func ConformanceFrom(m map[string]float64) Conformance {
+	c := Conformance{
+		Windows:      m["rsa_windows_total"],
+		Conservative: m["rsa_windows_conservative_total"],
+		MixedVersion: m["rsa_windows_mixed_version_total"],
+	}
+	for k, v := range m {
+		switch {
+		case strings.HasPrefix(k, "rsa_windows_under_mc_total{"):
+			c.UnderFloor += v
+		case strings.HasPrefix(k, "rsa_windows_over_ub_total{"):
+			c.OverCeiling += v
+		}
+	}
+	return c
+}
+
+// Sub returns the counter deltas since prev (the "settled" view: scrape at
+// the warmup boundary, again at the end, subtract).
+func (c Conformance) Sub(prev Conformance) Conformance {
+	return Conformance{
+		Windows:      c.Windows - prev.Windows,
+		UnderFloor:   c.UnderFloor - prev.UnderFloor,
+		OverCeiling:  c.OverCeiling - prev.OverCeiling,
+		Conservative: c.Conservative - prev.Conservative,
+		MixedVersion: c.MixedVersion - prev.MixedVersion,
+	}
+}
+
+// Add accumulates counters from another scrape (summing a fleet).
+func (c Conformance) Add(other Conformance) Conformance {
+	return Conformance{
+		Windows:      c.Windows + other.Windows,
+		UnderFloor:   c.UnderFloor + other.UnderFloor,
+		OverCeiling:  c.OverCeiling + other.OverCeiling,
+		Conservative: c.Conservative + other.Conservative,
+		MixedVersion: c.MixedVersion + other.MixedVersion,
+	}
+}
+
+// Scrape GETs a /v1/metrics endpoint and extracts its conformance counters.
+func Scrape(url string) (Conformance, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return Conformance{}, fmt.Errorf("loadgen: scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Conformance{}, fmt.Errorf("loadgen: scrape %s: status %s", url, resp.Status)
+	}
+	return ConformanceFrom(ParseProm(resp.Body)), nil
+}

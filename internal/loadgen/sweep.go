@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// SweepPoint is one cell of the scale sweep grid: fleet shape × offered
+// load.
+type SweepPoint struct {
+	// Redirectors and Fanout shape the fleet (see FleetConfig).
+	Redirectors int
+	Fanout      int
+	// Load is the offered load as a fraction of provider capacity, split
+	// evenly over the user principals.
+	Load float64
+	// Process shapes the arrivals (default Poisson).
+	Process Process
+	// Seed roots the point's arrival schedules; principal p uses
+	// Seed + p so streams stay independent but reproducible.
+	Seed uint64
+}
+
+// Name renders the canonical point label used in BENCH_scale.json.
+func (p SweepPoint) Name() string {
+	return fmt.Sprintf("Scale/r=%d/f=%d/load=%.2f", p.Redirectors, p.Fanout, p.Load)
+}
+
+// Streams expands the point into per-principal arrival streams against a
+// fleet of the given capacity and org labels. The expansion is
+// deterministic: a fixed (point, capacity, orgs) triple always yields
+// bit-identical schedules.
+func (p SweepPoint) Streams(capacity float64, orgs []string) []Stream {
+	rate := p.Load * capacity / float64(len(orgs))
+	out := make([]Stream, len(orgs))
+	for i, org := range orgs {
+		out[i] = Stream{
+			Principal: i,
+			Org:       org,
+			Rate:      rate,
+			Process:   p.Process,
+			Seed:      p.Seed + uint64(i),
+		}
+	}
+	return out
+}
+
+// DefaultSweep is the grid `make bench-scale` runs: redirector count ×
+// combining-tree fanout × offered load, six points from a single blind
+// redirector at half load to a four-node tree near saturation.
+func DefaultSweep() []SweepPoint {
+	return []SweepPoint{
+		{Redirectors: 1, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 1},
+		{Redirectors: 1, Fanout: 2, Load: 0.8, Process: Poisson, Seed: 2},
+		{Redirectors: 2, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 3},
+		{Redirectors: 2, Fanout: 2, Load: 0.8, Process: Poisson, Seed: 4},
+		{Redirectors: 4, Fanout: 2, Load: 0.8, Process: Poisson, Seed: 5},
+		{Redirectors: 4, Fanout: 3, Load: 0.8, Process: Poisson, Seed: 6},
+	}
+}
+
+// SweepDefaults are the per-point run parameters the sweep runner uses
+// unless overridden: a short measured span after a convergence warmup keeps
+// the full grid under half a minute while still covering dozens of windows
+// per point.
+var SweepDefaults = struct {
+	Capacity float64
+	Window   time.Duration
+	Duration time.Duration
+	Warmup   time.Duration
+	Backends int
+}{
+	Capacity: 3200,
+	Window:   50 * time.Millisecond,
+	Duration: 2400 * time.Millisecond,
+	Warmup:   800 * time.Millisecond,
+	Backends: 2,
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/l4"
+)
+
+// HTTPTarget drives a Layer-7 redirector. It understands both redirector
+// modes: in redirect mode a 302 to a backend is followed (one extra round
+// trip, like a browser) while a 302 back to the redirector itself — the
+// §4.1 self-redirect — counts as Rejected without being chased; in proxy
+// mode 200 is OK and 503 is Rejected.
+type HTTPTarget struct {
+	base   string
+	host   string
+	client *http.Client
+}
+
+// NewHTTPTarget builds a target for the redirector at base
+// (e.g. "http://127.0.0.1:8080"). The shared client uses a pooled transport
+// with dial and response-header deadlines sized for load generation.
+func NewHTTPTarget(base string) (*HTTPTarget, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Host == "" {
+		return nil, fmt.Errorf("loadgen: bad target URL %q", base)
+	}
+	return &HTTPTarget{
+		base: base,
+		host: u.Host,
+		client: &http.Client{
+			Transport: &http.Transport{
+				DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+				ResponseHeaderTimeout: 10 * time.Second,
+				MaxIdleConns:          512,
+				MaxIdleConnsPerHost:   256,
+				IdleConnTimeout:       30 * time.Second,
+			},
+			CheckRedirect: func(req *http.Request, via []*http.Request) error {
+				return http.ErrUseLastResponse // classify 302s ourselves
+			},
+		},
+	}, nil
+}
+
+// Do implements Target.
+func (t *HTTPTarget) Do(req Request) Outcome {
+	return t.get(fmt.Sprintf("%s/svc/%s/bench?seq=%d", t.base, req.Org, req.Seq), true)
+}
+
+// get performs one exchange; followRedirect permits chasing a single 302 to
+// a backend (never a second hop).
+func (t *HTTPTarget) get(u string, followRedirect bool) Outcome {
+	resp, err := t.client.Get(u)
+	if err != nil {
+		return Errored
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return OK
+	case http.StatusServiceUnavailable:
+		return Rejected // proxy-mode over-quota answer
+	case http.StatusFound:
+		loc, err := resp.Location()
+		if err != nil {
+			return Errored
+		}
+		if loc.Host == t.host {
+			return Rejected // self-redirect: implicit queue, client retries
+		}
+		if !followRedirect {
+			return Errored
+		}
+		return t.get(loc.String(), false)
+	default:
+		return Errored
+	}
+}
+
+// TCPTarget drives a Layer-4 redirector: one TCP connection per request to
+// the principal's service address, one request line, one reply. A parked
+// (over-quota) connection is simply a slow one — the latency histogram is
+// where Layer-4 enforcement shows up.
+type TCPTarget struct {
+	// Addrs maps principal index to the service listen address.
+	Addrs map[int]string
+	// Timeout bounds each exchange (default 10s; parked connections are
+	// reinjected within the redirector's pending timeout).
+	Timeout time.Duration
+}
+
+// Do implements Target.
+func (t *TCPTarget) Do(req Request) Outcome {
+	addr, ok := t.Addrs[req.Principal]
+	if !ok {
+		return Errored
+	}
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	served, err := l4.Do(addr, fmt.Sprintf("bench-%d-%d", req.Principal, req.Seq), timeout)
+	if err != nil || !served {
+		return Errored
+	}
+	return OK
+}

@@ -31,6 +31,9 @@ type HandlerConfig struct {
 	// Extra, when non-nil, appends additional Prometheus-text series (the
 	// layer-specific counters: HTTP admits, parked connections, ...).
 	Extra func(w io.Writer)
+	// Histograms are latency distributions exported in the Prometheus
+	// histogram format (per-layer request latency, loadgen distributions).
+	Histograms []NamedHistogram
 	// DisablePprof leaves net/http/pprof unregistered.
 	DisablePprof bool
 
@@ -41,6 +44,14 @@ type HandlerConfig struct {
 	// Config, when non-nil, supplies the engine's configuration-version
 	// state for the rsa_config_* series.
 	Config func() ConfigInfo
+}
+
+// NamedHistogram pairs a latency Histogram with the series name and help
+// text it is exported under on /v1/metrics.
+type NamedHistogram struct {
+	Name string
+	Help string
+	Hist *Histogram
 }
 
 // ConfigInfo is the configuration-version snapshot exported by /metrics
@@ -233,6 +244,9 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 			float64(ci.GateEpoch))
 		promMetric(w, "rsa_config_rollouts_total", "counter",
 			"Epoch-gated configuration rollouts fully converged.", float64(ci.Rollouts))
+	}
+	for _, nh := range h.cfg.Histograms {
+		WriteHistogram(w, nh.Name, nh.Help, nh.Hist)
 	}
 	if h.cfg.Extra != nil {
 		h.cfg.Extra(w)

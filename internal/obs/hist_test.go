@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 90 fast samples, 9 mid, 1 slow: p50 small, p99 mid, p999 ≥ slow bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(40 * time.Millisecond)
+	}
+	h.Observe(2 * time.Second)
+
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	if got := h.Max(); got != 2*time.Second {
+		t.Fatalf("max = %v, want 2s", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 > time.Millisecond {
+		t.Fatalf("p50 = %v, want ≤ 1ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 40*time.Millisecond || p99 > 128*time.Millisecond {
+		t.Fatalf("p99 = %v, want in the ~64ms bucket", p99)
+	}
+	if p999 := h.Quantile(0.999); p999 < 2*time.Second {
+		t.Fatalf("p999 = %v, want ≥ 2s", p999)
+	}
+	// Quantiles are monotone in q.
+	if p50 > p99 || p99 > h.Quantile(1) {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p100=%v", p50, p99, h.Quantile(1))
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("nil histogram must be a no-op")
+	}
+	var sb strings.Builder
+	WriteHistogram(&sb, "x", "help", h)
+	if sb.Len() != 0 {
+		t.Fatalf("nil histogram wrote %q", sb.String())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	if got := h.Max(); got != workers*time.Millisecond {
+		t.Fatalf("max = %v, want %v", got, workers*time.Millisecond)
+	}
+}
+
+func TestWriteHistogramExposition(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond)
+	h.Observe(10 * time.Millisecond)
+	var sb strings.Builder
+	WriteHistogram(&sb, "rsa_test_seconds", "Test latency.", h)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE rsa_test_seconds histogram",
+		`rsa_test_seconds_bucket{le="+Inf"} 2`,
+		"rsa_test_seconds_count 2",
+		"rsa_test_seconds_sum 0.013",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets must be non-decreasing and end at the count.
+	snap := h.Snapshot()
+	for b := 1; b < len(snap); b++ {
+		if snap[b] < snap[b-1] {
+			t.Fatalf("bucket %d cumulative %d < %d", b, snap[b], snap[b-1])
+		}
+	}
+	if snap[len(snap)-1] != h.Count() {
+		t.Fatalf("last cumulative bucket %d != count %d", snap[len(snap)-1], h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(time.Millisecond)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(50 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("count = %d, want 3", a.Count())
+	}
+	if a.Sum() != 53*time.Millisecond {
+		t.Fatalf("sum = %v", a.Sum())
+	}
+	if a.Max() != 50*time.Millisecond {
+		t.Fatalf("max = %v", a.Max())
+	}
+	if q := a.Quantile(1); q < 50*time.Millisecond {
+		t.Fatalf("p100 = %v, want ≥ 50ms", q)
+	}
+	a.Merge(nil)
+	var nilh *Histogram
+	nilh.Merge(a) // must not panic
+}

@@ -16,8 +16,8 @@
 //     entitlement share (under-enforcement) and above the mandatory+optional
 //     ceiling (over-admission), plus staleness-fallback and solve-failure
 //     tallies — the paper's §3.1 guarantee as a scrapeable invariant.
-//   - Exposition: Handler serves Prometheus-text /metrics, JSON
-//     /debug/windows (the last N trace records) and net/http/pprof, mounted
+//   - Exposition: Handler serves Prometheus-text /v1/metrics, JSON
+//     /v1/debug/windows (the last N trace records) and net/http/pprof, mounted
 //     on the Layer-7 redirector's mux and on the optional admin listener of
 //     cmd/redirector and cmd/backend. Logger replaces ad-hoc log.Printf
 //     calls with leveled logfmt events.
@@ -212,7 +212,7 @@ func (o *Observer) Redirector() int { return o.id }
 // NumPrincipals returns the per-record vector width.
 func (o *Observer) NumPrincipals() int { return o.n }
 
-// Ring exposes the trace ring (snapshots for /debug/windows and tests).
+// Ring exposes the trace ring (snapshots for /v1/debug/windows and tests).
 func (o *Observer) Ring() *Ring { return o.ring }
 
 // Auditor exposes the conformance auditor.

@@ -508,6 +508,42 @@ func (s *Sim) NewClient(ri int, cfg workload.Config) *workload.Client {
 	return workload.NewClient(s.Clock, s.Redirectors[ri], cfg)
 }
 
+// ScheduleStats counts the outcome of an open-loop replay (see
+// PlaySchedule). Counters advance as virtual time does; read them after
+// Run.
+type ScheduleStats struct {
+	Submitted int
+	Admitted  int
+	Denied    int
+}
+
+// PlaySchedule replays a precomputed open-loop arrival schedule against
+// redirector ri: one submission per offset in times (absolute virtual
+// time), no retries. This is the virtual-time twin of the loadgen
+// generator's open-loop contract — an arrival that is turned away is
+// counted and dropped, never rescheduled — so a schedule expanded from a
+// seeded loadgen stream replays bit-identically here.
+func (s *Sim) PlaySchedule(ri, principal int, times []time.Duration) *ScheduleStats {
+	st := &ScheduleStats{}
+	sink := s.Redirectors[ri]
+	for i, at := range times {
+		id := uint64(i)
+		s.Clock.Schedule(at-s.Clock.Now(), func() {
+			st.Submitted++
+			if sink.Submit(workload.Request{
+				Principal: principal,
+				ID:        id,
+				IssuedAt:  s.Clock.Now(),
+			}) {
+				st.Admitted++
+			} else {
+				st.Denied++
+			}
+		})
+	}
+	return st
+}
+
 // At schedules fn at absolute virtual time d (phase switches).
 func (s *Sim) At(d time.Duration, fn func()) {
 	s.Clock.Schedule(d-s.Clock.Now(), fn)

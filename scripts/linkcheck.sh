@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Markdown link gate: every relative link and heading anchor in the
+# operator-facing documents must resolve. Offline and deterministic; CI
+# runs this, `make linkcheck` runs it locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run ./cmd/linkcheck README.md DESIGN.md EXPERIMENTS.md OPERATIONS.md ROADMAP.md
+echo "linkcheck: all markdown links resolve"
