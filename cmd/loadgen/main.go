@@ -89,10 +89,14 @@ func pointMetrics(res *loadgen.Result, offered float64, delta loadgen.Conformanc
 // against the settled assertion.
 func runSweepPoint(pt loadgen.SweepPoint) (benchResult, error) {
 	def := loadgen.SweepDefaults
+	capacity := def.Capacity
+	if pt.Capacity > 0 {
+		capacity = pt.Capacity
+	}
 	fleet, err := loadgen.StartFleet(loadgen.FleetConfig{
 		Redirectors: pt.Redirectors,
 		Fanout:      pt.Fanout,
-		Capacity:    def.Capacity,
+		Capacity:    capacity,
 		Backends:    def.Backends,
 		Window:      def.Window,
 	})

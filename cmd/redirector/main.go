@@ -45,6 +45,10 @@ func main() {
 	layer := flag.String("layer", "l7", "l7 (HTTP 302 switch) or l4 (TCP NAT-style switch)")
 	id := flag.Int("id", 0, "this redirector's id")
 	admin := flag.String("admin", "", "admin listener for /v1/metrics, /v1/debug/windows and pprof (overrides scenario admin_addr)")
+	mutexProfile := flag.Int("mutex-profile-fraction", 0,
+		"sample 1/n of contended mutex events on /debug/pprof/mutex (0 disables; requires -admin or admin_addr)")
+	blockProfile := flag.Int("block-profile-rate", 0,
+		"sample goroutine blocking events of >= n ns on /debug/pprof/block (0 disables; requires -admin or admin_addr)")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
@@ -73,6 +77,16 @@ func main() {
 	if *admin != "" {
 		adminAddr = *admin
 	}
+	// Contention profiling is gated on the admin surface: without a
+	// listener to scrape /debug/pprof/{mutex,block} the samples would only
+	// slow the data path down.
+	if *mutexProfile > 0 || *blockProfile > 0 {
+		if adminAddr == "" {
+			log.Print("ignoring -mutex-profile-fraction/-block-profile-rate: no admin listener (-admin or admin_addr)")
+		} else {
+			obs.EnableContentionProfiling(*mutexProfile, *blockProfile)
+		}
+	}
 
 	switch *layer {
 	case "l7":
@@ -94,10 +108,11 @@ func main() {
 		r, err := l7.NewRedirector(l7.RedirectorConfig{
 			Engine: eng, ID: *id, Addr: f.L7.Addr,
 			Orgs: orgs, Backends: backends, Tree: tree,
-			Proxy:    f.L7.Proxy,
-			Health:   f.Health.Options(),
-			Ctrl:     f.Ctrl != nil && f.Ctrl.Enabled,
-			CtrlLead: ctrlLead(f),
+			Proxy:           f.L7.Proxy,
+			Health:          f.Health.Options(),
+			Ctrl:            f.Ctrl != nil && f.Ctrl.Enabled,
+			CtrlLead:        ctrlLead(f),
+			AdmissionShards: f.AdmissionShards,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -129,9 +144,10 @@ func main() {
 		}
 		r, err := l4.NewRedirector(l4.Config{
 			Engine: eng, ID: *id, Services: services, Backends: backends, Tree: tree,
-			Health:   f.Health.Options(),
-			Ctrl:     f.Ctrl != nil && f.Ctrl.Enabled,
-			CtrlLead: ctrlLead(f),
+			Health:          f.Health.Options(),
+			Ctrl:            f.Ctrl != nil && f.Ctrl.Enabled,
+			CtrlLead:        ctrlLead(f),
+			AdmissionShards: f.AdmissionShards,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,25 @@
+package admission
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteMetrics appends the plane's admission counters to a /metrics scrape.
+// Everything here is a lock-free fold over the per-shard atomics — a scrape
+// never perturbs the admission path it is measuring. nil pl writes nothing.
+func WriteMetrics(w io.Writer, pl *Plane) {
+	if pl == nil {
+		return
+	}
+	admits, rejects := pl.Counts()
+	obs.WriteMetric(w, "rsa_admission_shards", "gauge",
+		"Credit shards in the admission plane.", float64(pl.Shards()))
+	obs.WriteMetric(w, "rsa_admission_admits_total", "counter",
+		"Requests admitted by the sharded admission plane.", float64(admits))
+	obs.WriteMetric(w, "rsa_admission_rejects_total", "counter",
+		"Requests rejected by the sharded admission plane.", float64(rejects))
+	obs.WriteMetric(w, "rsa_admission_steals_total", "counter",
+		"Admissions that fell off the shard-local fast path onto the credit-stealing sweep.", float64(pl.Steals()))
+}

@@ -143,6 +143,10 @@ type File struct {
 	// traffic listener; Layer-4 has no HTTP server, so this is its only
 	// scrape point.
 	AdminAddr string `json:"admin_addr"`
+	// AdmissionShards sets the sharded admission plane's credit shard
+	// count on both front-ends (0 selects GOMAXPROCS; see
+	// internal/admission).
+	AdmissionShards int `json:"admission_shards"`
 }
 
 // Field names are canonically snake_case. Earlier revisions accepted
@@ -151,10 +155,11 @@ type File struct {
 // the top level).
 var fieldAliases = map[string]map[string]string{
 	"": {
-		"windowMS":       "window_ms",
-		"numRedirectors": "num_redirectors",
-		"stalenessMS":    "staleness_ms",
-		"adminAddr":      "admin_addr",
+		"windowMS":        "window_ms",
+		"numRedirectors":  "num_redirectors",
+		"stalenessMS":     "staleness_ms",
+		"adminAddr":       "admin_addr",
+		"admissionShards": "admission_shards",
 	},
 	"tree": {
 		"nodeId":           "node_id",

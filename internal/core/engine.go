@@ -802,6 +802,10 @@ func (e *Engine) Window() time.Duration { return e.cfg.Window }
 // Mode returns the optimization context.
 func (e *Engine) Mode() Mode { return e.cfg.Mode }
 
+// ProviderPrincipal returns the owner of the servers in Provider mode
+// (meaningless in Community mode).
+func (e *Engine) ProviderPrincipal() agreement.Principal { return e.cfg.ProviderPrincipal }
+
 // Access exposes the per-window entitlements (MI/OI/MC/OC scaled to the
 // window) for inspection and tests.
 func (e *Engine) Access() *agreement.Access {

@@ -448,6 +448,95 @@ func (r *Redirector) AdmitCost(p, preferred agreement.Principal, cost float64) D
 	return Decision{}
 }
 
+// ExportCredits copies the current window's credit state into the caller's
+// buffers: matrix[p][k] receives the Community credits, total[p] the Provider
+// credits. Either argument may be nil to skip that mode. Buffers must be
+// pre-sized to NumPrincipals; the sharded admission plane uses this to
+// distribute a freshly scheduled window's credits over its shards.
+func (r *Redirector) ExportCredits(matrix [][]float64, total []float64) {
+	if matrix != nil {
+		for i := range r.credits {
+			copy(matrix[i], r.credits[i])
+		}
+	}
+	if total != nil {
+		copy(total, r.creditsTotal)
+	}
+}
+
+// ImportCredits overwrites the current credit state from the caller's
+// buffers (the inverse of ExportCredits; nil skips a mode). The sharded
+// admission plane calls this just before StartWindow with the unused credit
+// recovered from the retired shard pool, so the standard ≤1-request carry is
+// computed from what the shards actually left behind.
+func (r *Redirector) ImportCredits(matrix [][]float64, total []float64) {
+	if matrix != nil {
+		for i := range r.credits {
+			copy(r.credits[i], matrix[i])
+		}
+	}
+	if total != nil {
+		copy(r.creditsTotal, total)
+	}
+}
+
+// AddWindowSample folds externally observed admission activity into the
+// window state: arrivals and admitted are per-principal cost sums since the
+// last fold, admits/rejects the corresponding decision counts. Concurrent
+// front-ends that count arrivals on sharded atomics use this to deliver one
+// aggregate sample per window instead of calling AdmitCost per request.
+// Either slice may be nil.
+func (r *Redirector) AddWindowSample(arrivals, admitted []float64, admits, rejects int) {
+	for i := 0; i < r.e.n && i < len(arrivals); i++ {
+		r.arrivals[i] += arrivals[i]
+	}
+	for i := 0; i < r.e.n && i < len(admitted); i++ {
+		r.admittedP[i] += admitted[i]
+	}
+	r.Admitted += admits
+	r.Rejected += rejects
+}
+
+// Presolve warms the engine's shared plan cache with the plan the next
+// StartWindow will need, using the freshest global aggregate. Called off the
+// request path (on combining-tree broadcast arrival), it makes the window
+// boundary's solve a cache hit so the boundary never stalls on the LP. A
+// no-op when the redirector is blind, the aggregate is stale, or plan
+// caching is disabled.
+func (r *Redirector) Presolve(now time.Duration) {
+	if !r.haveGlob {
+		return
+	}
+	if r.e.cfg.Staleness > 0 && now-r.globalAt > r.e.cfg.Staleness {
+		return
+	}
+	// Deliberately snapshot the *active* generation rather than consulting
+	// the rollout gate: gate crossings happen at window boundaries, and
+	// pre-warming the outgoing generation's cache is at worst one wasted
+	// solve per rollout.
+	st := r.e.snapshot()
+	if r.nbuf == nil {
+		r.nbuf = make([]float64, r.e.n)
+	}
+	n := r.nbuf
+	for i := 0; i < r.e.n; i++ {
+		n[i] = r.global[i]
+		if r.estimate[i] > n[i] {
+			n[i] = r.estimate[i]
+		}
+	}
+	switch r.e.cfg.Mode {
+	case Community:
+		if st.plans != nil {
+			_, _, _ = r.e.communityPlan(st, n)
+		}
+	case Provider:
+		if st.provPlans != nil {
+			_, _, _ = r.e.providerPlan(st, n)
+		}
+	}
+}
+
 // CreditsRemaining reports the remaining admissions for principal p across
 // all owners this window (diagnostics and tests).
 func (r *Redirector) CreditsRemaining(p agreement.Principal) float64 {

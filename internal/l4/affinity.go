@@ -1,0 +1,85 @@
+package l4
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/agreement"
+)
+
+// affinityStripes is the lock-stripe count of the client→owner affinity
+// cache. Striping exists so concurrent accept loops touching different
+// clients never serialize on one map mutex; 32 stripes is plenty for the
+// handful of accept goroutines a redirector runs.
+const affinityStripes = 32
+
+type affinityEntry struct {
+	owner agreement.Principal
+	at    time.Time
+}
+
+type affinityStripe struct {
+	mu sync.Mutex
+	m  map[string]affinityEntry
+	_  [64]byte
+}
+
+// affinityCache pins client addresses to owners for the affinity TTL — the
+// §4.2 "to the extent allowed by the sharing agreements" stickiness — using
+// striped locks so lookups on the admission path stay contention-free.
+type affinityCache struct {
+	ttl     time.Duration
+	stripes [affinityStripes]affinityStripe
+}
+
+func newAffinityCache(ttl time.Duration) *affinityCache {
+	a := &affinityCache{ttl: ttl}
+	for i := range a.stripes {
+		a.stripes[i].m = make(map[string]affinityEntry)
+	}
+	return a
+}
+
+// stripe hashes the client key onto its stripe (FNV-1a, inlined to avoid an
+// allocation per lookup).
+func (a *affinityCache) stripe(client string) *affinityStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(client); i++ {
+		h = (h ^ uint32(client[i])) * 16777619
+	}
+	return &a.stripes[h%affinityStripes]
+}
+
+// lookup returns the live pinned owner for client, or -1.
+func (a *affinityCache) lookup(client string, now time.Time) agreement.Principal {
+	s := a.stripe(client)
+	s.mu.Lock()
+	e, ok := s.m[client]
+	s.mu.Unlock()
+	if ok && now.Sub(e.at) < a.ttl {
+		return e.owner
+	}
+	return agreement.Principal(-1)
+}
+
+// pin records (or refreshes) the client's owner.
+func (a *affinityCache) pin(client string, owner agreement.Principal, now time.Time) {
+	s := a.stripe(client)
+	s.mu.Lock()
+	s.m[client] = affinityEntry{owner: owner, at: now}
+	s.mu.Unlock()
+}
+
+// sweep drops expired pins; called once per window, off the admission path.
+func (a *affinityCache) sweep(now time.Time) {
+	for i := range a.stripes {
+		s := &a.stripes[i]
+		s.mu.Lock()
+		for k, e := range s.m {
+			if now.Sub(e.at) > a.ttl {
+				delete(s.m, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+}

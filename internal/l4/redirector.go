@@ -6,22 +6,28 @@
 //   - one listener per principal plays the role of the per-customer virtual
 //     IP the NAT switch matches on;
 //   - an accepted connection is the SYN: admission is decided at accept
-//     time against the window credits;
+//     time against the window credits — through the sharded admission plane
+//     (internal/admission), so concurrent accepts never serialize on a
+//     shared mutex;
 //   - admitted connections are spliced byte-for-byte to a backend (the NAT
-//     rewrite), preserving client→server affinity to the extent the
-//     agreements allow;
-//   - connections over quota are parked in a per-principal pending queue
-//     and reinjected in later windows, exactly like the paper's kernel
-//     thread re-queuing packets.
+//     rewrite) with pooled 32 KiB buffers (and the kernel splice(2) fast
+//     path when both ends are TCP), preserving client→server affinity to
+//     the extent the agreements allow;
+//   - connections over quota are parked in sharded pending queues and
+//     reinjected in later windows, exactly like the paper's kernel thread
+//     re-queuing packets.
 package l4
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
@@ -55,6 +61,9 @@ type Config struct {
 	// AffinityTTL is how long a client address stays pinned to an owner
 	// (default 30 s).
 	AffinityTTL time.Duration
+	// AdmissionShards sets the admission plane's credit shard count
+	// (0 selects GOMAXPROCS; see internal/admission).
+	AdmissionShards int
 	// Tree, if non-nil, joins a combining tree of redirectors.
 	Tree *treenet.Spec
 	// TraceDepth is the window-trace ring capacity served at /debug/windows
@@ -81,6 +90,15 @@ type heldConn struct {
 	parkedAt time.Time
 }
 
+// pendShard is one stripe of the parked-connection state. Parking and
+// reinjection lock one stripe at a time, so the accept path never waits on
+// a fleet-wide reinjection pass.
+type pendShard struct {
+	mu sync.Mutex
+	q  map[agreement.Principal][]heldConn
+	_  [64]byte
+}
+
 // Redirector is the Layer-4 switch.
 type Redirector struct {
 	cfg       Config
@@ -88,16 +106,23 @@ type Redirector struct {
 	listeners []net.Listener
 	svcAddrs  map[agreement.Principal]string
 
-	mu       sync.Mutex
-	red      *core.Redirector
-	pending  map[agreement.Principal][]heldConn
-	affinity map[string]affinityEntry
-	rr       map[agreement.Principal]int
+	// mu guards the window-boundary state only (core redirector, combining
+	// tree, estimate buffer). The admission path never takes it: per-request
+	// decisions go through the sharded admission plane.
+	mu     sync.Mutex
+	red    *core.Redirector
+	estBuf []float64 // reused local-estimate buffer (under mu)
+
+	adm       *admission.Plane
+	aff       *affinityCache
+	rr        []atomic.Uint32 // round-robin cursor per owner principal
+	pend      []pendShard
+	pendCount []atomic.Int64 // parked connections per principal (MaxPending bound)
+	parkSeq   atomic.Uint32  // round-robin park stripe cursor
 
 	tree      *combining.Node
 	transport *treenet.Transport
 	reparent  *treenet.Reparenter
-	estBuf    []float64 // reused local-estimate buffer (under mu)
 
 	checker *health.Checker
 	reint   *health.Reinterpreter
@@ -109,21 +134,17 @@ type Redirector struct {
 	ticker    *time.Ticker
 	done      chan struct{}
 	closeOnce sync.Once
-	stopped   bool // under mu: Close drained the pending queues
+	stopped   atomic.Bool // Close drained the pending queues
 	wg        sync.WaitGroup
 
-	// Stats (under mu).
-	Forwarded    int
-	Parked       int
-	Dropped      int
-	Expired      int
-	DialFailures int // backend dials that failed after admission
-	Reparked     int // connections returned to pending after a failed dial
-}
-
-type affinityEntry struct {
-	owner agreement.Principal
-	at    time.Time
+	// Stats (atomic; admitted/rejected counts live in the admission plane).
+	parked       atomic.Int64
+	dropped      atomic.Int64
+	expired      atomic.Int64
+	dialFailures atomic.Int64 // backend dials that failed after admission
+	reparked     atomic.Int64 // connections returned to pending after a failed dial
+	copyErrIn    atomic.Int64 // client→backend transport errors mid-splice
+	copyErrOut   atomic.Int64 // backend→client transport errors mid-splice
 }
 
 // NewRedirector starts the listeners and the window loop.
@@ -148,18 +169,28 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 		start:    time.Now(),
 		svcAddrs: make(map[agreement.Principal]string),
 		red:      cfg.Engine.NewRedirector(cfg.ID),
-		pending:  make(map[agreement.Principal][]heldConn),
-		affinity: make(map[string]affinityEntry),
-		rr:       make(map[agreement.Principal]int),
+		aff:      newAffinityCache(cfg.AffinityTTL),
+		rr:       make([]atomic.Uint32, cfg.Engine.NumPrincipals()),
 		done:     make(chan struct{}),
 	}
+	var err error
+	r.adm, err = admission.New(admission.Config{
+		Redirector: r.red, Engine: cfg.Engine, Shards: cfg.AdmissionShards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.pend = make([]pendShard, r.adm.Shards())
+	for i := range r.pend {
+		r.pend[i].q = make(map[agreement.Principal][]heldConn)
+	}
+	r.pendCount = make([]atomic.Int64, cfg.Engine.NumPrincipals())
 
 	if cfg.Tree != nil {
 		addr := cfg.Tree.ListenAddr
 		if addr == "" {
 			addr = "127.0.0.1:0"
 		}
-		var err error
 		r.transport, err = treenet.Listen(cfg.Tree.NodeID, addr, r.onTreeMessage)
 		if err != nil {
 			return nil, err
@@ -284,10 +315,10 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 	r.handler = obs.NewHandler(hcfg)
 
 	for _, svc := range cfg.Services {
-		ln, err := net.Listen("tcp", svc.Addr)
-		if err != nil {
+		ln, lerr := net.Listen("tcp", svc.Addr)
+		if lerr != nil {
 			r.Close()
-			return nil, fmt.Errorf("l4: listen %s: %w", svc.Addr, err)
+			return nil, fmt.Errorf("l4: listen %s: %w", svc.Addr, lerr)
 		}
 		r.listeners = append(r.listeners, ln)
 		r.svcAddrs[svc.Principal] = ln.Addr().String()
@@ -329,6 +360,10 @@ func (r *Redirector) onTreeMessage(from combining.NodeID, msg interface{}) {
 	r.tree.OnMessage(from, msg)
 	if _, ok := msg.(combining.Broadcast); ok {
 		r.pushGlobalLocked()
+		// Pre-solve the plan the next window boundary will need while we
+		// are already off the request path; the boundary's solve becomes a
+		// plan-cache hit and never stalls admissions.
+		r.red.Presolve(r.elapsed())
 	}
 }
 
@@ -349,32 +384,21 @@ func (r *Redirector) acceptLoop(ln net.Listener, p agreement.Principal) {
 	}
 }
 
-// handleConn is the SYN-time decision: forward now, park, or drop.
+// handleConn is the SYN-time decision: forward now, park, or drop. The
+// whole path is mutex-free — affinity lookup on a striped cache, admission
+// on the sharded plane, backend choice on an atomic cursor.
 func (r *Redirector) handleConn(conn net.Conn, p agreement.Principal) {
+	now := time.Now()
 	client := clientKey(conn)
-	r.mu.Lock()
-	preferred := agreement.Principal(-1)
-	if e, ok := r.affinity[client]; ok && time.Since(e.at) < r.cfg.AffinityTTL {
-		preferred = e.owner
-	}
-	d := r.red.AdmitPreferring(p, preferred)
+	d := r.adm.AdmitPreferring(p, r.aff.lookup(client, now))
 	if !d.Admitted {
-		if len(r.pending[p]) >= r.cfg.MaxPending {
-			r.Dropped++
-			r.mu.Unlock()
-			conn.Close()
-			return
+		if r.park(conn, client, p, now) {
+			r.parked.Add(1)
 		}
-		r.pending[p] = append(r.pending[p], heldConn{conn: conn, client: client, parkedAt: time.Now()})
-		r.Parked++
-		r.mu.Unlock()
 		return
 	}
-	backend := r.chooseBackendLocked(d.Owner)
-	r.affinity[client] = affinityEntry{owner: d.Owner, at: time.Now()}
-	r.Forwarded++
-	r.mu.Unlock()
-
+	r.aff.pin(client, d.Owner, now)
+	backend := r.chooseBackend(d.Owner)
 	if backend == "" {
 		conn.Close()
 		return
@@ -386,13 +410,56 @@ func (r *Redirector) handleConn(conn net.Conn, p agreement.Principal) {
 	}()
 }
 
-// chooseBackendLocked round-robins over the owner's backends, skipping ones
-// the health checker holds down.
-func (r *Redirector) chooseBackendLocked(owner agreement.Principal) string {
+// park enqueues an over-quota connection on a pending stripe, holding the
+// per-principal MaxPending bound with an atomic count. Returns false when
+// the connection was dropped (bound hit or redirector stopped) instead.
+func (r *Redirector) park(conn net.Conn, client string, p agreement.Principal, now time.Time) bool {
+	if r.stopped.Load() {
+		conn.Close()
+		return false
+	}
+	if r.pendCount[p].Add(1) > int64(r.cfg.MaxPending) {
+		r.pendCount[p].Add(-1)
+		r.dropped.Add(1)
+		conn.Close()
+		return false
+	}
+	sh := &r.pend[int(r.parkSeq.Add(1))%len(r.pend)]
+	sh.mu.Lock()
+	sh.q[p] = append(sh.q[p], heldConn{conn: conn, client: client, parkedAt: now})
+	sh.mu.Unlock()
+	if r.stopped.Load() {
+		// Close raced the enqueue; drain again so the connection cannot
+		// leak past shutdown.
+		r.drainShard(sh)
+	}
+	return true
+}
+
+// drainShard closes and forgets every connection parked on the stripe.
+func (r *Redirector) drainShard(sh *pendShard) {
+	sh.mu.Lock()
+	taken := sh.q
+	sh.q = make(map[agreement.Principal][]heldConn)
+	sh.mu.Unlock()
+	for p, queue := range taken {
+		for _, hc := range queue {
+			hc.conn.Close()
+		}
+		r.pendCount[p].Add(-int64(len(queue)))
+	}
+}
+
+// chooseBackend round-robins over the owner's backends, skipping ones the
+// health checker holds down. Safe without the redirector mutex: the cursor
+// is atomic and the checker locks internally.
+func (r *Redirector) chooseBackend(owner agreement.Principal) string {
 	backends := r.cfg.Backends[owner]
+	if len(backends) == 0 {
+		return ""
+	}
 	for range backends {
-		idx := r.rr[owner] % len(backends)
-		r.rr[owner]++
+		idx := int(r.rr[owner].Add(1)-1) % len(backends)
 		b := backends[idx]
 		if r.checker == nil || r.checker.Up(b) {
 			return b
@@ -411,38 +478,56 @@ func (r *Redirector) spliceOrRepark(conn net.Conn, client string, svc agreement.
 		if r.checker != nil {
 			r.checker.ReportFailure(backendAddr, r.elapsed())
 		}
-		r.mu.Lock()
-		r.DialFailures++
-		if r.stopped || len(r.pending[svc]) >= r.cfg.MaxPending {
-			r.Dropped++
-			r.mu.Unlock()
-			conn.Close()
-			return
-		}
+		r.dialFailures.Add(1)
 		// The pending clock restarts: the connection already waited zero
 		// windows, the dial failure is the backend's fault, not the client's.
-		r.pending[svc] = append(r.pending[svc], heldConn{conn: conn, client: client, parkedAt: time.Now()})
-		r.Reparked++
-		r.mu.Unlock()
+		if r.park(conn, client, svc, time.Now()) {
+			r.reparked.Add(1)
+		}
 		return
 	}
-	splice(conn, backend)
+	r.splice(conn, backend)
 }
 
-// splice is the NAT analogue: copy bytes both ways until either side closes.
-func splice(client, backend net.Conn) {
+// copyBufs pools the splice buffers: 32 KiB is io.Copy's own default and
+// large enough that a buffered copy of a short-lived connection needs one
+// refill at most. Pooling removes a per-connection-direction allocation from
+// the data path.
+var copyBufs = sync.Pool{
+	New: func() any { b := make([]byte, 32<<10); return &b },
+}
+
+// splice is the NAT analogue: copy bytes both ways until either side closes,
+// propagating the client's half-close to the backend.
+func (r *Redirector) splice(client, backend net.Conn) {
 	defer client.Close()
 	defer backend.Close()
 	done := make(chan struct{})
 	go func() {
-		_, _ = io.Copy(backend, client)
+		r.copyHalf(backend, client, &r.copyErrIn)
 		if tc, ok := backend.(*net.TCPConn); ok {
 			_ = tc.CloseWrite()
 		}
 		close(done)
 	}()
-	_, _ = io.Copy(client, backend)
+	r.copyHalf(client, backend, &r.copyErrOut)
 	<-done
+}
+
+// copyHalf shuttles one splice direction through a pooled buffer and
+// classifies how it ended: a clean half-close (EOF, or our own shutdown
+// closing the socket) is the normal end of a TCP conversation, anything
+// else — connection reset, broken pipe, a timeout — is a transport error
+// worth counting. When dst is a *net.TCPConn, io.CopyBuffer defers to its
+// ReadFrom and the kernel moves the bytes (splice(2)/sendfile on Linux)
+// without touching the buffer at all.
+func (r *Redirector) copyHalf(dst, src net.Conn, errCounter *atomic.Int64) {
+	bp := copyBufs.Get().(*[]byte)
+	_, err := io.CopyBuffer(dst, src, *bp)
+	copyBufs.Put(bp)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		errCounter.Add(1)
+	}
 }
 
 // windowLoop drives scheduling windows and reinjects parked connections.
@@ -458,17 +543,17 @@ func (r *Redirector) windowLoop() {
 	}
 }
 
-func (r *Redirector) runWindow() {
-	type launch struct {
-		conn    net.Conn
-		client  string
-		svc     agreement.Principal
-		backend string
-	}
-	var launches []launch
+type launch struct {
+	conn    net.Conn
+	client  string
+	svc     agreement.Principal
+	backend string
+}
 
+func (r *Redirector) runWindow() {
 	r.mu.Lock()
-	// Pending connections count as demand for the estimator.
+	// Parked connections already counted as demand for the estimator when
+	// their admission was attempted.
 	r.estBuf = r.red.LocalEstimateInto(r.estBuf)
 	if r.tree != nil {
 		if r.reparent != nil {
@@ -495,43 +580,25 @@ func (r *Redirector) runWindow() {
 		}
 		r.red.SetRollout(epoch, known)
 	}
-	if err := r.red.StartWindow(r.elapsed()); err != nil {
-		r.mu.Unlock()
+	// The plane folds the shards' arrival/admission counters, schedules the
+	// next window, and flips the credit pool — in-flight admits keep
+	// draining the old pool until the new one is published, so the boundary
+	// never stalls them.
+	err := r.adm.StartWindow(r.elapsed())
+	r.mu.Unlock()
+	if err != nil {
 		return
 	}
-	// Reinjection: oldest parked connections first, while credits last.
+
+	// Reinjection: stripe by stripe, oldest parked connections first, while
+	// credits last. Only one stripe's lock is held at a time, so the accept
+	// path keeps parking concurrently.
 	now := time.Now()
-	for p, queue := range r.pending {
-		kept := queue[:0]
-		for _, hc := range queue {
-			if now.Sub(hc.parkedAt) > r.cfg.PendingTimeout {
-				hc.conn.Close()
-				r.Expired++
-				continue
-			}
-			preferred := agreement.Principal(-1)
-			if e, ok := r.affinity[hc.client]; ok && time.Since(e.at) < r.cfg.AffinityTTL {
-				preferred = e.owner
-			}
-			d := r.red.AdmitPreferring(p, preferred)
-			if !d.Admitted {
-				kept = append(kept, hc)
-				continue
-			}
-			backend := r.chooseBackendLocked(d.Owner)
-			r.affinity[hc.client] = affinityEntry{owner: d.Owner, at: now}
-			r.Forwarded++
-			launches = append(launches, launch{conn: hc.conn, client: hc.client, svc: p, backend: backend})
-		}
-		r.pending[p] = kept
+	var launches []launch
+	for i := range r.pend {
+		launches = append(launches, r.reinjectShard(&r.pend[i], now)...)
 	}
-	// Affinity table hygiene.
-	for k, e := range r.affinity {
-		if time.Since(e.at) > r.cfg.AffinityTTL {
-			delete(r.affinity, k)
-		}
-	}
-	r.mu.Unlock()
+	r.aff.sweep(now)
 
 	for _, l := range launches {
 		if l.backend == "" {
@@ -547,20 +614,66 @@ func (r *Redirector) runWindow() {
 	}
 }
 
+// reinjectShard re-admits one stripe's parked connections: expired ones are
+// closed, admitted ones become launches, the rest keep their queue position
+// ahead of connections parked meanwhile.
+func (r *Redirector) reinjectShard(sh *pendShard, now time.Time) []launch {
+	sh.mu.Lock()
+	taken := sh.q
+	sh.q = make(map[agreement.Principal][]heldConn)
+	sh.mu.Unlock()
+
+	var launches []launch
+	for p, queue := range taken {
+		kept := queue[:0]
+		for _, hc := range queue {
+			if now.Sub(hc.parkedAt) > r.cfg.PendingTimeout {
+				hc.conn.Close()
+				r.expired.Add(1)
+				r.pendCount[p].Add(-1)
+				continue
+			}
+			d := r.adm.AdmitPreferring(p, r.aff.lookup(hc.client, now))
+			if !d.Admitted {
+				kept = append(kept, hc)
+				continue
+			}
+			r.pendCount[p].Add(-1)
+			r.aff.pin(hc.client, d.Owner, now)
+			launches = append(launches, launch{
+				conn: hc.conn, client: hc.client, svc: p,
+				backend: r.chooseBackend(d.Owner),
+			})
+		}
+		if len(kept) > 0 {
+			sh.mu.Lock()
+			sh.q[p] = append(kept, sh.q[p]...)
+			sh.mu.Unlock()
+		}
+	}
+	if r.stopped.Load() {
+		r.drainShard(sh)
+	}
+	return launches
+}
+
 // Stats returns the forwarding counters.
 func (r *Redirector) Stats() (forwarded, parked, dropped, expired int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.Forwarded, r.Parked, r.Dropped, r.Expired
+	admits, _ := r.adm.Counts()
+	return int(admits), int(r.parked.Load()), int(r.dropped.Load()), int(r.expired.Load())
 }
 
 // DialStats returns the backend-dial failure counters: dials that failed
 // after admission, and how many of those connections were re-parked rather
 // than dropped.
 func (r *Redirector) DialStats() (dialFailures, reparked int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.DialFailures, r.Reparked
+	return int(r.dialFailures.Load()), int(r.reparked.Load())
+}
+
+// CopyErrorStats returns the splice transport-error counters per direction
+// (client→backend, backend→client). Clean half-closes are not errors.
+func (r *Redirector) CopyErrorStats() (in, out int) {
+	return int(r.copyErrIn.Load()), int(r.copyErrOut.Load())
 }
 
 // Observer exposes the window-trace observer (auditor counters, trace ring).
@@ -575,7 +688,9 @@ func (r *Redirector) Plane() *ctrlplane.Plane { return r.plane }
 // speaks raw TCP only.
 func (r *Redirector) ObsHandler() *obs.Handler { return r.handler }
 
-// extraMetrics appends the Layer-4 forwarding counters to /metrics.
+// extraMetrics appends the Layer-4 forwarding counters to /metrics. All of
+// them fold per-shard atomics at scrape time; a scrape never contends with
+// the admission path.
 func (r *Redirector) extraMetrics(w io.Writer) {
 	forwarded, parked, dropped, expired := r.Stats()
 	obs.WriteMetric(w, "rsa_l4_forwarded_total", "counter",
@@ -591,6 +706,12 @@ func (r *Redirector) extraMetrics(w io.Writer) {
 		"Backend dials that failed after a connection was admitted.", float64(dialFailures))
 	obs.WriteMetric(w, "rsa_l4_reparked_total", "counter",
 		"Admitted connections returned to the pending queue after a failed backend dial.", float64(reparked))
+	in, out := r.CopyErrorStats()
+	obs.WriteMetricHeader(w, "rsa_l4_copy_errors_total", "counter",
+		"Splice copies ended by a transport error rather than a clean half-close, by direction.")
+	obs.WriteLabeled(w, "rsa_l4_copy_errors_total", "direction", "client_to_backend", float64(in))
+	obs.WriteLabeled(w, "rsa_l4_copy_errors_total", "direction", "backend_to_client", float64(out))
+	admission.WriteMetrics(w, r.adm)
 	health.WriteMetrics(w, r.checker, r.reint)
 	treenet.WriteMetrics(w, r.transport, r.reparent)
 }
@@ -610,15 +731,10 @@ func (r *Redirector) Close() error {
 		for _, ln := range r.listeners {
 			ln.Close()
 		}
-		r.mu.Lock()
-		r.stopped = true
-		for _, queue := range r.pending {
-			for _, hc := range queue {
-				hc.conn.Close()
-			}
+		r.stopped.Store(true)
+		for i := range r.pend {
+			r.drainShard(&r.pend[i])
 		}
-		r.pending = make(map[agreement.Principal][]heldConn)
-		r.mu.Unlock()
 		if r.transport != nil {
 			r.transport.Close()
 		}

@@ -9,8 +9,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/agreement"
 	"repro/internal/combining"
 	"repro/internal/core"
@@ -64,6 +66,9 @@ type RedirectorConfig struct {
 	// CtrlLead is the rollout gate lead in tree epochs (<=0 selects
 	// ctrlplane.DefaultLead). Ignored unless Ctrl is set.
 	CtrlLead int
+	// AdmissionShards sets the admission plane's credit shard count
+	// (0 selects GOMAXPROCS; see internal/admission).
+	AdmissionShards int
 }
 
 // Redirector is the Layer-7 switch: an HTTP server answering every request
@@ -76,11 +81,17 @@ type Redirector struct {
 	ln    net.Listener
 	start time.Time
 
+	// mu guards the window-boundary state only (core redirector, combining
+	// tree, estimate buffer). The request path never takes it: admission
+	// goes through the sharded admission plane, backend choice through an
+	// atomic round-robin cursor.
 	mu     sync.Mutex
 	red    *core.Redirector
 	tree   *combining.Node
-	rr     map[agreement.Principal]int // round-robin per owner
-	estBuf []float64                   // reused local-estimate buffer (under mu)
+	estBuf []float64 // reused local-estimate buffer (under mu)
+
+	adm *admission.Plane
+	rr  []atomic.Uint32 // round-robin cursor per owner principal
 
 	obsv    *obs.Observer
 	handler *obs.Handler
@@ -115,8 +126,15 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		ln:    ln,
 		start: time.Now(),
 		red:   cfg.Engine.NewRedirector(cfg.ID),
-		rr:    make(map[agreement.Principal]int),
+		rr:    make([]atomic.Uint32, cfg.Engine.NumPrincipals()),
 		done:  make(chan struct{}),
+	}
+	r.adm, err = admission.New(admission.Config{
+		Redirector: r.red, Engine: cfg.Engine, Shards: cfg.AdmissionShards,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
 	}
 
 	// Proxy-mode backend client: pooled transport with dial and
@@ -126,8 +144,8 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		Transport: &http.Transport{
 			DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
 			ResponseHeaderTimeout: 10 * time.Second,
-			MaxIdleConns:          64,
-			MaxIdleConnsPerHost:   16,
+			MaxIdleConns:          256,
+			MaxIdleConnsPerHost:   128,
 			IdleConnTimeout:       30 * time.Second,
 		},
 	}
@@ -307,6 +325,10 @@ func (r *Redirector) onTreeMessage(from combining.NodeID, msg interface{}) {
 	r.tree.OnMessage(from, msg)
 	if _, ok := msg.(combining.Broadcast); ok {
 		r.pushGlobalLocked()
+		// Pre-solve the plan the next window boundary will need while we
+		// are already off the request path; the boundary's solve becomes a
+		// plan-cache hit and never stalls admissions.
+		r.red.Presolve(r.elapsed())
 	}
 }
 
@@ -352,11 +374,13 @@ func (r *Redirector) windowLoop() {
 				}
 				r.red.SetRollout(epoch, known)
 			}
-			if err := r.red.StartWindow(r.elapsed()); err != nil {
-				// Scheduling failures leave last window's credits in
-				// place; enforcement degrades gracefully.
-				_ = err
-			}
+			// The plane folds the shards' arrival/admission counters,
+			// schedules the next window, and flips the credit pool —
+			// in-flight admits keep draining the old pool until the new
+			// one is published, so the boundary never stalls them.
+			// Scheduling failures leave last window's credits in place;
+			// enforcement degrades gracefully.
+			_ = r.adm.StartWindow(r.elapsed())
 			r.mu.Unlock()
 		}
 	}
@@ -375,13 +399,13 @@ func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	r.mu.Lock()
-	d := r.red.Admit(p)
+	// Lock-free request path: one sharded-plane admission, one atomic
+	// round-robin backend choice.
+	d := r.adm.Admit(p)
 	var target string
 	if d.Admitted {
-		target = r.chooseBackendLocked(d.Owner, "")
+		target = r.chooseBackend(d.Owner, "")
 	}
-	r.mu.Unlock()
 
 	if target == "" {
 		if r.cfg.Proxy {
@@ -411,14 +435,18 @@ func destURL(target, tail, query string) string {
 	return dest
 }
 
-// chooseBackendLocked round-robins over the owner's backends, skipping ones
-// the health checker holds down and the one named by skip (the backend a
-// failover is escaping). Returns "" when no usable backend exists.
-func (r *Redirector) chooseBackendLocked(owner agreement.Principal, skip string) string {
+// chooseBackend round-robins over the owner's backends, skipping ones the
+// health checker holds down and the one named by skip (the backend a
+// failover is escaping). Returns "" when no usable backend exists. Safe
+// without the redirector mutex: the cursor is atomic and the checker locks
+// internally.
+func (r *Redirector) chooseBackend(owner agreement.Principal, skip string) string {
 	backends := r.cfg.Backends[owner]
+	if len(backends) == 0 {
+		return ""
+	}
 	for range backends {
-		idx := r.rr[owner] % len(backends)
-		r.rr[owner]++
+		idx := int(r.rr[owner].Add(1)-1) % len(backends)
 		b := backends[idx]
 		if b == skip {
 			continue
@@ -470,9 +498,7 @@ func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agree
 		if r.checker != nil {
 			r.checker.ReportFailure(target, r.elapsed())
 		}
-		r.mu.Lock()
-		target = r.chooseBackendLocked(owner, target)
-		r.mu.Unlock()
+		target = r.chooseBackend(owner, target)
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no usable backend")
@@ -480,11 +506,10 @@ func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agree
 	http.Error(w, lastErr.Error(), http.StatusBadGateway)
 }
 
-// Stats reports admission counters.
+// Stats reports admission counters, folded from the plane's shards.
 func (r *Redirector) Stats() (admitted, rejected int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.red.Admitted, r.red.Rejected
+	a, j := r.adm.Counts()
+	return int(a), int(j)
 }
 
 // Observer exposes the window-trace observer (auditor counters, trace ring).
@@ -508,6 +533,7 @@ func (r *Redirector) extraMetrics(w io.Writer) {
 		"Requests admitted and redirected (or proxied) to a backend.", float64(admitted))
 	obs.WriteMetric(w, "rsa_l7_rejected_total", "counter",
 		"Requests self-redirected or rejected for lack of window credit.", float64(rejected))
+	admission.WriteMetrics(w, r.adm)
 	health.WriteMetrics(w, r.checker, r.reint)
 	treenet.WriteMetrics(w, r.transport, r.reparent)
 }
@@ -526,13 +552,14 @@ type statsPayload struct {
 
 // handleStats serves operational counters for monitoring.
 func (r *Redirector) handleStats(w http.ResponseWriter, req *http.Request) {
+	admitted, rejected := r.Stats()
 	r.mu.Lock()
 	p := statsPayload{
 		ID:           r.cfg.ID,
 		Mode:         r.cfg.Engine.Mode().String(),
 		WindowMS:     r.cfg.Engine.Window().Milliseconds(),
-		Admitted:     r.red.Admitted,
-		Rejected:     r.red.Rejected,
+		Admitted:     admitted,
+		Rejected:     rejected,
 		Windows:      r.red.Windows,
 		Conservative: r.red.Conservative,
 		HasGlobal:    r.red.HasGlobal(),

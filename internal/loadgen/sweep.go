@@ -19,10 +19,20 @@ type SweepPoint struct {
 	// Seed roots the point's arrival schedules; principal p uses
 	// Seed + p so streams stay independent but reproducible.
 	Seed uint64
+	// Capacity, when positive, overrides SweepDefaults.Capacity for this
+	// point. The high-load grid points use it to push absolute offered QPS
+	// well past the default grid's ceiling without re-scaling every other
+	// point.
+	Capacity float64
 }
 
-// Name renders the canonical point label used in BENCH_scale.json.
+// Name renders the canonical point label used in BENCH_scale.json. Points
+// that override the default fleet capacity carry it in the label so the two
+// load dimensions (relative fraction, absolute rate) stay distinguishable.
 func (p SweepPoint) Name() string {
+	if p.Capacity > 0 {
+		return fmt.Sprintf("Scale/r=%d/f=%d/load=%.2f/cap=%g", p.Redirectors, p.Fanout, p.Load, p.Capacity)
+	}
 	return fmt.Sprintf("Scale/r=%d/f=%d/load=%.2f", p.Redirectors, p.Fanout, p.Load)
 }
 
@@ -47,7 +57,10 @@ func (p SweepPoint) Streams(capacity float64, orgs []string) []Stream {
 
 // DefaultSweep is the grid `make bench-scale` runs: redirector count ×
 // combining-tree fanout × offered load, six points from a single blind
-// redirector at half load to a four-node tree near saturation.
+// redirector at half load to a four-node tree near saturation, plus two
+// high-rate points at 4× the default fleet capacity (12800 req/s) that
+// push the absolute offered QPS past anything the base grid reaches —
+// 6400 and 10240 req/s — to expose contention the fractional points mask.
 func DefaultSweep() []SweepPoint {
 	return []SweepPoint{
 		{Redirectors: 1, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 1},
@@ -56,6 +69,8 @@ func DefaultSweep() []SweepPoint {
 		{Redirectors: 2, Fanout: 2, Load: 0.8, Process: Poisson, Seed: 4},
 		{Redirectors: 4, Fanout: 2, Load: 0.8, Process: Poisson, Seed: 5},
 		{Redirectors: 4, Fanout: 3, Load: 0.8, Process: Poisson, Seed: 6},
+		{Redirectors: 2, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 7, Capacity: 12800},
+		{Redirectors: 4, Fanout: 2, Load: 0.8, Process: Poisson, Seed: 8, Capacity: 12800},
 	}
 }
 

@@ -1,0 +1,25 @@
+package obs
+
+import "runtime"
+
+// EnableContentionProfiling arms the runtime's contention profilers so the
+// pprof surface this package mounts (/debug/pprof/mutex and
+// /debug/pprof/block) returns real samples. Both profilers are off by
+// default because sampling costs a timestamp per contended event — on the
+// admission fast path that is exactly the overhead the sharded plane
+// removed — so front-ends expose this behind an explicit admin-gated flag
+// rather than arming it unconditionally.
+//
+// mutexFraction feeds runtime.SetMutexProfileFraction: 0 disables, 1
+// records every contended mutex event, n>1 samples 1/n of them. blockRateNs
+// feeds runtime.SetBlockProfileRate: 0 disables, 1 records every blocking
+// event, n>1 samples events lasting at least n nanoseconds on average.
+// Negative values leave the corresponding profiler untouched.
+func EnableContentionProfiling(mutexFraction, blockRateNs int) {
+	if mutexFraction >= 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRateNs >= 0 {
+		runtime.SetBlockProfileRate(blockRateNs)
+	}
+}
