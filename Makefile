@@ -28,7 +28,7 @@ bench:
 # -benchmem and emit BENCH_lp_fastpath.json (ns/op, allocs/op, cache hit
 # rate) with the committed seed numbers embedded as the baseline.
 bench-json:
-	$(GO) test -run XXX -bench 'WindowSchedule|AdmitPerRequest|AdmitParallel|WindowTraceOverhead' -benchmem . \
+	$(GO) test -run XXX -bench 'WindowSchedule|AdmitPerRequest|AdmitParallel|WindowTraceOverhead|SpanOverhead' -benchmem . \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_seed.json -o BENCH_lp_fastpath.json
 	@cat BENCH_lp_fastpath.json
 

@@ -442,3 +442,35 @@ func BenchmarkWindowScheduleTraced(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSpanOverhead measures the per-request cost of the tracing span
+// path on the admission fast path. Both variants must stay at 0 allocs/op:
+// /off is the price every request pays when tracing is disabled (one
+// predicted branch per stamp), /sampled the full Begin → stamps → Finish
+// record path with 1% head sampling plus a slowest-8 tail keeper — the
+// production sweep configuration.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		tr := obs.NewTracer(obs.TraceConfig{}, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Begin("alpha")
+			sp.StampAdmit(obs.VerdictAdmit, 0)
+			sp.StampBackend()
+			sp.Finish()
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		tr := obs.NewTracer(obs.TraceConfig{SampleEvery: 100, SlowestK: 8}, 0)
+		tr.StartWindow(1, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tr.Begin("alpha")
+			sp.StampAdmit(obs.VerdictAdmit, 0)
+			sp.StampBackend()
+			sp.Finish()
+		}
+	})
+}

@@ -99,6 +99,9 @@ func runSweepPoint(pt loadgen.SweepPoint) (benchResult, error) {
 		Capacity:    capacity,
 		Backends:    def.Backends,
 		Window:      def.Window,
+		// 1% head sampling plus the slowest 8 per window: enough spans to
+		// attribute each point's tail to a phase without perturbing it.
+		Trace: &obs.TraceConfig{SampleEvery: 100, SlowestK: 8},
 	})
 	if err != nil {
 		return benchResult{}, err
@@ -126,6 +129,13 @@ func runSweepPoint(pt loadgen.SweepPoint) (benchResult, error) {
 	offered := pt.Load * fleet.Capacity
 	row, _ := pointMetrics(res, offered, delta)
 	row.Name = pt.Name()
+	// Per-phase tail attribution: which stage of the request path the
+	// point's p99 actually lives in (span clocks, not client clocks).
+	ph := fleet.Phases()
+	row.Metrics["phase_admit_p99_ms"] = float64(ph.Admit.Quantile(0.99)) / 1e6
+	row.Metrics["phase_park_p99_ms"] = float64(ph.Park.Quantile(0.99)) / 1e6
+	row.Metrics["phase_dial_p99_ms"] = float64(ph.Dial.Quantile(0.99)) / 1e6
+	row.Metrics["phase_proxy_p99_ms"] = float64(ph.Proxy.Quantile(0.99)) / 1e6
 
 	if delta.UnderFloor > 0 {
 		return row, fmt.Errorf("%s: %.0f settled under-floor windows (agreement violated)",

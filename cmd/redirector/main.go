@@ -113,6 +113,8 @@ func main() {
 			Ctrl:            f.Ctrl != nil && f.Ctrl.Enabled,
 			CtrlLead:        ctrlLead(f),
 			AdmissionShards: f.AdmissionShards,
+			Trace:           f.Trace.TraceConfig(),
+			Flight:          f.Trace.FlightConfig(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -148,6 +150,8 @@ func main() {
 			Ctrl:            f.Ctrl != nil && f.Ctrl.Enabled,
 			CtrlLead:        ctrlLead(f),
 			AdmissionShards: f.AdmissionShards,
+			Trace:           f.Trace.TraceConfig(),
+			Flight:          f.Trace.FlightConfig(),
 		})
 		if err != nil {
 			log.Fatal(err)

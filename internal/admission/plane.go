@@ -297,6 +297,26 @@ func (pl *Plane) hint() int {
 	return s
 }
 
+// Outcome classifies how an admission decision resolved, for request
+// tracing: the fast-path CAS admit, the slow-path steal admit, the
+// saturated-principal (dry-flag) reject, and the full-sweep reject.
+type Outcome uint8
+
+// Admission outcomes.
+const (
+	OutcomeReject Outcome = iota
+	OutcomeAdmit
+	OutcomeSteal
+	OutcomeDry
+)
+
+// AdmitDetail is the tracing side-channel of an admission decision: which
+// path resolved it and on which shard.
+type AdmitDetail struct {
+	Outcome Outcome
+	Shard   int
+}
+
 // Admit decides one request from principal p (no owner preference).
 func (pl *Plane) Admit(p agreement.Principal) core.Decision {
 	return pl.AdmitCost(p, -1, 1)
@@ -314,8 +334,17 @@ func (pl *Plane) AdmitPreferring(p, preferred agreement.Principal) core.Decision
 // boundary racing the admit) is retried against the successor pool, which
 // is always published before retirement begins.
 func (pl *Plane) AdmitCost(p, preferred agreement.Principal, cost float64) core.Decision {
+	d, _ := pl.AdmitTraced(p, preferred, cost)
+	return d
+}
+
+// AdmitTraced is AdmitCost plus the tracing detail: the resolving path
+// (fast admit, steal, dry reject, sweep reject) and the deciding shard.
+// Identical cost to AdmitCost — the detail is assembled from values the
+// decision already computed.
+func (pl *Plane) AdmitTraced(p, preferred agreement.Principal, cost float64) (core.Decision, AdmitDetail) {
 	if int(p) < 0 || int(p) >= pl.n {
-		return core.Decision{}
+		return core.Decision{}, AdmitDetail{Outcome: OutcomeReject, Shard: -1}
 	}
 	if cost <= 0 {
 		cost = 1
@@ -323,8 +352,9 @@ func (pl *Plane) AdmitCost(p, preferred agreement.Principal, cost float64) core.
 	s := pl.hint()
 	sh := &pl.shards[s]
 	sh.arrivals[int(p)].add(cost)
+	var cp *pool
 	for tries := 0; tries < 4; tries++ {
-		cp := pl.cur.Load()
+		cp = pl.cur.Load()
 		owner, ok, stole, closed := cp.admit(s, int(p), int(preferred), cost)
 		if closed {
 			continue // boundary race: reload the successor pool
@@ -335,12 +365,22 @@ func (pl *Plane) AdmitCost(p, preferred agreement.Principal, cost float64) core.
 		if ok {
 			sh.admitted[int(p)].add(cost)
 			sh.admits.Add(1)
-			return core.Decision{Admitted: true, Owner: owner}
+			out := OutcomeAdmit
+			if stole {
+				out = OutcomeSteal
+			}
+			return core.Decision{Admitted: true, Owner: owner}, AdmitDetail{Outcome: out, Shard: s}
 		}
 		break
 	}
 	sh.rejects.Add(1)
-	return core.Decision{}
+	out := OutcomeReject
+	// The dry flag distinguishes the saturated-principal reject (whether
+	// this decision short-circuited on it or was the sweep that set it).
+	if cp != nil && cost <= 1 && cp.dry[int(p)].Load() {
+		out = OutcomeDry
+	}
+	return core.Decision{}, AdmitDetail{Outcome: out, Shard: s}
 }
 
 // admit runs the decision against this pool. closed reports that the pool
@@ -618,6 +658,27 @@ func (pl *Plane) Steals() uint64 {
 		n += pl.shards[s].steals.Load()
 	}
 	return n
+}
+
+// CountersSnapshot freezes the plane's decision counters into a flat map —
+// the admission-shard view a flight-recorder capture embeds: fleet totals
+// plus per-shard admit/reject/steal counts (shard imbalance is itself a
+// tail-latency signal).
+func (pl *Plane) CountersSnapshot() map[string]float64 {
+	out := make(map[string]float64, 3+3*len(pl.shards))
+	var admits, rejects, steals uint64
+	for s := range pl.shards {
+		sh := &pl.shards[s]
+		a, r, st := sh.admits.Load(), sh.rejects.Load(), sh.steals.Load()
+		admits, rejects, steals = admits+a, rejects+r, steals+st
+		out[fmt.Sprintf("shard%d_admits", s)] = float64(a)
+		out[fmt.Sprintf("shard%d_rejects", s)] = float64(r)
+		out[fmt.Sprintf("shard%d_steals", s)] = float64(st)
+	}
+	out["admits"] = float64(admits)
+	out["rejects"] = float64(rejects)
+	out["steals"] = float64(steals)
+	return out
 }
 
 // CreditsRemaining sums principal p's live credit across all shards of the

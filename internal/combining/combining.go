@@ -17,6 +17,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // NodeID identifies a tree node (a redirector).
@@ -181,6 +183,46 @@ type Node struct {
 	reportsIn    uint64
 	broadcastsIn uint64
 	msgsOut      uint64
+
+	// Hop timing (nil hop disables; all under mu). A non-root stamps
+	// reportSentAt at each Tick and observes the broadcast→report round
+	// trip when the next broadcast lands. A parent stamps bcastSentAt per
+	// child when forwarding a broadcast and observes the child's lag when
+	// its next report arrives. configAt stamps when the current config
+	// version was first held, for per-child epoch-gate crossing lag.
+	hop               *HopMetrics
+	reportSentAt      time.Duration
+	reportOutstanding bool
+	bcastSentAt       map[NodeID]time.Duration
+	configAt          time.Duration
+	configAtVer       uint64
+}
+
+// HopMetrics holds the per-hop combining-tree timing distributions a node
+// feeds when SetHopMetrics arms it: the report→broadcast round trip seen by
+// a child, the broadcast→report lag a parent observes per child, and the
+// lag between this node holding a configuration version and each child
+// acknowledging it (epoch-gate crossing). The histograms are atomic; share
+// them across nodes of a process or give each node its own.
+type HopMetrics struct {
+	// RoundTrip: non-root nodes, time from sending an epoch report to
+	// receiving the next global broadcast.
+	RoundTrip *obs.Histogram
+	// ChildLag: parent nodes, time from forwarding a broadcast to a child
+	// to that child's next report arriving.
+	ChildLag *obs.Histogram
+	// GateLag: parent nodes, time from first holding a configuration
+	// version to a child acknowledging it.
+	GateLag *obs.Histogram
+}
+
+// NewHopMetrics builds an armed HopMetrics with fresh histograms.
+func NewHopMetrics() *HopMetrics {
+	return &HopMetrics{
+		RoundTrip: obs.NewHistogram(),
+		ChildLag:  obs.NewHistogram(),
+		GateLag:   obs.NewHistogram(),
+	}
 }
 
 // NewNode constructs a node. parent is −1 for the root. now supplies
@@ -199,7 +241,17 @@ func NewNode(id NodeID, parent NodeID, children []NodeID, numPrincipals int,
 		childEpochs: make(map[NodeID]int),
 		lastHeard:   make(map[NodeID]time.Duration),
 		childAcks:   make(map[NodeID]uint64),
+		bcastSentAt: make(map[NodeID]time.Duration),
 	}
+}
+
+// SetHopMetrics arms per-hop timing on this node (nil disables). Call it
+// before the first Tick; the observations go to hm's histograms, exported
+// as the rsa_tree_hop_* families by WriteHopMetrics.
+func (n *Node) SetHopMetrics(hm *HopMetrics) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hop = hm
 }
 
 // ID returns the node's identity.
@@ -248,6 +300,10 @@ func (n *Node) Tick() {
 		return
 	}
 	n.msgsOut++
+	if n.hop != nil {
+		n.reportSentAt = n.now()
+		n.reportOutstanding = true
+	}
 	n.send(n.parent, Report{Epoch: n.epoch, Agg: agg.clone(), AckVersion: n.configVersion()})
 }
 
@@ -258,12 +314,19 @@ func (n *Node) acceptGlobal(b Broadcast) {
 	n.haveGlobal = true
 	if b.Config != nil && (n.config == nil || b.Config.Version > n.config.Version) {
 		n.config = b.Config
+		if n.hop != nil {
+			n.configAt = n.now()
+			n.configAtVer = b.Config.Version
+		}
 		if n.onConfig != nil {
 			n.onConfig(b.Config)
 		}
 	}
 	for _, c := range n.children {
 		n.msgsOut++
+		if n.hop != nil {
+			n.bcastSentAt[c] = n.now()
+		}
 		// Always forward the newest configuration held, not the incoming
 		// one: a reordered older broadcast must not regress descendants.
 		n.send(c, Broadcast{Epoch: b.Epoch, Agg: b.Agg.clone(), Config: n.config})
@@ -281,19 +344,36 @@ func (n *Node) OnMessage(from NodeID, msg interface{}) {
 	case Report:
 		n.reportsIn++
 		n.lastHeard[from] = n.now()
+		if n.hop != nil {
+			if sentAt, ok := n.bcastSentAt[from]; ok {
+				n.hop.ChildLag.Observe(n.now() - sentAt)
+				delete(n.bcastSentAt, from)
+			}
+		}
 		if m.Epoch < n.childEpochs[from] {
 			return
 		}
 		n.childAggs[from] = m.Agg
 		n.childEpochs[from] = m.Epoch
 		if m.AckVersion > n.childAcks[from] {
+			prev := n.childAcks[from]
 			n.childAcks[from] = m.AckVersion
+			// Epoch-gate crossing: the child just acknowledged the version
+			// this node holds for the first time.
+			if n.hop != nil && n.configAtVer > 0 &&
+				m.AckVersion >= n.configAtVer && prev < n.configAtVer {
+				n.hop.GateLag.Observe(n.now() - n.configAt)
+			}
 		}
 	case Broadcast:
 		n.broadcastsIn++
 		n.lastHeard[from] = n.now()
 		if n.haveGlobal && m.Epoch < n.globalEpoch {
 			return
+		}
+		if n.hop != nil && n.reportOutstanding {
+			n.hop.RoundTrip.Observe(n.now() - n.reportSentAt)
+			n.reportOutstanding = false
 		}
 		n.acceptGlobal(m)
 	}
@@ -343,6 +423,10 @@ func (n *Node) SetConfig(cu *ConfigUpdate) {
 		return
 	}
 	n.config = cu
+	if n.hop != nil {
+		n.configAt = n.now()
+		n.configAtVer = cu.Version
+	}
 }
 
 // Config returns the newest configuration update this node holds (nil when

@@ -1,0 +1,30 @@
+package combining
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteHopMetrics appends the per-hop tree timing histograms to a
+// Prometheus-text scrape:
+//
+//	rsa_tree_hop_round_trip_seconds  report→broadcast round trip (non-root)
+//	rsa_tree_hop_child_lag_seconds   broadcast→next-report lag per child (parent)
+//	rsa_tree_hop_gate_lag_seconds    config-version held→child-ack lag (parent)
+//
+// A nil hm writes nothing (node outside a tree or hop timing unarmed).
+func WriteHopMetrics(w io.Writer, hm *HopMetrics) {
+	if hm == nil {
+		return
+	}
+	obs.WriteHistogram(w, "rsa_tree_hop_round_trip_seconds",
+		"Combining-tree round trip from sending an epoch report to receiving the next global broadcast.",
+		hm.RoundTrip)
+	obs.WriteHistogram(w, "rsa_tree_hop_child_lag_seconds",
+		"Lag from forwarding a broadcast to a child to that child's next report arriving.",
+		hm.ChildLag)
+	obs.WriteHistogram(w, "rsa_tree_hop_gate_lag_seconds",
+		"Epoch-gate crossing lag: from holding a configuration version to a child acknowledging it.",
+		hm.GateLag)
+}

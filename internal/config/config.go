@@ -87,6 +87,55 @@ func (h *HealthSpec) Options() *health.Options {
 	}
 }
 
+// TraceSpec enables request-span tracing on the front-end. A present spec
+// arms the span ring and the /v1/debug/trace endpoint; the flight recorder
+// (and /v1/debug/flight) additionally needs SLOMS or an under-floor trigger
+// to ever fire, but is always mounted alongside tracing.
+type TraceSpec struct {
+	// SampleEvery head-samples one request in N (<=0 selects the obs
+	// default; 1 traces everything).
+	SampleEvery int `json:"sample_every"`
+	// SlowestK tail-keeps the K slowest requests of every window regardless
+	// of sampling (<=0 selects the obs default).
+	SlowestK int `json:"slowest_k"`
+	// Depth is the span ring capacity (<=0 selects the obs default).
+	Depth int `json:"depth"`
+	// SLOMS, when positive, arms the flight recorder's latency trigger: a
+	// kept span slower than this freezes a forensic capture.
+	SLOMS float64 `json:"slo_ms"`
+	// FlightDir, when set, persists each flight capture as a JSON file
+	// under this directory in addition to the in-memory ring.
+	FlightDir string `json:"flight_dir"`
+	// FlightMax bounds retained captures (<=0 selects the obs default).
+	FlightMax int `json:"flight_max"`
+}
+
+// TraceConfig converts the spec into the obs tracer configuration (nil when
+// the spec itself is nil).
+func (t *TraceSpec) TraceConfig() *obs.TraceConfig {
+	if t == nil {
+		return nil
+	}
+	return &obs.TraceConfig{
+		SampleEvery: t.SampleEvery,
+		SlowestK:    t.SlowestK,
+		Depth:       t.Depth,
+	}
+}
+
+// FlightConfig converts the spec into the flight-recorder configuration
+// (nil when the spec itself is nil).
+func (t *TraceSpec) FlightConfig() *obs.FlightConfig {
+	if t == nil {
+		return nil
+	}
+	return &obs.FlightConfig{
+		Max: t.FlightMax,
+		SLO: time.Duration(t.SLOMS * float64(time.Millisecond)),
+		Dir: t.FlightDir,
+	}
+}
+
 // CtrlSpec enables the dynamic agreement control plane on the front-end:
 // the /v1/agreements and /v1/principals admin endpoints accept runtime
 // renegotiations, versioned and rolled out behind the combining tree's
@@ -137,6 +186,9 @@ type File struct {
 	// Ctrl, when present and enabled, attaches the dynamic agreement
 	// control plane to the front-end's admin surface.
 	Ctrl *CtrlSpec `json:"ctrl"`
+	// Trace, when present, enables request-span tracing, tail sampling, and
+	// the SLO flight recorder on the front-end.
+	Trace *TraceSpec `json:"trace"`
 	// AdminAddr, when set, serves the versioned admin endpoints
 	// (/v1/metrics, /v1/debug/windows, /v1/agreements, /debug/pprof) on a
 	// dedicated listener. The Layer-7 redirector also mounts them on its

@@ -70,6 +70,16 @@ type Config struct {
 	// (0 selects obs.DefaultRingDepth). The Layer-4 switch has no HTTP
 	// server of its own; mount ObsHandler on an admin listener to scrape it.
 	TraceDepth int
+	// Trace, if non-nil, enables request-span tracing: per-connection phase
+	// timestamps (admit, park, dial, first byte, close) recorded with zero
+	// allocations, head-sampled plus slowest-K-per-window, served at
+	// /v1/debug/trace on the ObsHandler.
+	Trace *obs.TraceConfig
+	// Flight, if non-nil, arms the SLO flight recorder: an under-floor
+	// settled window or a span breaching Flight.SLO freezes a bounded
+	// capture (span ring + window records + admission shard counters)
+	// served at /v1/debug/flight. Requires Trace.
+	Flight *obs.FlightConfig
 	// Health, if non-nil, enables active backend health checking: down
 	// backends are skipped by backend choice and every down/up transition
 	// re-interprets the agreements against the surviving capacity.
@@ -88,6 +98,7 @@ type heldConn struct {
 	conn     net.Conn
 	client   string
 	parkedAt time.Time
+	span     *obs.Span // nil when the request was not sampled for tracing
 }
 
 // pendShard is one stripe of the parked-connection state. Parking and
@@ -121,6 +132,7 @@ type Redirector struct {
 	parkSeq   atomic.Uint32  // round-robin park stripe cursor
 
 	tree      *combining.Node
+	hop       *combining.HopMetrics
 	transport *treenet.Transport
 	reparent  *treenet.Reparenter
 
@@ -130,6 +142,9 @@ type Redirector struct {
 	obsv    *obs.Observer
 	handler *obs.Handler
 	plane   *ctrlplane.Plane
+	tracer  *obs.Tracer
+	flight  *obs.FlightRecorder
+	names   []string // principal index → name, for span tags
 
 	ticker    *time.Ticker
 	done      chan struct{}
@@ -200,6 +215,8 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 		}
 		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
 			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
+		r.hop = combining.NewHopMetrics()
+		r.tree.SetHopMetrics(r.hop)
 		if cfg.Tree.FailureTimeout > 0 {
 			members := cfg.Tree.Members
 			if len(members) == 0 {
@@ -290,6 +307,22 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 		r.checker.Start()
 	}
 
+	r.names = cfg.Engine.PrincipalNames()
+	if cfg.Trace != nil {
+		r.tracer = obs.NewTracer(*cfg.Trace, cfg.ID)
+		if cfg.Flight != nil {
+			fl := *cfg.Flight
+			if fl.Logger == nil {
+				fl.Logger = cfg.Engine.Logger().With("flight")
+			}
+			r.flight = obs.NewFlightRecorder(fl)
+			r.flight.BindTracer(r.tracer)
+			r.flight.BindWindows(r.obsv.Ring())
+			r.flight.BindAuditor(r.obsv.Auditor())
+			r.flight.SetCounters(r.adm.CountersSnapshot)
+		}
+	}
+
 	r.red.SetObserver(r.obsv)
 	hcfg := obs.HandlerConfig{
 		Observers: []*obs.Observer{r.obsv},
@@ -311,6 +344,10 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 	}
 	if r.plane != nil {
 		hcfg.Control = r.plane.Handler()
+	}
+	if r.tracer != nil {
+		hcfg.Tracer = r.tracer
+		hcfg.Flight = r.flight
 	}
 	r.handler = obs.NewHandler(hcfg)
 
@@ -384,49 +421,84 @@ func (r *Redirector) acceptLoop(ln net.Listener, p agreement.Principal) {
 	}
 }
 
+// principalName maps a principal to its span tag.
+func (r *Redirector) principalName(p agreement.Principal) string {
+	if int(p) >= 0 && int(p) < len(r.names) {
+		return r.names[p]
+	}
+	return ""
+}
+
+// spanVerdict maps an admission outcome to its span verdict.
+func spanVerdict(out admission.Outcome) obs.Verdict {
+	switch out {
+	case admission.OutcomeAdmit:
+		return obs.VerdictAdmit
+	case admission.OutcomeSteal:
+		return obs.VerdictSteal
+	case admission.OutcomeDry:
+		return obs.VerdictDry
+	default:
+		return obs.VerdictReject
+	}
+}
+
 // handleConn is the SYN-time decision: forward now, park, or drop. The
 // whole path is mutex-free — affinity lookup on a striped cache, admission
-// on the sharded plane, backend choice on an atomic cursor.
+// on the sharded plane, backend choice on an atomic cursor. Tracing adds
+// only nil-safe stamp calls on pre-allocated spans (Begin returns nil when
+// sampling is off).
 func (r *Redirector) handleConn(conn net.Conn, p agreement.Principal) {
 	now := time.Now()
 	client := clientKey(conn)
-	d := r.adm.AdmitPreferring(p, r.aff.lookup(client, now))
+	sp := r.tracer.Begin(r.principalName(p))
+	d, det := r.adm.AdmitTraced(p, r.aff.lookup(client, now), 1)
+	sp.StampAdmit(spanVerdict(det.Outcome), det.Shard)
 	if !d.Admitted {
-		if r.park(conn, client, p, now) {
+		if r.park(conn, client, p, now, sp) {
 			r.parked.Add(1)
 		}
 		return
 	}
 	r.aff.pin(client, d.Owner, now)
 	backend := r.chooseBackend(d.Owner)
+	sp.StampBackend()
 	if backend == "" {
 		conn.Close()
+		sp.Finish()
 		return
 	}
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
-		r.spliceOrRepark(conn, client, p, backend)
+		r.spliceOrRepark(conn, client, p, backend, sp)
 	}()
 }
 
 // park enqueues an over-quota connection on a pending stripe, holding the
 // per-principal MaxPending bound with an atomic count. Returns false when
 // the connection was dropped (bound hit or redirector stopped) instead.
-func (r *Redirector) park(conn net.Conn, client string, p agreement.Principal, now time.Time) bool {
+// The span (nil when untraced) rides the queue entry; park/drop verdicts
+// are stamped here, expiry and reinjection at the reinject pass.
+func (r *Redirector) park(conn net.Conn, client string, p agreement.Principal, now time.Time, sp *obs.Span) bool {
 	if r.stopped.Load() {
 		conn.Close()
+		sp.SetVerdict(obs.VerdictDrop)
+		sp.Finish()
 		return false
 	}
 	if r.pendCount[p].Add(1) > int64(r.cfg.MaxPending) {
 		r.pendCount[p].Add(-1)
 		r.dropped.Add(1)
 		conn.Close()
+		sp.SetVerdict(obs.VerdictDrop)
+		sp.Finish()
 		return false
 	}
+	sp.SetVerdict(obs.VerdictPark)
 	sh := &r.pend[int(r.parkSeq.Add(1))%len(r.pend)]
 	sh.mu.Lock()
-	sh.q[p] = append(sh.q[p], heldConn{conn: conn, client: client, parkedAt: now})
+	sh.q[p] = append(sh.q[p], heldConn{conn: conn, client: client, parkedAt: now, span: sp})
 	sh.mu.Unlock()
 	if r.stopped.Load() {
 		// Close raced the enqueue; drain again so the connection cannot
@@ -445,6 +517,8 @@ func (r *Redirector) drainShard(sh *pendShard) {
 	for p, queue := range taken {
 		for _, hc := range queue {
 			hc.conn.Close()
+			hc.span.SetVerdict(obs.VerdictDrop)
+			hc.span.Finish()
 		}
 		r.pendCount[p].Add(-int64(len(queue)))
 	}
@@ -472,7 +546,7 @@ func (r *Redirector) chooseBackend(owner agreement.Principal) string {
 // silent connection drop: the failure feeds the health checker and the
 // untouched client connection goes back to the pending queue (respecting
 // MaxPending) for reinjection toward a healthier backend next window.
-func (r *Redirector) spliceOrRepark(conn net.Conn, client string, svc agreement.Principal, backendAddr string) {
+func (r *Redirector) spliceOrRepark(conn net.Conn, client string, svc agreement.Principal, backendAddr string, sp *obs.Span) {
 	backend, err := net.DialTimeout("tcp", backendAddr, 2*time.Second)
 	if err != nil {
 		if r.checker != nil {
@@ -481,12 +555,13 @@ func (r *Redirector) spliceOrRepark(conn net.Conn, client string, svc agreement.
 		r.dialFailures.Add(1)
 		// The pending clock restarts: the connection already waited zero
 		// windows, the dial failure is the backend's fault, not the client's.
-		if r.park(conn, client, svc, time.Now()) {
+		if r.park(conn, client, svc, time.Now(), sp) {
 			r.reparked.Add(1)
 		}
 		return
 	}
-	r.splice(conn, backend)
+	sp.StampDial()
+	r.splice(conn, backend, sp)
 }
 
 // copyBufs pools the splice buffers: 32 KiB is io.Copy's own default and
@@ -498,8 +573,10 @@ var copyBufs = sync.Pool{
 }
 
 // splice is the NAT analogue: copy bytes both ways until either side closes,
-// propagating the client's half-close to the backend.
-func (r *Redirector) splice(client, backend net.Conn) {
+// propagating the client's half-close to the backend. A traced connection
+// stamps first-byte on the backend→client direction and finishes its span
+// once both halves drain.
+func (r *Redirector) splice(client, backend net.Conn, sp *obs.Span) {
 	defer client.Close()
 	defer backend.Close()
 	done := make(chan struct{})
@@ -510,8 +587,13 @@ func (r *Redirector) splice(client, backend net.Conn) {
 		}
 		close(done)
 	}()
-	r.copyHalf(client, backend, &r.copyErrOut)
+	if sp != nil {
+		r.copyHalfFirstByte(client, backend, sp, &r.copyErrOut)
+	} else {
+		r.copyHalf(client, backend, &r.copyErrOut)
+	}
 	<-done
+	sp.Finish()
 }
 
 // copyHalf shuttles one splice direction through a pooled buffer and
@@ -525,6 +607,36 @@ func (r *Redirector) copyHalf(dst, src net.Conn, errCounter *atomic.Int64) {
 	bp := copyBufs.Get().(*[]byte)
 	_, err := io.CopyBuffer(dst, src, *bp)
 	copyBufs.Put(bp)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		errCounter.Add(1)
+	}
+}
+
+// copyHalfFirstByte is copyHalf for a traced backend→client direction: the
+// first read is taken by hand so the span's first-byte stamp lands on real
+// response bytes, then the remainder goes through io.CopyBuffer (which still
+// defers to the kernel splice fast path for the bulk of the transfer).
+func (r *Redirector) copyHalfFirstByte(dst, src net.Conn, sp *obs.Span, errCounter *atomic.Int64) {
+	bp := copyBufs.Get().(*[]byte)
+	defer copyBufs.Put(bp)
+	buf := *bp
+	n, rerr := src.Read(buf)
+	if n > 0 {
+		sp.StampFirstByte()
+		if _, werr := dst.Write(buf[:n]); werr != nil {
+			if !errors.Is(werr, net.ErrClosed) {
+				errCounter.Add(1)
+			}
+			return
+		}
+	}
+	if rerr != nil {
+		if rerr != io.EOF && !errors.Is(rerr, net.ErrClosed) {
+			errCounter.Add(1)
+		}
+		return
+	}
+	_, err := io.CopyBuffer(dst, src, buf)
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		errCounter.Add(1)
 	}
@@ -548,6 +660,7 @@ type launch struct {
 	client  string
 	svc     agreement.Principal
 	backend string
+	span    *obs.Span
 }
 
 func (r *Redirector) runWindow() {
@@ -585,6 +698,7 @@ func (r *Redirector) runWindow() {
 	// draining the old pool until the new one is published, so the boundary
 	// never stalls them.
 	err := r.adm.StartWindow(r.elapsed())
+	r.tracer.StartWindow(uint64(r.red.Windows), uint64(r.cfg.Engine.Version()))
 	r.mu.Unlock()
 	if err != nil {
 		return
@@ -603,13 +717,14 @@ func (r *Redirector) runWindow() {
 	for _, l := range launches {
 		if l.backend == "" {
 			l.conn.Close()
+			l.span.Finish()
 			continue
 		}
 		l := l
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
-			r.spliceOrRepark(l.conn, l.client, l.svc, l.backend)
+			r.spliceOrRepark(l.conn, l.client, l.svc, l.backend, l.span)
 		}()
 	}
 }
@@ -631,18 +746,25 @@ func (r *Redirector) reinjectShard(sh *pendShard, now time.Time) []launch {
 				hc.conn.Close()
 				r.expired.Add(1)
 				r.pendCount[p].Add(-1)
+				hc.span.AddPark(now.Sub(hc.parkedAt))
+				hc.span.SetVerdict(obs.VerdictExpire)
+				hc.span.Finish()
 				continue
 			}
-			d := r.adm.AdmitPreferring(p, r.aff.lookup(hc.client, now))
+			d, det := r.adm.AdmitTraced(p, r.aff.lookup(hc.client, now), 1)
 			if !d.Admitted {
 				kept = append(kept, hc)
 				continue
 			}
 			r.pendCount[p].Add(-1)
 			r.aff.pin(hc.client, d.Owner, now)
+			hc.span.AddPark(now.Sub(hc.parkedAt))
+			hc.span.StampAdmit(spanVerdict(det.Outcome), det.Shard)
+			backend := r.chooseBackend(d.Owner)
+			hc.span.StampBackend()
 			launches = append(launches, launch{
 				conn: hc.conn, client: hc.client, svc: p,
-				backend: r.chooseBackend(d.Owner),
+				backend: backend, span: hc.span,
 			})
 		}
 		if len(kept) > 0 {
@@ -679,6 +801,12 @@ func (r *Redirector) CopyErrorStats() (in, out int) {
 // Observer exposes the window-trace observer (auditor counters, trace ring).
 func (r *Redirector) Observer() *obs.Observer { return r.obsv }
 
+// Tracer exposes the request-span tracer (nil unless Config.Trace was set).
+func (r *Redirector) Tracer() *obs.Tracer { return r.tracer }
+
+// Flight exposes the SLO flight recorder (nil unless Config.Flight was set).
+func (r *Redirector) Flight() *obs.FlightRecorder { return r.flight }
+
 // Plane exposes the dynamic agreement control plane (nil unless Ctrl was
 // set); its HTTP surface is part of ObsHandler.
 func (r *Redirector) Plane() *ctrlplane.Plane { return r.plane }
@@ -714,6 +842,7 @@ func (r *Redirector) extraMetrics(w io.Writer) {
 	admission.WriteMetrics(w, r.adm)
 	health.WriteMetrics(w, r.checker, r.reint)
 	treenet.WriteMetrics(w, r.transport, r.reparent)
+	combining.WriteHopMetrics(w, r.hop)
 }
 
 // Close stops all listeners, the window loop, and parked connections. It

@@ -2,6 +2,7 @@ package l7
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -69,6 +70,16 @@ type RedirectorConfig struct {
 	// AdmissionShards sets the admission plane's credit shard count
 	// (0 selects GOMAXPROCS; see internal/admission).
 	AdmissionShards int
+	// Trace, if non-nil, enables request-span tracing: per-request phase
+	// timestamps (admit, backend choice, first byte, close) recorded with
+	// zero allocations, head-sampled plus slowest-K-per-window, served at
+	// /v1/debug/trace; span IDs are attached to the request-latency
+	// histogram buckets as exemplars.
+	Trace *obs.TraceConfig
+	// Flight, if non-nil, arms the SLO flight recorder: an under-floor
+	// settled window or a span breaching Flight.SLO freezes a bounded
+	// capture served at /v1/debug/flight. Requires Trace.
+	Flight *obs.FlightConfig
 }
 
 // Redirector is the Layer-7 switch: an HTTP server answering every request
@@ -88,15 +99,20 @@ type Redirector struct {
 	mu     sync.Mutex
 	red    *core.Redirector
 	tree   *combining.Node
+	hop    *combining.HopMetrics
 	estBuf []float64 // reused local-estimate buffer (under mu)
 
 	adm *admission.Plane
 	rr  []atomic.Uint32 // round-robin cursor per owner principal
 
-	obsv    *obs.Observer
-	handler *obs.Handler
-	plane   *ctrlplane.Plane
-	lat     *obs.Histogram // per-request handling latency
+	obsv         *obs.Observer
+	handler      *obs.Handler
+	plane        *ctrlplane.Plane
+	lat          *obs.Histogram // per-request handling latency
+	tracer       *obs.Tracer
+	flight       *obs.FlightRecorder
+	names        []string       // principal index → name, for span tags
+	warnFailover *obs.RateLimit // proxy-failover warning gate
 
 	checker *health.Checker
 	reint   *health.Reinterpreter
@@ -137,12 +153,30 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		return nil, err
 	}
 
+	r.names = cfg.Engine.PrincipalNames()
+	r.warnFailover = obs.NewRateLimit(5*time.Second, 1)
+	if cfg.Trace != nil {
+		r.tracer = obs.NewTracer(*cfg.Trace, cfg.ID)
+	}
+
 	// Proxy-mode backend client: pooled transport with dial and
 	// response-header deadlines, so a dead backend costs a bounded error
-	// instead of a request hung on http.DefaultClient forever.
+	// instead of a request hung on http.DefaultClient forever. With tracing
+	// on, dials feed the tracer's dial-phase histogram (the HTTP client
+	// dials inside the transport, where no request span is in scope).
+	dial := (&net.Dialer{Timeout: 2 * time.Second}).DialContext
+	if r.tracer != nil {
+		tr, inner := r.tracer, dial
+		dial = func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dialStart := time.Now()
+			conn, derr := inner(ctx, network, addr)
+			tr.ObserveDial(time.Since(dialStart))
+			return conn, derr
+		}
+	}
 	r.client = &http.Client{
 		Transport: &http.Transport{
-			DialContext:           (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+			DialContext:           dial,
 			ResponseHeaderTimeout: 10 * time.Second,
 			MaxIdleConns:          256,
 			MaxIdleConnsPerHost:   128,
@@ -165,6 +199,8 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		}
 		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
 			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
+		r.hop = combining.NewHopMetrics()
+		r.tree.SetHopMetrics(r.hop)
 		if cfg.Tree.FailureTimeout > 0 {
 			members := cfg.Tree.Members
 			if len(members) == 0 {
@@ -284,6 +320,21 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 	if r.plane != nil {
 		hcfg.Control = r.plane.Handler()
 	}
+	if r.tracer != nil {
+		if cfg.Flight != nil {
+			fl := *cfg.Flight
+			if fl.Logger == nil {
+				fl.Logger = cfg.Engine.Logger().With("flight")
+			}
+			r.flight = obs.NewFlightRecorder(fl)
+			r.flight.BindTracer(r.tracer)
+			r.flight.BindWindows(r.obsv.Ring())
+			r.flight.BindAuditor(r.obsv.Auditor())
+			r.flight.SetCounters(r.adm.CountersSnapshot)
+		}
+		hcfg.Tracer = r.tracer
+		hcfg.Flight = r.flight
+	}
 	r.handler = obs.NewHandler(hcfg)
 
 	mux := http.NewServeMux()
@@ -381,16 +432,42 @@ func (r *Redirector) windowLoop() {
 			// Scheduling failures leave last window's credits in place;
 			// enforcement degrades gracefully.
 			_ = r.adm.StartWindow(r.elapsed())
+			r.tracer.StartWindow(uint64(r.red.Windows), uint64(r.cfg.Engine.Version()))
 			r.mu.Unlock()
 		}
 	}
 }
 
+// spanVerdict maps an admission outcome to its span verdict.
+func spanVerdict(out admission.Outcome) obs.Verdict {
+	switch out {
+	case admission.OutcomeAdmit:
+		return obs.VerdictAdmit
+	case admission.OutcomeSteal:
+		return obs.VerdictSteal
+	case admission.OutcomeDry:
+		return obs.VerdictDry
+	default:
+		return obs.VerdictReject
+	}
+}
+
+// principalName maps a principal to its span tag.
+func (r *Redirector) principalName(p agreement.Principal) string {
+	if int(p) >= 0 && int(p) < len(r.names) {
+		return r.names[p]
+	}
+	return ""
+}
+
 // handle answers /svc/<org>/<rest> with a redirect (or, in proxy mode, the
-// proxied backend response).
+// proxied backend response). When tracing is enabled the request may carry
+// a pre-allocated span (nil-safe stamps, zero allocations); the finished
+// span's ID is attached to the latency histogram bucket as an exemplar.
 func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
 	handleStart := time.Now()
-	defer func() { r.lat.Observe(time.Since(handleStart)) }()
+	var sp *obs.Span
+	defer func() { r.lat.ObserveExemplar(time.Since(handleStart), sp.Finish()) }()
 	rest := strings.TrimPrefix(req.URL.Path, "/svc/")
 	org, tail, _ := strings.Cut(rest, "/")
 	p, ok := r.cfg.Orgs[org]
@@ -401,10 +478,13 @@ func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
 
 	// Lock-free request path: one sharded-plane admission, one atomic
 	// round-robin backend choice.
-	d := r.adm.Admit(p)
+	sp = r.tracer.Begin(r.principalName(p))
+	d, det := r.adm.AdmitTraced(p, -1, 1)
+	sp.StampAdmit(spanVerdict(det.Outcome), det.Shard)
 	var target string
 	if d.Admitted {
 		target = r.chooseBackend(d.Owner, "")
+		sp.StampBackend()
 	}
 
 	if target == "" {
@@ -420,7 +500,7 @@ func (r *Redirector) handle(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if r.cfg.Proxy {
-		r.proxy(w, req, d.Owner, target, tail)
+		r.proxy(w, req, d.Owner, target, tail, sp)
 		return
 	}
 	http.Redirect(w, req, destURL(target, tail, req.URL.RawQuery), http.StatusFound)
@@ -462,7 +542,7 @@ func (r *Redirector) chooseBackend(owner agreement.Principal, skip string) strin
 // client — one client round trip instead of two. A failed backend exchange
 // is reported to the health checker and retried once against another
 // backend of the same owner (bounded failover, not a retry storm).
-func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agreement.Principal, target, tail string) {
+func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agreement.Principal, target, tail string, sp *obs.Span) {
 	// Buffer the body so a failover attempt can replay it.
 	var body []byte
 	if req.Body != nil {
@@ -485,6 +565,7 @@ func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agree
 		resp, err := r.client.Do(out)
 		if err == nil {
 			defer resp.Body.Close()
+			sp.StampFirstByte()
 			for k, vs := range resp.Header {
 				for _, v := range vs {
 					w.Header().Add(k, v)
@@ -498,6 +579,9 @@ func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agree
 		if r.checker != nil {
 			r.checker.ReportFailure(target, r.elapsed())
 		}
+		r.cfg.Engine.Logger().With("l7").WarnRate(r.warnFailover,
+			"proxy exchange failed; failing over",
+			"backend", target, "err", err)
 		target = r.chooseBackend(owner, target)
 	}
 	if lastErr == nil {
@@ -514,6 +598,12 @@ func (r *Redirector) Stats() (admitted, rejected int) {
 
 // Observer exposes the window-trace observer (auditor counters, trace ring).
 func (r *Redirector) Observer() *obs.Observer { return r.obsv }
+
+// Tracer exposes the request-span tracer (nil unless Trace was configured).
+func (r *Redirector) Tracer() *obs.Tracer { return r.tracer }
+
+// Flight exposes the SLO flight recorder (nil unless Flight was configured).
+func (r *Redirector) Flight() *obs.FlightRecorder { return r.flight }
 
 // Plane exposes the dynamic agreement control plane (nil unless Ctrl was
 // set). Its HTTP surface is already mounted under /v1 on the redirector's
@@ -536,6 +626,7 @@ func (r *Redirector) extraMetrics(w io.Writer) {
 	admission.WriteMetrics(w, r.adm)
 	health.WriteMetrics(w, r.checker, r.reint)
 	treenet.WriteMetrics(w, r.transport, r.reparent)
+	combining.WriteHopMetrics(w, r.hop)
 }
 
 // statsPayload is the JSON shape served at /stats.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/combining"
 	"repro/internal/core"
 	"repro/internal/l7"
+	"repro/internal/obs"
 	"repro/internal/treenet"
 )
 
@@ -32,6 +33,9 @@ type FleetConfig struct {
 	Backends int
 	// Window is the scheduling window (default 50ms).
 	Window time.Duration
+	// Trace, when non-nil, arms request-span tracing on every redirector so
+	// sweeps can report per-phase latency alongside end-to-end numbers.
+	Trace *obs.TraceConfig
 }
 
 // Fleet is a self-contained Layer-7 enforcement plane for macro
@@ -117,6 +121,7 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 			Engine: eng, ID: i, Addr: "127.0.0.1:0", Proxy: true,
 			Orgs:     map[string]agreement.Principal{"alpha": a, "beta": b},
 			Backends: map[agreement.Principal][]string{sp: backends},
+			Trace:    cfg.Trace,
 		}
 		if cfg.Redirectors > 1 {
 			rcfg.Tree = &treenet.Spec{
@@ -179,6 +184,31 @@ func (f *Fleet) Conformance() Conformance {
 		}
 	}
 	return c
+}
+
+// PhaseDurations aggregates the per-phase request latency distributions
+// (admit, park, dial, proxy) across the fleet's redirectors. All histograms
+// are zero-count when the fleet was started without Trace.
+type PhaseDurations struct {
+	Admit, Park, Dial, Proxy *obs.Histogram
+}
+
+// Phases merges every redirector's tracer phase histograms into one
+// fleet-wide PhaseDurations snapshot. Call it after the load stops: Merge
+// is not safe against concurrent Observe.
+func (f *Fleet) Phases() PhaseDurations {
+	pd := PhaseDurations{
+		Admit: obs.NewHistogram(), Park: obs.NewHistogram(),
+		Dial: obs.NewHistogram(), Proxy: obs.NewHistogram(),
+	}
+	for _, r := range f.Redirectors {
+		admit, park, dial, proxy := r.Tracer().PhaseHistograms()
+		pd.Admit.Merge(admit)
+		pd.Park.Merge(park)
+		pd.Dial.Merge(dial)
+		pd.Proxy.Merge(proxy)
+	}
+	return pd
 }
 
 // Close shuts every redirector and backend down.

@@ -50,6 +50,10 @@ type Auditor struct {
 	// zero slot never aliases a real observation.
 	versionSlots [versionSlotCount]atomic.Uint64
 	mixedVersion atomic.Int64
+
+	// onUnderFloor, when set, is called for each under-floor verdict with
+	// the offending record and principal index (flight-recorder trigger).
+	onUnderFloor atomic.Pointer[func(rec *Record, principal int)]
 }
 
 // versionSlotCount is the mixed-version detector's ring size; it only needs
@@ -133,6 +137,9 @@ func (a *Auditor) Observe(rec *Record) {
 		}
 		if served+auditTol < floor {
 			a.underMC[i].Add(1)
+			if fn := a.onUnderFloor.Load(); fn != nil {
+				(*fn)(rec, i)
+			}
 		}
 		// Over-admission: the window admitted beyond the agreement ceiling
 		// plus the one-request credit carry the scheme permits.
@@ -140,6 +147,18 @@ func (a *Auditor) Observe(rec *Record) {
 			a.overUB[i].Add(1)
 		}
 	}
+}
+
+// setOnUnderFloor installs the under-floor verdict hook (nil clears it).
+func (a *Auditor) setOnUnderFloor(fn func(rec *Record, principal int)) {
+	if a == nil {
+		return
+	}
+	if fn == nil {
+		a.onUnderFloor.Store(nil)
+		return
+	}
+	a.onUnderFloor.Store(&fn)
 }
 
 // Windows reports how many windows have been audited.

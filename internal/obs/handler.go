@@ -37,6 +37,13 @@ type HandlerConfig struct {
 	// DisablePprof leaves net/http/pprof unregistered.
 	DisablePprof bool
 
+	// Tracer, when non-nil, serves request spans on /v1/debug/trace and
+	// exports the rsa_trace_* counters.
+	Tracer *Tracer
+	// Flight, when non-nil, serves flight captures on /v1/debug/flight and
+	// exports rsa_flight_captures_total.
+	Flight *FlightRecorder
+
 	// Control, when non-nil, is mounted under /v1/agreements and
 	// /v1/principals — the dynamic agreement control plane's admin API
 	// (internal/ctrlplane.Handler).
@@ -72,6 +79,8 @@ type ConfigInfo struct {
 //
 //	/v1/metrics          Prometheus text exposition
 //	/v1/debug/windows    JSON array of the last N window trace records (?n=)
+//	/v1/debug/trace      JSON request spans, slowest first (?principal=, ?min_ms=, ?n=)
+//	/v1/debug/flight     JSON flight-recorder captures, newest first (?n=)
 //	/v1/agreements       dynamic agreement control plane (when configured)
 //	/v1/principals/...   principal join/leave (when configured)
 //	/debug/pprof/...     net/http/pprof
@@ -112,6 +121,12 @@ func deprecatedAlias(successor string, fn http.HandlerFunc) http.HandlerFunc {
 func (h *Handler) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/metrics", h.serveMetrics)
 	mux.HandleFunc("/v1/debug/windows", h.serveWindows)
+	if h.cfg.Tracer != nil {
+		mux.HandleFunc("/v1/debug/trace", h.serveTrace)
+	}
+	if h.cfg.Flight != nil {
+		mux.HandleFunc("/v1/debug/flight", h.serveFlight)
+	}
 	mux.HandleFunc("/metrics", deprecatedAlias("/v1/metrics", h.serveMetrics))
 	mux.HandleFunc("/debug/windows", deprecatedAlias("/v1/debug/windows", h.serveWindows))
 	if h.cfg.Control != nil {
@@ -245,11 +260,113 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		promMetric(w, "rsa_config_rollouts_total", "counter",
 			"Epoch-gated configuration rollouts fully converged.", float64(ci.Rollouts))
 	}
+	if tr := h.cfg.Tracer; tr != nil {
+		begun, kept, dropped := tr.Counts()
+		promMetric(w, "rsa_trace_spans_begun_total", "counter",
+			"Request spans opened by the tracer.", float64(begun))
+		promMetric(w, "rsa_trace_spans_kept_total", "counter",
+			"Request spans committed to the span ring (head- or tail-sampled).", float64(kept))
+		promMetric(w, "rsa_trace_spans_dropped_total", "counter",
+			"Request spans dropped on in-flight pool exhaustion.", float64(dropped))
+		admit, park, dial, proxy := tr.PhaseHistograms()
+		WriteHistogram(w, "rsa_trace_phase_admit_seconds",
+			"Accept-to-admission-verdict latency of traced requests.", admit)
+		WriteHistogram(w, "rsa_trace_phase_park_seconds",
+			"Total parked duration of traced requests that parked.", park)
+		WriteHistogram(w, "rsa_trace_phase_dial_seconds",
+			"Backend dial latency of traced requests.", dial)
+		WriteHistogram(w, "rsa_trace_phase_proxy_seconds",
+			"Backend-selection-to-close latency of traced requests.", proxy)
+	}
+	if fl := h.cfg.Flight; fl != nil {
+		promMetric(w, "rsa_flight_captures_total", "counter",
+			"Flight-recorder captures frozen (under-floor or SLO-breach triggers).",
+			float64(fl.Triggers()))
+	}
 	for _, nh := range h.cfg.Histograms {
 		WriteHistogram(w, nh.Name, nh.Help, nh.Hist)
 	}
 	if h.cfg.Extra != nil {
 		h.cfg.Extra(w)
+	}
+}
+
+// serveTrace returns spans from the tracer's ring as JSON, slowest first.
+// ?principal= keeps one principal's spans, ?min_ms= drops spans faster than
+// the threshold, ?n= bounds the result (default 64).
+func (h *Handler) serveTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 64
+	if s := q.Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	var minTotal int64
+	if s := q.Get("min_ms"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "min_ms must be a non-negative number", http.StatusBadRequest)
+			return
+		}
+		minTotal = int64(v * float64(time.Millisecond))
+	}
+	principal := q.Get("principal")
+
+	ring := h.cfg.Tracer.Ring()
+	spans := ring.Snapshot(ring.Depth())
+	filtered := spans[:0]
+	for _, sp := range spans {
+		if principal != "" && sp.Principal != principal {
+			continue
+		}
+		if sp.TotalNanos < minTotal {
+			continue
+		}
+		filtered = append(filtered, sp)
+	}
+	sort.SliceStable(filtered, func(i, j int) bool {
+		return filtered[i].TotalNanos > filtered[j].TotalNanos
+	})
+	if len(filtered) > n {
+		filtered = filtered[:n]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Spans []Span `json:"spans"`
+	}{Spans: filtered}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// serveFlight returns retained flight captures as JSON, newest first
+// (?n= bounds the count).
+func (h *Handler) serveFlight(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	caps := h.cfg.Flight.Captures(n)
+	if caps == nil {
+		caps = []*Capture{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Captures []*Capture `json:"captures"`
+	}{Captures: caps}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -32,6 +32,16 @@ type Histogram struct {
 	count  atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 	max    atomic.Int64 // nanoseconds
+	ex     [histBuckets]exemplar
+}
+
+// exemplar is one per-bucket trace reference: the span ID and duration of
+// the most recent exemplified sample landing in the bucket. The two words
+// are stored independently (a torn read pairs a ref with a near-miss
+// duration from the same bucket — harmless for a debugging breadcrumb).
+type exemplar struct {
+	ref   atomic.Uint64
+	nanos atomic.Int64
 }
 
 // NewHistogram builds an empty histogram.
@@ -74,6 +84,22 @@ func (h *Histogram) Observe(d time.Duration) {
 		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
 			return
 		}
+	}
+}
+
+// ObserveExemplar records one sample and, when ref is non-zero, tags the
+// sample's bucket with the trace reference so a scrape can jump from a
+// latency bucket to the span behind it (`/v1/debug/trace`). ref 0 (a span
+// that was sampled out) degrades to a plain Observe. Zero allocations.
+func (h *Histogram) ObserveExemplar(d time.Duration, ref uint64) {
+	if h == nil || d < 0 {
+		return
+	}
+	h.Observe(d)
+	if ref != 0 {
+		e := &h.ex[histBucketFor(d)]
+		e.ref.Store(ref)
+		e.nanos.Store(int64(d))
 	}
 }
 
@@ -176,6 +202,9 @@ func (h *Histogram) Snapshot() [histBuckets]int64 {
 // exposition format: <name>_bucket{le="..."} series in seconds, plus
 // <name>_sum and <name>_count. Empty buckets below the first occupied one
 // are skipped to keep scrapes small; the +Inf bucket is always present.
+// Buckets holding an exemplar carry an OpenMetrics-style trailing
+// `# {trace_ref="<id>"} <seconds>` annotation linking the bucket to a span
+// in /v1/debug/trace.
 func WriteHistogram(w io.Writer, name, help string, h *Histogram) {
 	if h == nil {
 		return
@@ -188,6 +217,12 @@ func WriteHistogram(w io.Writer, name, help string, h *Histogram) {
 			continue
 		}
 		started = true
+		if ref := h.ex[b].ref.Load(); ref != 0 {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d # {trace_ref=\"%d\"} %s\n",
+				name, formatFloat(HistogramBucketUpper(b).Seconds()), cum[b],
+				ref, formatFloat(time.Duration(h.ex[b].nanos.Load()).Seconds()))
+			continue
+		}
 		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
 			name, formatFloat(HistogramBucketUpper(b).Seconds()), cum[b])
 	}

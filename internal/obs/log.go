@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -137,6 +138,94 @@ func (l *Logger) log(lvl Level, msg string, kv []interface{}) {
 	l.sink.mu.Lock()
 	_, _ = io.WriteString(l.sink.w, sb.String())
 	l.sink.mu.Unlock()
+}
+
+// RateLimit is a token-bucket gate for hot-path log lines: at most burst
+// lines immediately, refilled one token per interval. It replaces the
+// once-per-process sync.Once suppression pattern — a recurring condition
+// logs once per interval instead of once per lifetime, and each emitted
+// line reports how many occurrences the gate swallowed since the last one.
+// Allow is a few atomic operations with no locks or allocations; a nil
+// *RateLimit always allows.
+type RateLimit struct {
+	interval   int64 // nanoseconds per refilled token
+	burst      int64
+	tokens     atomic.Int64 // tokens × rlScale, time-scaled
+	last       atomic.Int64 // last refill time, unix nanos
+	suppressed atomic.Int64
+}
+
+// NewRateLimit builds a limiter allowing burst lines immediately and one
+// more per interval after that. burst < 1 is treated as 1.
+func NewRateLimit(interval time.Duration, burst int) *RateLimit {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	rl := &RateLimit{interval: int64(interval), burst: int64(burst)}
+	rl.tokens.Store(int64(burst))
+	rl.last.Store(time.Now().UnixNano())
+	return rl
+}
+
+// Allow reports whether a line may be emitted now and, when it may, how
+// many prior calls were suppressed since the last allowed one.
+func (rl *RateLimit) Allow() (ok bool, suppressed int64) {
+	if rl == nil {
+		return true, 0
+	}
+	now := time.Now().UnixNano()
+	last := rl.last.Load()
+	if refill := (now - last) / rl.interval; refill > 0 {
+		if rl.last.CompareAndSwap(last, last+refill*rl.interval) {
+			// One winner credits the elapsed tokens, capped at burst.
+			for {
+				cur := rl.tokens.Load()
+				next := cur + refill
+				if next > rl.burst {
+					next = rl.burst
+				}
+				if cur == next || rl.tokens.CompareAndSwap(cur, next) {
+					break
+				}
+			}
+		}
+	}
+	for {
+		cur := rl.tokens.Load()
+		if cur <= 0 {
+			rl.suppressed.Add(1)
+			return false, 0
+		}
+		if rl.tokens.CompareAndSwap(cur, cur-1) {
+			return true, rl.suppressed.Swap(0)
+		}
+	}
+}
+
+// Suppressed reports calls swallowed since the last allowed line.
+func (rl *RateLimit) Suppressed() int64 {
+	if rl == nil {
+		return 0
+	}
+	return rl.suppressed.Load()
+}
+
+// WarnRate logs at warn level through a rate limiter: when the limiter
+// denies, the line is dropped (and counted); when it allows after drops,
+// a `suppressed=<n>` field is appended so operators can see the true
+// occurrence rate. A nil limiter degrades to plain Warn.
+func (l *Logger) WarnRate(rl *RateLimit, msg string, kv ...interface{}) {
+	ok, suppressed := rl.Allow()
+	if !ok {
+		return
+	}
+	if suppressed > 0 {
+		kv = append(kv, "suppressed", suppressed)
+	}
+	l.log(LevelWarn, msg, kv)
 }
 
 // appendLogValue writes v, quoting it when it contains logfmt-breaking

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/agreement"
 	"repro/internal/lp"
@@ -78,9 +79,9 @@ type Community struct {
 	// queue vectors can be scheduled in parallel.
 	states sync.Pool
 
-	stats   *metrics.SolverStats
-	logger  *obs.Logger
-	logOnce sync.Once
+	stats     *metrics.SolverStats
+	logger    *obs.Logger
+	warnLimit *obs.RateLimit
 }
 
 // commState is one worker's mutable solve state.
@@ -102,6 +103,7 @@ func NewCommunity(acc *agreement.Access, capacity, locality []float64) (*Communi
 		return nil, fmt.Errorf("%w: locality length %d, want %d", ErrInput, len(locality), n)
 	}
 	c := &Community{n: n, acc: acc, capacity: capacity, locality: locality}
+	c.warnLimit = obs.NewRateLimit(5*time.Second, 1)
 	c.compile()
 	c.states.New = func() any {
 		return &commState{p: c.tmpl.Clone(), solver: lp.NewSolver()}
@@ -134,6 +136,7 @@ func NewCommunityFrom(prev *Community, acc *agreement.Access, capacity, locality
 		floorRow: prev.floorRow, blockRow: prev.blockRow,
 		varHiRow: prev.varHiRow, capRow: prev.capRow, locRow: prev.locRow,
 	}
+	c.warnLimit = obs.NewRateLimit(5*time.Second, 1)
 	c.tmpl = prev.tmpl.Clone()
 	cons := c.tmpl.Constraints
 	for i := 0; i < n; i++ {
@@ -330,10 +333,8 @@ func (c *Community) Schedule(queues []float64) (*Plan, error) {
 	// make the disagreement visible: it means some mandatory guarantee is
 	// not enforceable as configured.
 	total := c.stats.FloorFallback()
-	c.logOnce.Do(func() {
-		c.log().Warn("community window infeasible with mandatory floors; retrying without floors",
-			"reason", "entitlements exceed capacities", "err", err, "fallbacks", total)
-	})
+	c.log().WarnRate(c.warnLimit, "community window infeasible with mandatory floors; retrying without floors",
+		"reason", "entitlements exceed capacities", "err", err, "fallbacks", total)
 	return c.solveFast(st, queues, false)
 }
 
@@ -521,9 +522,9 @@ type Provider struct {
 
 	states sync.Pool
 
-	stats   *metrics.SolverStats
-	logger  *obs.Logger
-	logOnce sync.Once
+	stats     *metrics.SolverStats
+	logger    *obs.Logger
+	warnLimit *obs.RateLimit
 }
 
 // NewProvider builds a provider scheduler. mc/oc are the customers'
@@ -545,6 +546,7 @@ func NewProvider(mc, oc, prices []float64, capacity float64) (*Provider, error) 
 		}
 	}
 	p := &Provider{n: n, mc: mc, oc: oc, prices: prices, capacity: capacity}
+	p.warnLimit = obs.NewRateLimit(5*time.Second, 1)
 	p.compile()
 	p.states.New = func() any {
 		return &commState{p: p.tmpl.Clone(), solver: lp.NewSolver()}
@@ -578,6 +580,7 @@ func NewProviderFrom(prev *Provider, mc, oc, prices []float64, capacity float64)
 		n: n, mc: mc, oc: oc, prices: prices, capacity: capacity,
 		obj2: prev.obj2, loRow: prev.loRow, hiRow: prev.hiRow, capRow: prev.capRow,
 	}
+	p.warnLimit = obs.NewRateLimit(5*time.Second, 1)
 	p.tmpl = prev.tmpl.Clone()
 	p.tmpl.Constraints[p.capRow].RHS = capacity
 	p.states.New = func() any {
@@ -688,10 +691,8 @@ func (p *Provider) Schedule(queues []float64) (*ProviderPlan, error) {
 		// proportionally instead of failing the window, and surface the
 		// entitlement/capacity disagreement.
 		total := p.stats.FloorFallback()
-		p.logOnce.Do(func() {
-			p.log().Warn("provider window not optimal with mandatory floors; scaling mandatory shares to capacity",
-				"reason", "entitlements exceed capacity", "status", sol.Status, "fallbacks", total)
-		})
+		p.log().WarnRate(p.warnLimit, "provider window not optimal with mandatory floors; scaling mandatory shares to capacity",
+			"reason", "entitlements exceed capacity", "status", sol.Status, "fallbacks", total)
 		return p.scaledMandatory(queues), nil
 	}
 	return p.extractPlan(sol.X), nil
@@ -743,10 +744,8 @@ func (p *Provider) scheduleSlow(queues []float64) (*ProviderPlan, error) {
 		// The same capacity-scaling degradation as the fast path: count and
 		// log it here too, so the reference path never falls back invisibly.
 		total := p.stats.FloorFallback()
-		p.logOnce.Do(func() {
-			p.log().Warn("provider window not optimal with mandatory floors; scaling mandatory shares to capacity",
-				"reason", "entitlements exceed capacity", "status", sol.Status, "fallbacks", total)
-		})
+		p.log().WarnRate(p.warnLimit, "provider window not optimal with mandatory floors; scaling mandatory shares to capacity",
+			"reason", "entitlements exceed capacity", "status", sol.Status, "fallbacks", total)
 		return p.scaledMandatory(queues), nil
 	}
 	return p.extractPlan(sol.X), nil

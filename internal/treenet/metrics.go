@@ -1,6 +1,7 @@
 package treenet
 
 import (
+	"fmt"
 	"io"
 
 	"repro/internal/obs"
@@ -25,6 +26,12 @@ func WriteMetrics(w io.Writer, t *Transport, rep *Reparenter) {
 		"Peer connections re-established after a break.", float64(st.Reconnects))
 	obs.WriteMetric(w, "rsa_treenet_peers_connected", "gauge",
 		"Live outbound peer connections.", float64(st.PeersConnected))
+	fmt.Fprintf(w, "# HELP rsa_treenet_deadline_errors_total Socket deadline arming failures, by direction.\n")
+	fmt.Fprintf(w, "# TYPE rsa_treenet_deadline_errors_total counter\n")
+	fmt.Fprintf(w, "rsa_treenet_deadline_errors_total{op=\"read\"} %d\n", st.DeadlineErrorsRead)
+	fmt.Fprintf(w, "rsa_treenet_deadline_errors_total{op=\"write\"} %d\n", st.DeadlineErrorsWrite)
+	obs.WriteMetric(w, "rsa_treenet_write_timeouts_total", "counter",
+		"Peer writes that failed with an expired deadline (stalled but live peer).", float64(st.WriteTimeouts))
 	if rep != nil {
 		obs.WriteMetric(w, "rsa_treenet_reparents_total", "counter",
 			"Times this node rewired itself around a silent tree neighbor.", float64(rep.Reparents()))

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -110,6 +111,17 @@ type Stats struct {
 	Reconnects int
 	// PeersConnected is the current number of live outbound connections.
 	PeersConnected int
+	// DeadlineErrorsWrite counts SetWriteDeadline failures on outbound
+	// connections; each one also disconnects the peer (a socket whose
+	// deadline cannot be armed would otherwise write unbounded).
+	DeadlineErrorsWrite int
+	// DeadlineErrorsRead counts SetReadDeadline failures on inbound
+	// connections; each one ends that read loop.
+	DeadlineErrorsRead int
+	// WriteTimeouts counts Encode failures classified as deadline expiry —
+	// a live but stalled peer, distinguishable from outright peer death
+	// (other write errors) in the failure-detector sense.
+	WriteTimeouts int
 }
 
 // Transport is one node's endpoint.
@@ -260,8 +272,21 @@ func (t *Transport) writeLoop(p *peer) {
 				if conn == nil && !t.redial(p, &conn, &enc) {
 					break
 				}
-				_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+				if err := conn.SetWriteDeadline(time.Now().Add(writeTimeout)); err != nil {
+					// A socket whose write deadline cannot be armed could
+					// block the writer forever; treat it as dead.
+					t.mu.Lock()
+					t.stats.DeadlineErrorsWrite++
+					t.mu.Unlock()
+					disconnect()
+					continue
+				}
 				if err := enc.Encode(env); err != nil {
+					if errors.Is(err, os.ErrDeadlineExceeded) {
+						t.mu.Lock()
+						t.stats.WriteTimeouts++
+						t.mu.Unlock()
+					}
 					disconnect()
 					continue
 				}
@@ -345,7 +370,12 @@ func (t *Transport) readLoop(conn net.Conn) {
 	}()
 	dec := json.NewDecoder(conn)
 	for {
-		_ = conn.SetReadDeadline(time.Now().Add(idleTimeout))
+		if err := conn.SetReadDeadline(time.Now().Add(idleTimeout)); err != nil {
+			t.mu.Lock()
+			t.stats.DeadlineErrorsRead++
+			t.mu.Unlock()
+			return
+		}
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return
