@@ -27,6 +27,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/l4"
 	"repro/internal/l7"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/treenet"
 )
 
@@ -88,6 +90,24 @@ func main() {
 		}
 	}
 
+	// Durable state: each redirector process owns a node-scoped directory
+	// under state_dir, so co-located nodes never share a window log.
+	var st *persist.Store
+	if f.StateDir != "" {
+		dir := filepath.Join(f.StateDir, fmt.Sprintf("redirector-%d", *id))
+		st, err = persist.Open(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("durable state in %s\n", dir)
+	}
+
+	// Shutdown hooks, installed per layer below: the flight recorder whose
+	// armed captures a SIGTERM must flush, and the front-end to stop before
+	// the store closes.
+	var flight *obs.FlightRecorder
+	var closeFront func() error
+
 	switch *layer {
 	case "l7":
 		if f.L7 == nil {
@@ -115,11 +135,12 @@ func main() {
 			AdmissionShards: f.AdmissionShards,
 			Trace:           f.Trace.TraceConfig(),
 			Flight:          f.Trace.FlightConfig(),
+			Persist:         st,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer r.Close() //nolint:errcheck // process exit
+		flight, closeFront = r.Flight(), r.Close
 		fmt.Printf("l7 redirector %d at %s", *id, r.URL())
 		if ta := r.TreeAddr(); ta != "" {
 			fmt.Printf(" (tree %s)", ta)
@@ -152,11 +173,12 @@ func main() {
 			AdmissionShards: f.AdmissionShards,
 			Trace:           f.Trace.TraceConfig(),
 			Flight:          f.Trace.FlightConfig(),
+			Persist:         st,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer r.Close() //nolint:errcheck // process exit
+		flight, closeFront = r.Flight(), r.Close
 		fmt.Printf("l4 redirector %d up:", *id)
 		for name := range f.L4.Services {
 			p, _ := sys.Lookup(name)
@@ -176,6 +198,23 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+
+	// Graceful shutdown: flush armed forensic captures first (they are the
+	// evidence of whatever preceded the signal), then stop the front-end
+	// (which checkpoints the durable log), then close the store.
+	if n := flight.Flush(); n > 0 {
+		log.Printf("flushed %d flight captures", n)
+	}
+	if closeFront != nil {
+		if err := closeFront(); err != nil {
+			log.Printf("front-end close: %v", err)
+		}
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("state store close: %v", err)
+		}
+	}
 }
 
 // serveAdmin starts the optional observability listener; returns the bound

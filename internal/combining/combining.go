@@ -146,6 +146,21 @@ type Broadcast struct {
 	Config *ConfigUpdate
 }
 
+// Rejoin is the crash-recovery handshake a restarted node sends its parent:
+// its last durable (epoch, configuration version) position. The parent
+// resets the child's stale-report gate (the restarted process counts epochs
+// from its restored position, which may trail what the parent last heard)
+// and immediately replies with the current global broadcast and newest
+// configuration, so the child converges before its next scheduling window
+// instead of waiting out a full epoch round.
+type Rejoin struct {
+	// Epoch is the sender's restored local epoch (0 on a cold start).
+	Epoch int
+	// AckVersion is the newest configuration version the sender holds
+	// from durable state (0 when none).
+	AckVersion uint64
+}
+
 // SendFunc transmits a message toward another node.
 type SendFunc func(to NodeID, msg interface{})
 
@@ -376,6 +391,67 @@ func (n *Node) OnMessage(from NodeID, msg interface{}) {
 			n.reportOutstanding = false
 		}
 		n.acceptGlobal(m)
+	case Rejoin:
+		n.lastHeard[from] = n.now()
+		// The restarted child's epoch counter resumed from its durable
+		// position (or zero): drop the pre-crash gate and aggregate so its
+		// fresh reports are accepted rather than rejected as stale.
+		delete(n.childAggs, from)
+		n.childEpochs[from] = 0
+		n.childAcks[from] = m.AckVersion
+		delete(n.bcastSentAt, from)
+		// Reply immediately with the newest global + configuration held:
+		// the child converges now, not an epoch round from now.
+		if n.haveGlobal {
+			n.msgsOut++
+			n.send(from, Broadcast{Epoch: n.globalEpoch, Agg: n.global.clone(), Config: n.config})
+		}
+	}
+}
+
+// AnnounceRejoin sends the crash-recovery handshake to the parent: the
+// node's restored (epoch, configuration version) position. Call it once
+// after constructing or Resetting a node whose process restarted (the
+// transport may also re-announce after a reconnect). A no-op at the root —
+// the root recovers its configuration from durable state directly.
+func (n *Node) AnnounceRejoin() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.isRoot() {
+		return
+	}
+	n.msgsOut++
+	n.send(n.parent, Rejoin{Epoch: n.epoch, AckVersion: n.configVersion()})
+}
+
+// Reset rewinds the node to a restarted process's state: the epoch counter
+// resumes from the durable position (epoch), the newest durable
+// configuration (cu, may be nil) is reinstalled, and all volatile state —
+// child aggregates, epoch gates, acks, the last global broadcast — is
+// dropped, exactly as if the process had been re-exec'd around the same
+// Node object. Topology (parent, children) and transport wiring survive.
+// Follow with AnnounceRejoin on non-root nodes.
+func (n *Node) Reset(epoch int, cu *ConfigUpdate) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch = epoch
+	n.config = cu
+	n.haveGlobal = false
+	n.globalEpoch = 0
+	n.globalAt = 0
+	n.global = Aggregate{}
+	for i := range n.local {
+		n.local[i] = 0
+	}
+	n.childAggs = make(map[NodeID]Aggregate)
+	n.childEpochs = make(map[NodeID]int)
+	n.childAcks = make(map[NodeID]uint64)
+	n.lastHeard = make(map[NodeID]time.Duration)
+	n.bcastSentAt = make(map[NodeID]time.Duration)
+	n.reportOutstanding = false
+	if n.hop != nil && cu != nil {
+		n.configAt = n.now()
+		n.configAtVer = cu.Version
 	}
 }
 

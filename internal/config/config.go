@@ -199,6 +199,12 @@ type File struct {
 	// count on both front-ends (0 selects GOMAXPROCS; see
 	// internal/admission).
 	AdmissionShards int `json:"admission_shards"`
+	// StateDir, when set, arms the durable-state plane (internal/persist):
+	// each redirector process keeps its agreement-set snapshots and
+	// window-record log under <state_dir>/redirector-<id> and recovers
+	// from them at the next boot. Empty disables persistence (a crash
+	// rejoins blind, as a cold node).
+	StateDir string `json:"state_dir"`
 }
 
 // Field names are canonically snake_case. Earlier revisions accepted

@@ -102,6 +102,16 @@ type Config struct {
 	// before the cache resets; zero selects sched.DefaultCacheLimit.
 	PlanCacheLimit int
 
+	// RolloutGraceEpochs is the rollout liveness valve: when a staged set
+	// is still unpromoted this many epochs past its gate, any registered
+	// redirector that has not crossed is presumed dead and evicted from
+	// the promotion quorum, letting the survivors commit. Dead processes
+	// schedule no windows and a live laggard runs the conservative claim
+	// (it lacks the new set), so promoting cannot create mixed-version
+	// enforcement. Zero disables the valve; eviction then happens only via
+	// explicit EvictRedirector calls from failure detection.
+	RolloutGraceEpochs int
+
 	// Logger receives enforcement-degradation events (floor fallbacks,
 	// conservative windows) from the engine and its schedulers. Nil falls
 	// back to the process-wide obs.Default logger.
@@ -153,12 +163,19 @@ type Engine struct {
 	cur schedState // active generation (version == e.version)
 	// staged, when non-nil, is the next generation waiting behind the epoch
 	// gate of a control-plane rollout (see StageSet/stateFor).
-	staged      *stagedGen
-	version     Version // active generation number
-	lastBuilt   Version // monotonic generation counter (staged included)
-	lastSet     uint64  // newest agreement.Set version accepted
-	redirectors int     // admission points sharing this engine
-	rollouts    uint64  // epoch-gated rollouts completed
+	staged    *stagedGen
+	version   Version // active generation number
+	lastBuilt Version // monotonic generation counter (staged included)
+	lastSet   uint64  // newest agreement.Set version accepted
+	// registered tracks the admission-point ids sharing this engine;
+	// evicted marks the subset removed from the promotion quorum by
+	// failure detection (or the grace valve). Registration is idempotent
+	// per id, so a restarted redirector re-registering under its old
+	// identity does not inflate the quorum — and re-registration clears
+	// its eviction, re-admitting it through the laggard conservative path.
+	registered map[int]bool
+	evicted    map[int]bool
+	rollouts   uint64 // epoch-gated rollouts completed
 
 	// rolloutGate is 0 whenever no rollout is in flight — the steady-state
 	// fast path: stateFor does one atomic load and falls through to the
@@ -189,9 +206,11 @@ type RolloutInfo struct {
 	SetVersion uint64 `json:"set_version"`
 	GateEpoch  int    `json:"gate_epoch,omitempty"`
 	// Crossed counts redirectors that have swapped to the staged generation,
-	// out of Redirectors registered.
+	// out of Redirectors registered; Evicted counts those removed from the
+	// promotion quorum by failure detection or the grace valve.
 	Crossed     int `json:"crossed"`
 	Redirectors int `json:"redirectors"`
+	Evicted     int `json:"evicted,omitempty"`
 	// Rollouts counts epoch-gated rollouts fully converged since start.
 	Rollouts uint64 `json:"rollouts"`
 }
@@ -237,11 +256,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:     cfg,
-		n:       n,
-		windowS: cfg.Window.Seconds(),
-		flows:   flows,
-		stats:   &metrics.SolverStats{},
+		cfg:        cfg,
+		n:          n,
+		windowS:    cfg.Window.Seconds(),
+		flows:      flows,
+		stats:      &metrics.SolverStats{},
+		registered: make(map[int]bool),
+		evicted:    make(map[int]bool),
 	}
 	st, err := e.buildState(flows, cfg.System.Capacities())
 	if err != nil {
@@ -591,7 +612,7 @@ func (e *Engine) StageSet(set *agreement.Set, gateEpoch int) (Version, error) {
 		return e.version, err
 	}
 	e.lastSet = set.Version
-	if gateEpoch <= 0 || e.redirectors == 0 {
+	if gateEpoch <= 0 || e.quorumLocked() == 0 {
 		e.commitLocked(flows, st)
 		return e.version, nil
 	}
@@ -628,7 +649,8 @@ func (e *Engine) Rollout() RolloutInfo {
 	info := RolloutInfo{
 		Active:      e.version,
 		SetVersion:  e.lastSet,
-		Redirectors: e.redirectors,
+		Redirectors: len(e.registered),
+		Evicted:     len(e.evicted),
 		Rollouts:    e.rollouts,
 	}
 	if e.staged != nil {
@@ -690,12 +712,68 @@ func (e *Engine) stateFor(id, epoch int, known uint64) (schedState, bool) {
 		return e.cur, true // past the gate without the set: conservative
 	}
 	sg.crossed[id] = true
-	if len(sg.crossed) >= e.redirectors {
-		e.rollouts++
-		e.commitLocked(e.flows, sg.state)
+	// Liveness valve: a caller this far past the gate proves the fleet kept
+	// ticking; quorum members that still have not crossed are presumed dead
+	// and evicted so the rollout can commit (see Config.RolloutGraceEpochs).
+	if g := e.cfg.RolloutGraceEpochs; g > 0 && epoch >= sg.gateEpoch+g {
+		for rid := range e.registered {
+			if !sg.crossed[rid] && !e.evicted[rid] {
+				e.evicted[rid] = true
+			}
+		}
+	}
+	if e.maybePromoteLocked() {
 		return e.cur, false
 	}
 	return sg.state, false
+}
+
+// quorumLocked counts the admission points promotion waits on: registered
+// and not evicted. Callers hold e.mu.
+func (e *Engine) quorumLocked() int {
+	q := 0
+	for id := range e.registered {
+		if !e.evicted[id] {
+			q++
+		}
+	}
+	return q
+}
+
+// maybePromoteLocked promotes the staged generation when every quorum
+// member has crossed (or the quorum is empty), reporting whether a
+// promotion happened. Callers hold e.mu.
+func (e *Engine) maybePromoteLocked() bool {
+	sg := e.staged
+	if sg == nil {
+		return false
+	}
+	for id := range e.registered {
+		if !e.evicted[id] && !sg.crossed[id] {
+			return false
+		}
+	}
+	e.rollouts++
+	e.commitLocked(e.flows, sg.state)
+	return true
+}
+
+// EvictRedirector removes a registered admission point from the rollout
+// promotion quorum — the liveness valve failure detection pulls when a
+// redirector misses consecutive epochs. If a rollout is in flight and the
+// evicted member was the last holdout, the staged generation commits
+// immediately. A later NewRedirector with the same id (the process
+// restarting) re-admits it: until its rejoin delivers the current set it
+// simply runs the laggard conservative-fallback path. Evicting an unknown
+// id is a no-op.
+func (e *Engine) EvictRedirector(id int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.registered[id] || e.evicted[id] {
+		return
+	}
+	e.evicted[id] = true
+	e.maybePromoteLocked()
 }
 
 // communityPlan returns the window plan for the global queue vector n,

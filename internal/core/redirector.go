@@ -56,10 +56,16 @@ type Redirector struct {
 
 // NewRedirector stamps out admission state for one redirector node and
 // registers it with the engine's rollout gate: a staged configuration is
-// promoted only after every registered redirector has crossed.
+// promoted only after every registered, non-evicted redirector has
+// crossed. Registration is idempotent per id — a restarted redirector
+// re-registering under its old identity does not inflate the quorum, and
+// any eviction recorded against the id is cleared (the fresh instance is
+// re-admitted through the laggard conservative-fallback path until it
+// learns the current set).
 func (e *Engine) NewRedirector(id int) *Redirector {
 	e.mu.Lock()
-	e.redirectors++
+	e.registered[id] = true
+	delete(e.evicted, id)
 	e.mu.Unlock()
 	r := &Redirector{
 		e:            e,
@@ -477,6 +483,43 @@ func (r *Redirector) ImportCredits(matrix [][]float64, total []float64) {
 	}
 	if total != nil {
 		copy(r.creditsTotal, total)
+	}
+}
+
+// ExportEstimate copies the EWMA per-principal demand estimate into dst
+// (allocated when nil or undersized) and returns it — the estimator half
+// of a durable window checkpoint (internal/persist).
+func (r *Redirector) ExportEstimate(dst []float64) []float64 {
+	if cap(dst) < len(r.estimate) {
+		dst = make([]float64, len(r.estimate))
+	}
+	dst = dst[:len(r.estimate)]
+	copy(dst, r.estimate)
+	return dst
+}
+
+// RestoreState rehydrates a freshly constructed redirector from a durable
+// window checkpoint: the window counter, the EWMA demand estimate, and the
+// carried credit (matrix for Community, total vector for Provider). Nil
+// slices skip that piece; slices shorter than NumPrincipals restore a
+// prefix. Call before the first StartWindow, from the goroutine that owns
+// the redirector. The restored credits are the recovered process's carry
+// basis — at most one window of credit (the one in flight at the crash) is
+// lost, bounded by the persist append cadence.
+func (r *Redirector) RestoreState(windows int, estimate []float64, credits [][]float64, total []float64) {
+	if windows > r.Windows {
+		r.Windows = windows
+	}
+	for i := 0; i < r.e.n && i < len(estimate); i++ {
+		r.estimate[i] = estimate[i]
+	}
+	for i := 0; i < r.e.n && i < len(credits); i++ {
+		for k := 0; k < r.e.n && k < len(credits[i]); k++ {
+			r.credits[i][k] = credits[i][k]
+		}
+	}
+	for i := 0; i < r.e.n && i < len(total); i++ {
+		r.creditsTotal[i] = total[i]
 	}
 }
 

@@ -50,6 +50,13 @@ type Options struct {
 	Publish func(set *agreement.Set, gateEpoch int)
 	// Logger receives accepted-mutation events; nil uses obs.Default.
 	Logger *obs.Logger
+	// Resume, when non-nil, is the newest durable agreement-set snapshot a
+	// restarted control-plane host recovered (internal/persist): New applies
+	// it to the validation clone and resumes version numbering from
+	// Resume.Version, so re-registration after a crash is idempotent — the
+	// restarted plane's next mutation produces Resume.Version+1 instead of
+	// restarting at 1 and being discarded fleet-wide as stale.
+	Resume *agreement.Set
 }
 
 // Plane is the control plane for one engine. All mutations serialize through
@@ -76,6 +83,13 @@ func New(sys *agreement.System, eng *core.Engine, opt Options) (*Plane, error) {
 		return nil, fmt.Errorf("%w: nil or empty system", ErrPlane)
 	}
 	clone := sys.Clone()
+	version := uint64(0)
+	if opt.Resume != nil {
+		if _, err := clone.ApplySet(opt.Resume); err != nil {
+			return nil, fmt.Errorf("ctrlplane: resume set v%d: %w", opt.Resume.Version, err)
+		}
+		version = opt.Resume.Version
+	}
 	flows, err := clone.Flows()
 	if err != nil {
 		return nil, err
@@ -84,7 +98,7 @@ func New(sys *agreement.System, eng *core.Engine, opt Options) (*Plane, error) {
 	if lead <= 0 {
 		lead = DefaultLead
 	}
-	return &Plane{sys: clone, flows: flows, eng: eng, opt: opt, lead: lead}, nil
+	return &Plane{sys: clone, flows: flows, eng: eng, opt: opt, lead: lead, version: version}, nil
 }
 
 // Version returns the version of the newest accepted mutation (0 before

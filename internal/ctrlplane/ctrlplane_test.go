@@ -295,3 +295,51 @@ func TestPlanePublishGate(t *testing.T) {
 		t.Fatalf("decoded %+v", got)
 	}
 }
+
+// TestPlaneResume pins crash recovery for the control-plane host: a plane
+// rebuilt with Options.Resume set to the newest durable snapshot starts at
+// that snapshot's version and agreement state, so the first post-restart
+// mutation produces Resume.Version+1 — not a stale version 1 the fleet
+// would discard.
+func TestPlaneResume(t *testing.T) {
+	sys, eng := testEngine(t)
+	plane, err := New(sys, eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plane.SetAgreement("B", "A", 0.25, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	durable := plane.Snapshot() // what persist.SaveSet would have stored
+
+	// The host crashes and re-execs: a fresh plane over the seed config,
+	// resumed from the recovered snapshot.
+	_, eng2 := testEngine(t)
+	restarted, err := New(sys, eng2, Options{Resume: durable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restarted.Version(); got != 1 {
+		t.Fatalf("resumed version = %d, want 1", got)
+	}
+	snap := restarted.Snapshot()
+	if len(snap.Agreements) != 1 || snap.Agreements[0].LB != 0.25 {
+		t.Fatalf("resumed agreements = %+v, want the renegotiated grant", snap.Agreements)
+	}
+
+	// The next mutation numbers monotonically from the durable version.
+	v, err := restarted.SetAgreement("B", "A", 0.125, 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("post-resume mutation version = %d, want 2", v)
+	}
+
+	// A snapshot that does not validate against the seed system is refused.
+	bad := plane.Snapshot()
+	bad.Principals = nil
+	if _, err := New(sys, eng2, Options{Resume: bad}); err == nil {
+		t.Fatal("resume from an invalid snapshot did not fail")
+	}
+}

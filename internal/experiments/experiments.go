@@ -180,6 +180,7 @@ var registry = []struct {
 	{"ext-failover", ExtFailover},
 	{"ext-chaos", ExtChaos},
 	{"ext-reconfig", ExtReconfig},
+	{"ext-soak", ExtSoak},
 }
 
 // IDs lists all experiment identifiers in order.

@@ -214,7 +214,7 @@ func TestExperimentsAreDeterministic(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil || !strings.Contains(err.Error(), "unknown id") {

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/agreement"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// soakLead is the rollout gate lead for the soak's renegotiation: wider than
+// ext-reconfig's because the root is killed shortly after publishing and the
+// gate must still be ahead of every survivor's epoch when it crosses.
+const soakLead = 4
+
+// soakSeed seeds the fault schedule; the whole run is a pure function of it.
+const soakSeed = 0x50AC
+
+// Soak timeline (window = 100 ms, so epoch ≈ 10·t in seconds). The crash
+// offsets are chosen off window boundaries so event order inside a tick is
+// never ambiguous, and both restarts happen more than 128 windows (the
+// auditor's mixed-version ring span) after the matching crash, so a
+// restarted node replaying its durable window sequence — which permanently
+// lags the survivors' — cannot alias a pre-renegotiation slot.
+const (
+	soakCrashLeaf   = 29550 * time.Millisecond // r2 dies before the set exists
+	soakRenegotiate = 30050 * time.Millisecond // B halves A's grant
+	soakCrashRoot   = 30750 * time.Millisecond // r0 dies after publish, before fleet convergence
+	soakRestartLeaf = 43050 * time.Millisecond
+	soakRestartRoot = 44050 * time.Millisecond
+	soakBaseline    = 46 * time.Second // under-floor counters re-baselined here
+	soakEnd         = 90 * time.Second
+)
+
+// soakOutcome is everything one ext-soak run produces.
+type soakOutcome struct {
+	sm *sim.Sim
+	// Version-monotonicity violations observed by the 500 ms sampling loop
+	// (engine set version and control-plane version must never move
+	// backwards, crashes and restarts included).
+	monotoneViolations int
+	// evictedPeak is the largest evicted-quorum count sampled — both crashed
+	// members must pass through the eviction valve for the rollout to
+	// commit; evictedFinal must be zero again once both re-registered.
+	evictedPeak, evictedFinal int
+	rollouts                  uint64
+	staged                    core.Version
+	planeVersion              uint64
+	reconverged               bool // every tree holds the newest set at run end
+	preA, preB                int64
+	postA, postB              int64
+	digest                    uint64
+}
+
+// runSoak executes one deterministic crash/recovery soak: the ext-reconfig
+// renegotiation with a redirector killed just before the new set exists,
+// the root killed just after publishing it, and both restarted from their
+// durable stores minutes (of virtual time) later.
+func runSoak() (*soakOutcome, error) {
+	s := agreement.New()
+	a := s.MustAddPrincipal("A", 320)
+	b := s.MustAddPrincipal("B", 320)
+	s.MustSetAgreement(b, a, 0.5, 0.5)
+
+	eng, err := core.NewEngine(core.Config{
+		Mode:           core.Community,
+		System:         s,
+		NumRedirectors: 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sm, err := sim.New(sim.Config{
+		Engine:      eng,
+		Redirectors: 3,
+		Servers: []sim.ServerSpec{
+			{Owner: a, Capacity: 160, Count: 2},
+			{Owner: b, Capacity: 160, Count: 2},
+		},
+		Names:      []string{"A", "B"},
+		MaxBacklog: 200,
+		TraceDepth: -1,
+		// Failure detection drives both the tree rebuilds and the rollout
+		// quorum evictions; 2 s is well clear of the (zero-delay) tree RTT.
+		FailureTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "rsa-soak-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := sm.EnablePersistence(dir, 1); err != nil {
+		return nil, err
+	}
+	plane, err := sm.EnableControlPlane(soakLead)
+	if err != nil {
+		return nil, err
+	}
+	// Demand spans the fleet so the crashes actually remove load: A arrives
+	// at the root and the middle node, B at the middle node and the leaf.
+	sm.NewClient(0, workload.Config{Principal: int(a), Rate: 300}).SetActive(true)
+	sm.NewClient(1, workload.Config{Principal: int(a), Rate: 300}).SetActive(true)
+	sm.NewClient(1, workload.Config{Principal: int(b), Rate: 300}).SetActive(true)
+	sm.NewClient(2, workload.Config{Principal: int(b), Rate: 300}).SetActive(true)
+
+	out := &soakOutcome{sm: sm}
+
+	plan := fault.NewSchedule(soakSeed).
+		CrashRedirector(soakCrashLeaf, 2).
+		CrashRedirector(soakCrashRoot, 0).
+		RestartRedirector(soakRestartLeaf, 2).
+		RestartRedirector(soakRestartRoot, 0)
+	sm.InjectFaults(plan, fault.Hooks{})
+
+	sm.At(soakRenegotiate, func() {
+		if _, err := plane.SetAgreement("B", "A", 0.25, 0.25); err != nil {
+			panic(fmt.Sprintf("ext-soak: renegotiation rejected: %v", err))
+		}
+	})
+
+	// Sampling loop: the accepted set version and the control-plane version
+	// must be monotone through every crash, eviction, and restart.
+	var lastSet, lastPlane uint64
+	for t := 500 * time.Millisecond; t < soakEnd; t += 500 * time.Millisecond {
+		sm.At(t, func() {
+			info := eng.Rollout()
+			if info.SetVersion < lastSet || plane.Version() < lastPlane {
+				out.monotoneViolations++
+			}
+			lastSet, lastPlane = info.SetVersion, plane.Version()
+			if info.Evicted > out.evictedPeak {
+				out.evictedPeak = info.Evicted
+			}
+		})
+	}
+
+	// Under-floor audit bounds: settled windows before the first crash
+	// (excluding the cold fleet-wide warm-up, where the EWMA estimators and
+	// the combining tree are still converging), and every window after both
+	// restarts settled.
+	var warmA, warmB int64
+	sm.At(2*settle, func() {
+		warmA, warmB = sm.Auditor.UnderMC(int(a)), sm.Auditor.UnderMC(int(b))
+	})
+	sm.At(soakCrashLeaf-500*time.Millisecond, func() {
+		out.preA = sm.Auditor.UnderMC(int(a)) - warmA
+		out.preB = sm.Auditor.UnderMC(int(b)) - warmB
+	})
+	sm.At(soakBaseline, func() {
+		out.postA, out.postB = sm.Auditor.UnderMC(int(a)), sm.Auditor.UnderMC(int(b))
+	})
+
+	sm.Run(soakEnd)
+
+	info := eng.Rollout()
+	out.rollouts, out.staged, out.evictedFinal = info.Rollouts, info.Staged, info.Evicted
+	out.planeVersion = plane.Version()
+	out.reconverged = true
+	for _, rn := range sm.Redirectors {
+		cu := rn.Tree.Config()
+		if cu == nil || cu.Version != plane.Version() {
+			out.reconverged = false
+		}
+	}
+	if err := sm.ClosePersistence(); err != nil {
+		return nil, err
+	}
+	out.digest = soakDigest(out)
+	return out, nil
+}
+
+// soakDigest folds every rate sample, the auditor's conformance counters,
+// and the recovery bookkeeping into one FNV-1a hash: two runs are
+// bit-identical iff their digests match.
+func soakDigest(out *soakOutcome) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	rec := out.sm.Recorder
+	for i := 0; i < rec.NumSeries(); i++ {
+		for _, v := range rec.Series(i) {
+			put(math.Float64bits(v))
+		}
+	}
+	for i := 0; i < rec.NumSeries(); i++ {
+		put(uint64(out.sm.Auditor.UnderMC(i)))
+		put(uint64(out.sm.Auditor.OverUB(i)))
+	}
+	put(uint64(out.sm.Auditor.Windows()))
+	put(uint64(out.sm.Auditor.Conservative()))
+	put(uint64(out.sm.Auditor.MixedVersion()))
+	put(uint64(out.sm.Reconfigurations))
+	put(out.rollouts)
+	put(out.planeVersion)
+	return h.Sum64()
+}
+
+// ExtSoak is the restart-safety soak: a mid-run renegotiation with the
+// leaf killed just before the new agreement set exists, the root killed
+// just after publishing it, and both processes later restarted from their
+// durable stores. The rollout must commit anyway — failure detection
+// evicts the silent members from the promotion quorum — and the restarted
+// nodes must rejoin the combining tree, recover their carried credit and
+// demand estimates, learn the newest set through the rejoin handshake, and
+// re-enter enforcement without a single settled under-floor window, a
+// mixed-version window, or a version moving backwards. The whole run
+// executes twice and must replay bit-identically.
+func ExtSoak() (*Result, error) {
+	first, err := runSoak()
+	if err != nil {
+		return nil, err
+	}
+	second, err := runSoak()
+	if err != nil {
+		return nil, err
+	}
+	replayIdentical := 0.0
+	if first.digest == second.digest {
+		replayIdentical = 1.0
+	}
+	converged := 0.0
+	if first.staged == 0 && first.rollouts == 1 {
+		converged = 1.0
+	}
+	reconverged := 0.0
+	if first.reconverged {
+		reconverged = 1.0
+	}
+	sm := first.sm
+	res := &Result{
+		ID:       "ext-soak",
+		Title:    "Crash-recovery soak: kill root and leaf mid-renegotiation, restart from durable state",
+		Recorder: sm.Recorder,
+		Phases: []metrics.Phase{
+			trim("initial", 0, soakCrashLeaf, settle),
+			trim("recovered", 50*time.Second, soakEnd, settle),
+		},
+		Values: map[string]float64{
+			"version@plane":           float64(first.planeVersion),
+			"rollouts@plane":          float64(first.rollouts),
+			"converged@plane":         converged,
+			"evicted-peak@plane":      float64(first.evictedPeak),
+			"evicted-final@plane":     float64(first.evictedFinal),
+			"reconverged@fleet":       reconverged,
+			"monotone-violations@ver": float64(first.monotoneViolations),
+			"mixed-version@windows":   float64(sm.Auditor.MixedVersion()),
+			"A-under-floor@initial":   float64(first.preA),
+			"B-under-floor@initial":   float64(first.preB),
+			"A-under-floor@recovered": float64(sm.Auditor.UnderMC(0) - first.postA),
+			"B-under-floor@recovered": float64(sm.Auditor.UnderMC(1) - first.postB),
+			"reconfigurations@fleet":  float64(sm.Reconfigurations),
+			"identical@replay":        replayIdentical,
+		},
+		Expected: []Expectation{
+			// B grants A [0.5, 0.5] of 320: entitlements 480/160.
+			{Phase: "initial", Series: "A", Paper: 480},
+			{Phase: "initial", Series: "B", Paper: 160},
+			// Renegotiated to [0.25, 0.25] and fully recovered: 400/240.
+			{Phase: "recovered", Series: "A", Paper: 400},
+			{Phase: "recovered", Series: "B", Paper: 240},
+			{Phase: "plane", Series: "version", Paper: 1, AbsTol: 0.1},
+			// The staged set committed exactly once, despite two of three
+			// quorum members being dead: the eviction valve unblocked it.
+			{Phase: "plane", Series: "rollouts", Paper: 1, AbsTol: 0.1},
+			{Phase: "plane", Series: "converged", Paper: 1, AbsTol: 0.1},
+			{Phase: "plane", Series: "evicted-peak", Paper: 2, AbsTol: 0.1},
+			// Both restarted processes re-registered and re-entered the quorum.
+			{Phase: "plane", Series: "evicted-final", Paper: 0, AbsTol: 0.1},
+			// Every tree node holds the newest set at run end.
+			{Phase: "fleet", Series: "reconverged", Paper: 1, AbsTol: 0.1},
+			// Versions never move backwards, crashes included.
+			{Phase: "ver", Series: "monotone-violations", Paper: 0, AbsTol: 0.1},
+			// No window anywhere mixed old and new entitlements.
+			{Phase: "windows", Series: "mixed-version", Paper: 0, AbsTol: 0.1},
+			// Zero settled under-floor windows before the chaos and after
+			// both restarts converged.
+			{Phase: "initial", Series: "A-under-floor", Paper: 0, AbsTol: 0.1},
+			{Phase: "initial", Series: "B-under-floor", Paper: 0, AbsTol: 0.1},
+			{Phase: "recovered", Series: "A-under-floor", Paper: 0, AbsTol: 0.1},
+			{Phase: "recovered", Series: "B-under-floor", Paper: 0, AbsTol: 0.1},
+			// Bit-identical replay: same digests across two full runs.
+			{Phase: "replay", Series: "identical", Paper: 1, AbsTol: 0.01},
+		},
+		Notes: []string{
+			"r2 killed 0.5 s before the renegotiation exists, r0 (root) killed 0.7 s after publishing it",
+			"both restart >128 windows later from their persist stores: credit, estimate, window seq, set",
+			fmt.Sprintf("tree reconfigurations across the run: %d; restarts rejoin via the tree handshake",
+				sm.Reconfigurations),
+			"the control-plane host persists each accepted set at publish time, so the root crash loses nothing",
+		},
+	}
+	return res, nil
+}

@@ -35,6 +35,12 @@ const (
 	LatencySpike
 	// SlowBackend scales the Target backend's capacity by Value (0 < v ≤ 1).
 	SlowBackend
+	// RedirectorDown kill -9s the redirector process with tree-node id A:
+	// its in-memory window state vanishes and it stops scheduling windows.
+	RedirectorDown
+	// RedirectorUp restarts redirector A from its durable state
+	// (internal/persist), triggering the tree rejoin handshake.
+	RedirectorUp
 )
 
 // String names the fault kind.
@@ -52,6 +58,10 @@ func (k Kind) String() string {
 		return "latency-spike"
 	case SlowBackend:
 		return "slow-backend"
+	case RedirectorDown:
+		return "redirector-down"
+	case RedirectorUp:
+		return "redirector-up"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -81,6 +91,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v %s %s x%.2f", e.At, e.Kind, e.Target, e.Value)
 	case LatencySpike:
 		return fmt.Sprintf("%v %s %d->%d %v", e.At, e.Kind, e.A, e.B, e.Delay)
+	case RedirectorDown, RedirectorUp:
+		return fmt.Sprintf("%v %s %d", e.At, e.Kind, e.A)
 	default:
 		return fmt.Sprintf("%v %s %d--%d", e.At, e.Kind, e.A, e.B)
 	}
@@ -96,6 +108,10 @@ type Hooks struct {
 	Heal        func(a, b int)
 	Latency     func(a, b int, d time.Duration)
 	SlowBackend func(target string, factor float64)
+	// RedirectorDown/RedirectorUp inject enforcer (not server) loss: the
+	// crash and durable-state restart of the redirector with tree-node id a.
+	RedirectorDown func(a int)
+	RedirectorUp   func(a int)
 }
 
 // dispatch routes one event to the matching hook.
@@ -124,6 +140,14 @@ func (h Hooks) dispatch(e Event) {
 	case SlowBackend:
 		if h.SlowBackend != nil {
 			h.SlowBackend(e.Target, e.Value)
+		}
+	case RedirectorDown:
+		if h.RedirectorDown != nil {
+			h.RedirectorDown(e.A)
+		}
+	case RedirectorUp:
+		if h.RedirectorUp != nil {
+			h.RedirectorUp(e.A)
 		}
 	}
 }
@@ -180,6 +204,17 @@ func (s *Schedule) Latency(at time.Duration, a, b int, d time.Duration) *Schedul
 // Slow schedules a capacity scaling of a backend.
 func (s *Schedule) Slow(at time.Duration, target string, factor float64) *Schedule {
 	return s.Add(Event{At: at, Kind: SlowBackend, Target: target, Value: factor})
+}
+
+// CrashRedirector schedules a kill -9 of the redirector with tree-node id.
+func (s *Schedule) CrashRedirector(at time.Duration, id int) *Schedule {
+	return s.Add(Event{At: at, Kind: RedirectorDown, A: id})
+}
+
+// RestartRedirector schedules a durable-state restart of the redirector
+// with tree-node id.
+func (s *Schedule) RestartRedirector(at time.Duration, id int) *Schedule {
+	return s.Add(Event{At: at, Kind: RedirectorUp, A: id})
 }
 
 // Rand returns a rand.Rand deterministically derived from the seed, for

@@ -34,8 +34,13 @@ import (
 	"repro/internal/ctrlplane"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/treenet"
 )
+
+// persistCheckpointEvery is how many durable window appends accumulate
+// before the record log is compacted to its newest record.
+const persistCheckpointEvery = 256
 
 // ServiceSpec binds a listener (virtual IP analogue) to a principal.
 type ServiceSpec struct {
@@ -92,6 +97,17 @@ type Config struct {
 	// CtrlLead is the rollout gate lead in tree epochs (<=0 selects
 	// ctrlplane.DefaultLead). Ignored unless Ctrl is set.
 	CtrlLead int
+	// Persist, if non-nil, arms the durable-state plane (internal/persist):
+	// at boot the switch restores its window position, carried credit,
+	// demand estimate and newest agreement set from the store, announces a
+	// tree rejoin from the durable epoch, and resumes appending one window
+	// record per PersistEvery windows. The caller owns the store's
+	// lifecycle; Close checkpoints but does not close it.
+	Persist *persist.Store
+	// PersistEvery is the durable append cadence in windows (<=1 appends
+	// every window — the tightest crash-loss bound). Ignored without
+	// Persist.
+	PersistEvery int
 }
 
 type heldConn struct {
@@ -151,6 +167,15 @@ type Redirector struct {
 	closeOnce sync.Once
 	stopped   atomic.Bool // Close drained the pending queues
 	wg        sync.WaitGroup
+
+	// Durable-state scratch (window loop only, under mu): export buffers,
+	// append cadence, and the newest set version already saved.
+	persistM     [][]float64
+	persistT     []float64
+	persistE     []float64
+	persistSince int
+	persistSeq   int
+	savedSet     uint64
 
 	// Stats (atomic; admitted/rejected counts live in the admission plane).
 	parked       atomic.Int64
@@ -243,12 +268,65 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 			}
 			if _, serr := cfg.Engine.StageSet(set, cu.GateEpoch); serr != nil {
 				cfg.Engine.Logger().Error("stage agreement set", "version", cu.Version, "err", serr)
+				return
+			}
+			// Every set the tree delivers becomes durable before the gate
+			// can arrive: a crash after this point recovers the newest
+			// entitlements instead of rejoining blind.
+			if cfg.Persist != nil {
+				if perr := cfg.Persist.SaveSet(set); perr != nil {
+					cfg.Engine.Logger().Error("persist agreement set", "version", cu.Version, "err", perr)
+				}
 			}
 		})
 	}
 
+	// Crash recovery: restore the durable window position, carried credit,
+	// demand estimate and newest agreement set before the first window or
+	// tree tick, then announce a rejoin so the parent unblocks this node's
+	// (rewound) epoch and streams back the current global + configuration.
+	var resumeSet *agreement.Set
+	if cfg.Persist != nil {
+		resumeSet, err = cfg.Persist.LoadNewestSet()
+		if err != nil {
+			if r.transport != nil {
+				r.transport.Close()
+			}
+			return nil, fmt.Errorf("l4: recover agreement set: %w", err)
+		}
+		if resumeSet != nil {
+			// Gate 0: a recovered set the fleet already converged on commits
+			// locally at the next window boundary, no quorum round needed.
+			if _, serr := cfg.Engine.StageSet(resumeSet, 0); serr != nil {
+				cfg.Engine.Logger().Error("restage recovered set", "version", resumeSet.Version, "err", serr)
+				resumeSet = nil
+			} else {
+				r.savedSet = resumeSet.Version
+			}
+		}
+		if ws, ok := cfg.Persist.LastWindow(); ok {
+			r.red.RestoreState(ws.WindowSeq, ws.Estimate, ws.Credit, ws.CreditTotal)
+			r.red.SetRollout(ws.Epoch, ws.SetVersion)
+			if r.tree != nil {
+				var cu *combining.ConfigUpdate
+				if resumeSet != nil {
+					if data, perr := resumeSet.Encode(); perr == nil {
+						cu = &combining.ConfigUpdate{
+							Version: resumeSet.Version, GateEpoch: ws.Gate, Payload: data,
+						}
+					}
+				}
+				r.tree.Reset(ws.Epoch, cu)
+				r.tree.AnnounceRejoin()
+			}
+		}
+	}
+
 	if cfg.Ctrl {
-		opt := ctrlplane.Options{Lead: cfg.CtrlLead, Logger: cfg.Engine.Logger()}
+		// A restarted control-plane host resumes version numbering from the
+		// recovered snapshot, so its next mutation is not discarded
+		// fleet-wide as stale.
+		opt := ctrlplane.Options{Lead: cfg.CtrlLead, Logger: cfg.Engine.Logger(), Resume: resumeSet}
 		if r.tree != nil {
 			tree := r.tree
 			opt.Epoch = func() int {
@@ -257,6 +335,13 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 				return tree.Epoch()
 			}
 			opt.Publish = func(set *agreement.Set, gate int) {
+				// Durable before distributed: a root crash between publish
+				// and fleet convergence must not lose the renegotiation.
+				if cfg.Persist != nil {
+					if perr := cfg.Persist.SaveSet(set); perr != nil {
+						cfg.Engine.Logger().Error("persist agreement set", "version", set.Version, "err", perr)
+					}
+				}
 				data, perr := set.Encode()
 				if perr != nil {
 					cfg.Engine.Logger().Error("encode agreement set", "version", set.Version, "err", perr)
@@ -265,6 +350,12 @@ func NewRedirector(cfg Config) (*Redirector, error) {
 				r.mu.Lock()
 				tree.SetConfig(&combining.ConfigUpdate{Version: set.Version, GateEpoch: gate, Payload: data})
 				r.mu.Unlock()
+			}
+		} else if cfg.Persist != nil {
+			opt.Publish = func(set *agreement.Set, gate int) {
+				if perr := cfg.Persist.SaveSet(set); perr != nil {
+					cfg.Engine.Logger().Error("persist agreement set", "version", set.Version, "err", perr)
+				}
 			}
 		}
 		var perr error
@@ -680,16 +771,17 @@ func (r *Redirector) runWindow() {
 	} else {
 		r.red.SetGlobal(r.estBuf, r.elapsed())
 	}
+	var epoch, gate int
+	var known uint64
 	if r.tree != nil {
 		// Rollout view for the epoch gate: this node's epoch and the
 		// newest agreement-set version the tree delivered.
-		epoch := r.tree.Epoch()
+		epoch = r.tree.Epoch()
 		if ge := r.tree.GlobalEpoch(); ge > epoch {
 			epoch = ge
 		}
-		var known uint64
 		if cu := r.tree.Config(); cu != nil {
-			known = cu.Version
+			known, gate = cu.Version, cu.GateEpoch
 		}
 		r.red.SetRollout(epoch, known)
 	}
@@ -698,6 +790,7 @@ func (r *Redirector) runWindow() {
 	// draining the old pool until the new one is published, so the boundary
 	// never stalls them.
 	err := r.adm.StartWindow(r.elapsed())
+	r.persistWindowLocked(epoch, known, gate)
 	r.tracer.StartWindow(uint64(r.red.Windows), uint64(r.cfg.Engine.Version()))
 	r.mu.Unlock()
 	if err != nil {
@@ -726,6 +819,60 @@ func (r *Redirector) runWindow() {
 			defer r.wg.Done()
 			r.spliceOrRepark(l.conn, l.client, l.svc, l.backend, l.span)
 		}()
+	}
+}
+
+// persistWindowLocked appends the just-started window's durable record —
+// carried credit, demand estimate, window sequence, rollout position — to
+// the store, compacting the record log every persistCheckpointEvery
+// appends. Runs at the window boundary under r.mu; a no-op without a
+// store. Persistence errors are logged, never fatal: enforcement continues
+// with a wider crash-loss bound.
+func (r *Redirector) persistWindowLocked(epoch int, known uint64, gate int) {
+	st := r.cfg.Persist
+	if st == nil {
+		return
+	}
+	r.persistSince++
+	every := r.cfg.PersistEvery
+	if every <= 1 {
+		every = 1
+	}
+	if r.persistSince < every {
+		return
+	}
+	r.persistSince = 0
+	n := r.cfg.Engine.NumPrincipals()
+	if r.persistT == nil {
+		r.persistT = make([]float64, n)
+		r.persistM = make([][]float64, n)
+		for i := range r.persistM {
+			r.persistM[i] = make([]float64, n)
+		}
+	}
+	r.red.ExportCredits(r.persistM, r.persistT)
+	r.persistE = r.red.ExportEstimate(r.persistE)
+	ws := persist.WindowState{
+		WindowSeq:  r.red.Windows,
+		Epoch:      epoch,
+		SetVersion: known,
+		Gate:       gate,
+		Estimate:   r.persistE,
+	}
+	if r.cfg.Engine.Mode() == core.Provider {
+		ws.CreditTotal = r.persistT
+	} else {
+		ws.Credit = r.persistM
+	}
+	if err := st.AppendWindow(ws); err != nil {
+		r.cfg.Engine.Logger().Error("persist window record", "window", ws.WindowSeq, "err", err)
+		return
+	}
+	r.persistSeq++
+	if r.persistSeq%persistCheckpointEvery == 0 {
+		if err := st.Checkpoint(); err != nil {
+			r.cfg.Engine.Logger().Error("persist checkpoint", "err", err)
+		}
 	}
 }
 
@@ -866,6 +1013,14 @@ func (r *Redirector) Close() error {
 		}
 		if r.transport != nil {
 			r.transport.Close()
+		}
+		// Compact the durable record log on the way out so the next boot
+		// replays one record, not the whole run. The caller owns (and
+		// closes) the store itself.
+		if r.cfg.Persist != nil {
+			if cerr := r.cfg.Persist.Checkpoint(); cerr != nil {
+				r.cfg.Engine.Logger().Error("persist checkpoint", "err", cerr)
+			}
 		}
 	})
 	r.wg.Wait()

@@ -20,8 +20,19 @@ import (
 	"repro/internal/ctrlplane"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/treenet"
 )
+
+// DefaultRetryBudget is the per-window cap on proxy-mode failover retries
+// when RedirectorConfig.RetryBudget is zero: enough to ride out a backend
+// dying mid-window, small enough that a dead fleet cannot turn every
+// admitted request into a retry storm.
+const DefaultRetryBudget = 8
+
+// persistCheckpointEvery is how many durable window appends accumulate
+// before the record log is compacted to its newest record.
+const persistCheckpointEvery = 256
 
 // TreeConfig wires a redirector into a combining tree of redirector
 // processes. Peers maps node ids to treenet addresses.
@@ -80,6 +91,23 @@ type RedirectorConfig struct {
 	// settled window or a span breaching Flight.SLO freezes a bounded
 	// capture served at /v1/debug/flight. Requires Trace.
 	Flight *obs.FlightConfig
+	// Persist, if non-nil, arms the durable-state plane (internal/persist):
+	// at boot the redirector restores its window position, carried credit,
+	// demand estimate and newest agreement set from the store, announces a
+	// tree rejoin from the durable epoch, and resumes appending one window
+	// record per PersistEvery windows. The caller owns the store's
+	// lifecycle; Close checkpoints but does not close it.
+	Persist *persist.Store
+	// PersistEvery is the durable append cadence in windows (<=1 appends
+	// every window — the tightest crash-loss bound). Ignored without
+	// Persist.
+	PersistEvery int
+	// RetryBudget caps proxy-mode failover retries per window (0 selects
+	// DefaultRetryBudget, negative disables failover): once a window's
+	// budget is spent, a failed backend exchange fails fast instead of
+	// being retried elsewhere, and rsa_l7_retry_budget_exhausted_total
+	// counts the cutoffs.
+	RetryBudget int
 }
 
 // Redirector is the Layer-7 switch: an HTTP server answering every request
@@ -123,6 +151,20 @@ type Redirector struct {
 	ticker    *time.Ticker
 	done      chan struct{}
 	closeOnce sync.Once
+
+	// Durable-state scratch (window loop only, under mu): export buffers,
+	// append cadence, and the newest set version already saved.
+	persistM     [][]float64
+	persistT     []float64
+	persistE     []float64
+	persistSince int
+	persistSeq   int
+	savedSet     uint64
+
+	// Proxy failover budget: refilled at each window boundary, drawn by
+	// failover attempts on the request path.
+	retryTokens    atomic.Int64
+	retryExhausted atomic.Uint64
 }
 
 // NewRedirector starts a Layer-7 redirector.
@@ -227,12 +269,66 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 			}
 			if _, serr := cfg.Engine.StageSet(set, cu.GateEpoch); serr != nil {
 				cfg.Engine.Logger().Error("stage agreement set", "version", cu.Version, "err", serr)
+				return
+			}
+			// Every set the tree delivers becomes durable before the gate
+			// can arrive: a crash after this point recovers the newest
+			// entitlements instead of rejoining blind.
+			if cfg.Persist != nil {
+				if perr := cfg.Persist.SaveSet(set); perr != nil {
+					cfg.Engine.Logger().Error("persist agreement set", "version", cu.Version, "err", perr)
+				}
 			}
 		})
 	}
 
+	// Crash recovery: restore the durable window position, carried credit,
+	// demand estimate and newest agreement set before the first window or
+	// tree tick, then announce a rejoin so the parent unblocks this node's
+	// (rewound) epoch and streams back the current global + configuration.
+	var resumeSet *agreement.Set
+	if cfg.Persist != nil {
+		resumeSet, err = cfg.Persist.LoadNewestSet()
+		if err != nil {
+			ln.Close()
+			if r.transport != nil {
+				r.transport.Close()
+			}
+			return nil, fmt.Errorf("l7: recover agreement set: %w", err)
+		}
+		if resumeSet != nil {
+			// Gate 0: a recovered set the fleet already converged on commits
+			// locally at the next window boundary, no quorum round needed.
+			if _, serr := cfg.Engine.StageSet(resumeSet, 0); serr != nil {
+				cfg.Engine.Logger().Error("restage recovered set", "version", resumeSet.Version, "err", serr)
+				resumeSet = nil
+			} else {
+				r.savedSet = resumeSet.Version
+			}
+		}
+		if ws, ok := cfg.Persist.LastWindow(); ok {
+			r.red.RestoreState(ws.WindowSeq, ws.Estimate, ws.Credit, ws.CreditTotal)
+			r.red.SetRollout(ws.Epoch, ws.SetVersion)
+			if r.tree != nil {
+				var cu *combining.ConfigUpdate
+				if resumeSet != nil {
+					if data, perr := resumeSet.Encode(); perr == nil {
+						cu = &combining.ConfigUpdate{
+							Version: resumeSet.Version, GateEpoch: ws.Gate, Payload: data,
+						}
+					}
+				}
+				r.tree.Reset(ws.Epoch, cu)
+				r.tree.AnnounceRejoin()
+			}
+		}
+	}
+
 	if cfg.Ctrl {
-		opt := ctrlplane.Options{Lead: cfg.CtrlLead, Logger: cfg.Engine.Logger()}
+		// A restarted control-plane host resumes version numbering from the
+		// recovered snapshot, so its next mutation is not discarded
+		// fleet-wide as stale.
+		opt := ctrlplane.Options{Lead: cfg.CtrlLead, Logger: cfg.Engine.Logger(), Resume: resumeSet}
 		if r.tree != nil {
 			tree := r.tree
 			opt.Epoch = func() int {
@@ -241,6 +337,13 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 				return tree.Epoch()
 			}
 			opt.Publish = func(set *agreement.Set, gate int) {
+				// Durable before distributed: a root crash between publish
+				// and fleet convergence must not lose the renegotiation.
+				if cfg.Persist != nil {
+					if perr := cfg.Persist.SaveSet(set); perr != nil {
+						cfg.Engine.Logger().Error("persist agreement set", "version", set.Version, "err", perr)
+					}
+				}
 				data, perr := set.Encode()
 				if perr != nil {
 					cfg.Engine.Logger().Error("encode agreement set", "version", set.Version, "err", perr)
@@ -249,6 +352,12 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 				r.mu.Lock()
 				tree.SetConfig(&combining.ConfigUpdate{Version: set.Version, GateEpoch: gate, Payload: data})
 				r.mu.Unlock()
+			}
+		} else if cfg.Persist != nil {
+			opt.Publish = func(set *agreement.Set, gate int) {
+				if perr := cfg.Persist.SaveSet(set); perr != nil {
+					cfg.Engine.Logger().Error("persist agreement set", "version", set.Version, "err", perr)
+				}
 			}
 		}
 		r.plane, err = ctrlplane.New(cfg.Engine.System(), cfg.Engine, opt)
@@ -344,6 +453,7 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 	r.srv = &http.Server{Handler: mux}
 	go func() { _ = r.srv.Serve(ln) }()
 
+	r.retryTokens.Store(int64(r.retryBudget()))
 	r.ticker = time.NewTicker(cfg.Engine.Window())
 	go r.windowLoop()
 	return r, nil
@@ -412,16 +522,17 @@ func (r *Redirector) windowLoop() {
 				// Single redirector: its own estimate is the global truth.
 				r.red.SetGlobal(r.estBuf, r.elapsed())
 			}
+			var epoch, gate int
+			var known uint64
 			if r.tree != nil {
 				// Rollout view for the epoch gate: this node's epoch and
 				// the newest agreement-set version the tree delivered.
-				epoch := r.tree.Epoch()
+				epoch = r.tree.Epoch()
 				if ge := r.tree.GlobalEpoch(); ge > epoch {
 					epoch = ge
 				}
-				var known uint64
 				if cu := r.tree.Config(); cu != nil {
-					known = cu.Version
+					known, gate = cu.Version, cu.GateEpoch
 				}
 				r.red.SetRollout(epoch, known)
 			}
@@ -432,8 +543,77 @@ func (r *Redirector) windowLoop() {
 			// Scheduling failures leave last window's credits in place;
 			// enforcement degrades gracefully.
 			_ = r.adm.StartWindow(r.elapsed())
+			r.persistWindowLocked(epoch, known, gate)
 			r.tracer.StartWindow(uint64(r.red.Windows), uint64(r.cfg.Engine.Version()))
 			r.mu.Unlock()
+			// Refill the proxy failover budget for the new window.
+			r.retryTokens.Store(int64(r.retryBudget()))
+		}
+	}
+}
+
+// retryBudget resolves the configured per-window failover budget.
+func (r *Redirector) retryBudget() int {
+	switch {
+	case r.cfg.RetryBudget > 0:
+		return r.cfg.RetryBudget
+	case r.cfg.RetryBudget < 0:
+		return 0
+	default:
+		return DefaultRetryBudget
+	}
+}
+
+// persistWindowLocked appends the just-started window's durable record —
+// carried credit, demand estimate, window sequence, rollout position — to
+// the store, compacting the record log every persistCheckpointEvery
+// appends. Runs at the window boundary under r.mu; a no-op without a
+// store. Persistence errors are logged, never fatal: enforcement continues
+// with a wider crash-loss bound.
+func (r *Redirector) persistWindowLocked(epoch int, known uint64, gate int) {
+	st := r.cfg.Persist
+	if st == nil {
+		return
+	}
+	r.persistSince++
+	every := r.cfg.PersistEvery
+	if every <= 1 {
+		every = 1
+	}
+	if r.persistSince < every {
+		return
+	}
+	r.persistSince = 0
+	n := r.cfg.Engine.NumPrincipals()
+	if r.persistT == nil {
+		r.persistT = make([]float64, n)
+		r.persistM = make([][]float64, n)
+		for i := range r.persistM {
+			r.persistM[i] = make([]float64, n)
+		}
+	}
+	r.red.ExportCredits(r.persistM, r.persistT)
+	r.persistE = r.red.ExportEstimate(r.persistE)
+	ws := persist.WindowState{
+		WindowSeq:  r.red.Windows,
+		Epoch:      epoch,
+		SetVersion: known,
+		Gate:       gate,
+		Estimate:   r.persistE,
+	}
+	if r.cfg.Engine.Mode() == core.Provider {
+		ws.CreditTotal = r.persistT
+	} else {
+		ws.Credit = r.persistM
+	}
+	if err := st.AppendWindow(ws); err != nil {
+		r.cfg.Engine.Logger().Error("persist window record", "window", ws.WindowSeq, "err", err)
+		return
+	}
+	r.persistSeq++
+	if r.persistSeq%persistCheckpointEvery == 0 {
+		if err := st.Checkpoint(); err != nil {
+			r.cfg.Engine.Logger().Error("persist checkpoint", "err", err)
 		}
 	}
 }
@@ -579,6 +759,12 @@ func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agree
 		if r.checker != nil {
 			r.checker.ReportFailure(target, r.elapsed())
 		}
+		// Failover is budgeted per window: a dying fleet must not turn
+		// every admitted request into a second backend exchange.
+		if r.retryTokens.Add(-1) < 0 {
+			r.retryExhausted.Add(1)
+			break
+		}
 		r.cfg.Engine.Logger().With("l7").WarnRate(r.warnFailover,
 			"proxy exchange failed; failing over",
 			"backend", target, "err", err)
@@ -589,6 +775,10 @@ func (r *Redirector) proxy(w http.ResponseWriter, req *http.Request, owner agree
 	}
 	http.Error(w, lastErr.Error(), http.StatusBadGateway)
 }
+
+// RetryBudgetExhausted reports how many proxy failovers were suppressed
+// because the window's retry budget was already spent.
+func (r *Redirector) RetryBudgetExhausted() uint64 { return r.retryExhausted.Load() }
 
 // Stats reports admission counters, folded from the plane's shards.
 func (r *Redirector) Stats() (admitted, rejected int) {
@@ -623,6 +813,9 @@ func (r *Redirector) extraMetrics(w io.Writer) {
 		"Requests admitted and redirected (or proxied) to a backend.", float64(admitted))
 	obs.WriteMetric(w, "rsa_l7_rejected_total", "counter",
 		"Requests self-redirected or rejected for lack of window credit.", float64(rejected))
+	obs.WriteMetric(w, "rsa_l7_retry_budget_exhausted_total", "counter",
+		"Proxy failovers suppressed because the window's retry budget was spent.",
+		float64(r.retryExhausted.Load()))
 	admission.WriteMetrics(w, r.adm)
 	health.WriteMetrics(w, r.checker, r.reint)
 	treenet.WriteMetrics(w, r.transport, r.reparent)
@@ -678,6 +871,14 @@ func (r *Redirector) Close() error {
 			}
 		}
 		r.client.CloseIdleConnections()
+		// Compact the durable record log on the way out so the next boot
+		// replays one record, not the whole run. The caller owns (and
+		// closes) the store itself.
+		if r.cfg.Persist != nil {
+			if cerr := r.cfg.Persist.Checkpoint(); err == nil {
+				err = cerr
+			}
+		}
 	})
 	return err
 }

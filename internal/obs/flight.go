@@ -225,12 +225,12 @@ func (f *FlightRecorder) capture(reason string, window uint64, principal string,
 	}
 }
 
-func (f *FlightRecorder) persist(c *Capture) {
+func (f *FlightRecorder) persist(c *Capture) error {
 	if err := os.MkdirAll(f.cfg.Dir, 0o755); err != nil {
 		if f.cfg.Logger != nil {
 			f.cfg.Logger.Error("flight capture dir", "err", err)
 		}
-		return
+		return err
 	}
 	path := filepath.Join(f.cfg.Dir, fmt.Sprintf("flight-%d-%s.json", c.Seq, c.Reason))
 	b, err := json.MarshalIndent(c, "", "  ")
@@ -240,6 +240,30 @@ func (f *FlightRecorder) persist(c *Capture) {
 	if err != nil && f.cfg.Logger != nil {
 		f.cfg.Logger.Error("flight capture persist", "path", path, "err", err)
 	}
+	return err
+}
+
+// Flush writes every retained capture to the configured Dir and reports how
+// many landed on disk. File names are derived from each capture's sequence
+// number, so a flush is idempotent: captures already written at freeze time
+// are rewritten in place, not duplicated. Intended for graceful shutdown —
+// a SIGTERM handler calls Flush so forensic state armed in memory survives
+// the process. A nil recorder, an empty Dir, or zero captures flush 0.
+func (f *FlightRecorder) Flush() int {
+	if f == nil || f.cfg.Dir == "" {
+		return 0
+	}
+	f.mu.Lock()
+	caps := make([]*Capture, len(f.captures))
+	copy(caps, f.captures)
+	f.mu.Unlock()
+	written := 0
+	for _, c := range caps {
+		if f.persist(c) == nil {
+			written++
+		}
+	}
+	return written
 }
 
 // Captures returns up to max retained captures, newest first (all when

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -308,6 +310,54 @@ func TestFlightRecorderUnderFloorTrigger(t *testing.T) {
 	a.Observe(conservative)
 	if got := rec.Triggers(); got != 1 {
 		t.Errorf("conservative window fired a capture (triggers=%d)", got)
+	}
+}
+
+// TestFlightRecorderFlush pins the graceful-shutdown path: Flush writes
+// every retained capture to the capture directory, re-writes missing files
+// (a capture whose eager write was lost), and is idempotent — flushing
+// twice leaves exactly one file per capture.
+func TestFlightRecorderFlush(t *testing.T) {
+	var nilRec *FlightRecorder
+	if got := nilRec.Flush(); got != 0 {
+		t.Fatalf("nil recorder Flush = %d, want 0", got)
+	}
+	if got := NewFlightRecorder(FlightConfig{}).Flush(); got != 0 {
+		t.Fatalf("Flush without a Dir = %d, want 0", got)
+	}
+
+	dir := t.TempDir()
+	rec := NewFlightRecorder(FlightConfig{Max: 8, Dir: dir, Logger: Nop()})
+	rec.Trigger("under_floor", 10, "alpha", nil)
+	rec.Trigger("slo_breach", 11, "beta", nil)
+
+	// Simulate a lost eager write: the flush must restore it.
+	lost := filepath.Join(dir, "flight-1-under_floor.json")
+	if err := os.Remove(lost); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // idempotent: same result on a second flush
+		if got := rec.Flush(); got != 2 {
+			t.Fatalf("flush %d wrote %d captures, want 2", i, got)
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) != 2 {
+			t.Fatalf("flush %d left %d files, want 2: %v", i, len(files), files)
+		}
+	}
+	b, err := os.ReadFile(lost)
+	if err != nil {
+		t.Fatalf("flush did not restore the lost capture file: %v", err)
+	}
+	var c Capture
+	if err := json.Unmarshal(b, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq != 1 || c.Reason != "under_floor" || c.Window != 10 || c.Principal != "alpha" {
+		t.Fatalf("restored capture = %+v", c)
 	}
 }
 

@@ -1,0 +1,380 @@
+// Package persist is the durable-state plane: an fsync-disciplined store
+// that lets a redirector or tree root survive kill -9 without forgetting
+// the enforcement state the paper assumes lives in memory — the newest
+// agreement-set snapshot, the carried per-principal credit, the demand
+// estimator, and the last window/epoch position.
+//
+// The store keeps two kinds of state in one directory:
+//
+//   - Agreement-set snapshots, one file per version (set-<version>.json),
+//     committed by temp-file + fsync + atomic rename so a crash can never
+//     leave a half-written snapshot under the final name. Encoding reuses
+//     agreement.Set's Encode/DecodeSet, the same bytes the combining tree
+//     piggybacks.
+//   - A small append-only window log ("wal") of WindowState records, each
+//     framed as [4-byte length][4-byte CRC32][JSON payload] and fsynced on
+//     append. Replay at Open validates frames in order and truncates the
+//     log at the first torn or corrupt record, so a crash mid-append costs
+//     at most the record being written. The newest valid record wins.
+//
+// Recovery is therefore bounded by the append cadence: a process that
+// persists once per scheduling window loses at most one window of carried
+// credit on kill -9.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/agreement"
+)
+
+// ErrClosed reports use of a Store after Close.
+var ErrClosed = errors.New("persist: store closed")
+
+// walName is the window log's file name inside the state directory.
+const walName = "wal"
+
+// frameHeader is the per-record framing overhead: 4-byte little-endian
+// payload length followed by a 4-byte CRC32 (IEEE) of the payload.
+const frameHeader = 8
+
+// maxRecordBytes bounds a single window record; a length field beyond it is
+// treated as corruption (it would otherwise make replay allocate wildly on
+// a torn length word).
+const maxRecordBytes = 16 << 20
+
+// WindowState is one durable window record: everything a restarted
+// redirector needs to resume enforcement where it left off — its position
+// (window sequence, tree epoch, acknowledged set version) and its carried
+// scheduling state (credit matrix, provider credit totals, EWMA demand
+// estimate).
+type WindowState struct {
+	// WindowSeq is the redirector's window counter after the recorded
+	// window started.
+	WindowSeq int `json:"window_seq"`
+	// Epoch is the combining-tree epoch the node had reached.
+	Epoch int `json:"epoch"`
+	// SetVersion is the newest agreement-set version acknowledged.
+	SetVersion uint64 `json:"set_version"`
+	// Gate is the rollout gate epoch attached to that set version (the
+	// combining.ConfigUpdate a restarted node reconstructs and
+	// re-broadcasts).
+	Gate int `json:"gate,omitempty"`
+	// Credit is the Community credit matrix credits[p][k]; nil in
+	// Provider mode.
+	Credit [][]float64 `json:"credit,omitempty"`
+	// CreditTotal is the Provider per-principal credit vector; nil in
+	// Community mode.
+	CreditTotal []float64 `json:"credit_total,omitempty"`
+	// Estimate is the EWMA per-principal demand estimate
+	// (requests/window).
+	Estimate []float64 `json:"estimate,omitempty"`
+}
+
+// Store is a crash-safe state directory. All methods are safe for
+// concurrent use; appends and checkpoints serialize on an internal mutex.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	wal    *os.File
+	last   WindowState
+	have   bool
+	closed bool
+}
+
+// Open creates (if necessary) and opens the state directory, replaying the
+// window log: frames are validated in order, the log is truncated at the
+// first torn or corrupt record, and the newest valid record becomes
+// LastWindow. An empty or missing directory is a cold start, not an error.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	s := &Store{dir: dir, wal: f}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay scans the window log from the start, remembering the newest valid
+// record and truncating the file at the first invalid frame.
+func (s *Store) replay() error {
+	data, err := io.ReadAll(s.wal)
+	if err != nil {
+		return fmt.Errorf("persist: replay: %w", err)
+	}
+	valid := 0
+	for valid < len(data) {
+		rec, n, ok := decodeFrame(data[valid:])
+		if !ok {
+			break
+		}
+		s.last, s.have = rec, true
+		valid += n
+	}
+	if valid < len(data) {
+		// Torn or corrupt tail: drop it so the next append lands on a
+		// clean frame boundary.
+		if err := s.wal.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("persist: truncate torn tail: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if _, err := s.wal.Seek(int64(valid), io.SeekStart); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// decodeFrame parses one framed record from the front of data. ok is false
+// when the frame is torn (short) or fails its CRC.
+func decodeFrame(data []byte) (WindowState, int, bool) {
+	var rec WindowState
+	if len(data) < frameHeader {
+		return rec, 0, false
+	}
+	length := binary.LittleEndian.Uint32(data[0:4])
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if length == 0 || length > maxRecordBytes || frameHeader+int(length) > len(data) {
+		return rec, 0, false
+	}
+	payload := data[frameHeader : frameHeader+int(length)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, 0, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, 0, false
+	}
+	return rec, frameHeader + int(length), true
+}
+
+// encodeFrame renders one record with its length+CRC frame.
+func encodeFrame(ws WindowState) ([]byte, error) {
+	payload, err := json.Marshal(ws)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHeader:], payload)
+	return buf, nil
+}
+
+// AppendWindow durably appends one window record (write + fsync). The
+// record becomes the new LastWindow.
+func (s *Store) AppendWindow(ws WindowState) error {
+	buf, err := encodeFrame(ws)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, err := s.wal.Write(buf); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("persist: append: %w", err)
+	}
+	s.last, s.have = ws, true
+	return nil
+}
+
+// LastWindow returns the newest valid window record (replayed at Open or
+// appended since); ok is false on a cold start.
+func (s *Store) LastWindow() (WindowState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.have
+}
+
+// Checkpoint compacts the window log down to its newest record, committing
+// the compacted log by atomic rename. Safe to run concurrently with
+// AppendWindow; a no-op on a cold store.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if !s.have {
+		return nil
+	}
+	buf, err := encodeFrame(s.last)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, walName)
+	tmp, err := os.CreateTemp(s.dir, walName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// Swap the open handle to the compacted log so subsequent appends
+	// extend it, not the unlinked original.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: checkpoint: %w", err)
+	}
+	s.wal.Close()
+	s.wal = f
+	return nil
+}
+
+// SaveSet durably stores an agreement-set snapshot as set-<version>.json
+// (temp file + fsync + atomic rename + directory fsync). Snapshots are
+// immutable per version; re-saving a version is a cheap no-op.
+func (s *Store) SaveSet(set *agreement.Set) error {
+	if set == nil {
+		return errors.New("persist: nil set")
+	}
+	path := filepath.Join(s.dir, setFileName(set.Version))
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	data, err := set.Encode()
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "set.tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: save set: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: save set: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: save set: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: save set: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: save set: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// LoadNewestSet returns the highest-versioned decodable agreement-set
+// snapshot in the directory, or (nil, nil) on a cold start. Undecodable
+// snapshot files are skipped, not fatal: a valid older version beats
+// refusing to start.
+func (s *Store) LoadNewestSet() (*agreement.Set, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var best *agreement.Set
+	for _, e := range entries {
+		v, ok := setFileVersion(e.Name())
+		if !ok {
+			continue
+		}
+		if best != nil && v <= best.Version {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		set, err := agreement.DecodeSet(data)
+		if err != nil || set.Version != v {
+			continue
+		}
+		best = set
+	}
+	return best, nil
+}
+
+// Dir returns the store's state directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close fsyncs and closes the window log. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	return s.wal.Close()
+}
+
+// setFileName renders the snapshot file name for a set version.
+func setFileName(version uint64) string {
+	return fmt.Sprintf("set-%d.json", version)
+}
+
+// setFileVersion parses a snapshot file name; ok is false for other files.
+func setFileVersion(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "set-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len("set-"):len(name)-len(".json")], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss. Filesystems that refuse directory fsync (some CI mounts) are
+// tolerated.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

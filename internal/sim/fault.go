@@ -128,6 +128,18 @@ func (s *Sim) InjectFaults(plan *fault.Schedule, extra fault.Hooks) {
 				extra.SlowBackend(target, factor)
 			}
 		},
+		RedirectorDown: func(a int) {
+			s.CrashRedirector(a)
+			if extra.RedirectorDown != nil {
+				extra.RedirectorDown(a)
+			}
+		},
+		RedirectorUp: func(a int) {
+			s.RestartRedirector(a)
+			if extra.RedirectorUp != nil {
+				extra.RedirectorUp(a)
+			}
+		},
 	}
 	plan.Apply(h, func(at time.Duration, fn func()) { s.At(at, fn) })
 }

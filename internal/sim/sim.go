@@ -25,6 +25,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/persist"
 	"repro/internal/simnet"
 	"repro/internal/vclock"
 	"repro/internal/workload"
@@ -101,12 +102,20 @@ type Sim struct {
 	Observers []*obs.Observer
 
 	topo           combining.Topology
+	fanout         int
 	failed         map[int]bool
 	failureTimeout time.Duration
 	lastReconfig   time.Duration
 	meanBytes      float64
 	windowWorkers  int
 	windowTicker   *vclock.Ticker
+
+	// Durable-state plane (EnablePersistence): one persist.Store per
+	// redirector, written every persistEvery windows; rootStore is also fed
+	// agreement-set snapshots at publish time so a restarted root can
+	// re-broadcast the newest configuration.
+	stores       map[int]*persist.Store
+	persistEvery int
 
 	// Fault-injection state (see fault.go in this package): servers by
 	// name, their owners and base capacities, which are currently crashed,
@@ -129,6 +138,17 @@ type RNode struct {
 	Red    *core.Redirector
 	Tree   *combining.Node
 	estBuf []float64 // reused local-estimate buffer for the tree feed
+
+	// Persistence scratch (EnablePersistence): reused export buffers, the
+	// newest set version already saved durably, and the window countdown to
+	// the next append. Touched only by the goroutine running this node's
+	// window (startOne) — never shared.
+	pm           [][]float64
+	pt           []float64
+	pe           []float64
+	savedSet     uint64
+	sinceAppend  int
+	lastSeenGate int
 }
 
 // New builds a simulation. The engine's window drives both scheduling and
@@ -202,6 +222,7 @@ func New(cfg Config) (*Sim, error) {
 	}
 	topo := combining.BuildTree(ids, cfg.TreeFanout)
 	s.topo = topo
+	s.fanout = cfg.TreeFanout
 	for i := 0; i < cfg.Redirectors; i++ {
 		id := combining.NodeID(i)
 		send := func(to combining.NodeID, msg interface{}) {
@@ -304,11 +325,17 @@ func (s *Sim) startWindows() {
 			epoch = ge
 		}
 		var known uint64
+		gate := 0
 		if cu := rn.Tree.Config(); cu != nil {
 			known = cu.Version
+			gate = cu.GateEpoch
 		}
 		rn.Red.SetRollout(epoch, known)
-		return rn.Red.StartWindow(now)
+		if err := rn.Red.StartWindow(now); err != nil {
+			return err
+		}
+		rn.persistWindow(epoch, known, gate)
+		return nil
 	}
 	workers := s.windowWorkers
 	if workers > len(live) {
@@ -385,8 +412,90 @@ func (s *Sim) EnableControlPlane(lead int) (*ctrlplane.Plane, error) {
 				GateEpoch: gate,
 				Payload:   data,
 			})
+			// The control-plane host persists every accepted set at publish
+			// time: a root crash between publish and fleet convergence must
+			// not lose the renegotiation.
+			if st := s.stores[int(tree.ID())]; st != nil {
+				if err := st.SaveSet(set); err != nil {
+					panic(fmt.Sprintf("sim: persist set v%d: %v", set.Version, err))
+				}
+			}
 		},
 	})
+}
+
+// EnablePersistence arms the durable-state plane: every redirector gets a
+// persist.Store rooted at dir/r<id>, appends a window record every
+// `every` windows (<=1 means every window — the tightest crash-loss
+// bound), and durably saves each agreement-set snapshot it learns of.
+// Call before Run; RestartRedirector uses the stores to recover.
+func (s *Sim) EnablePersistence(dir string, every int) error {
+	if every <= 1 {
+		every = 1
+	}
+	s.stores = make(map[int]*persist.Store, len(s.Redirectors))
+	s.persistEvery = every
+	for i := range s.Redirectors {
+		st, err := persist.Open(fmt.Sprintf("%s/r%d", dir, i))
+		if err != nil {
+			return err
+		}
+		s.stores[i] = st
+	}
+	return nil
+}
+
+// persistWindow appends the just-started window's durable record (credit,
+// estimate, position) to this node's store, honoring the append cadence,
+// and saves any newly learned agreement set. Runs on the goroutine that ran
+// the node's window solve; a no-op when persistence is off.
+func (rn *RNode) persistWindow(epoch int, known uint64, gate int) {
+	st := rn.sim.stores[rn.Red.ID()]
+	if st == nil {
+		return
+	}
+	if known > rn.savedSet {
+		if cu := rn.Tree.Config(); cu != nil && cu.Version == known {
+			set, err := agreement.DecodeSet(cu.Payload)
+			if err == nil {
+				if err := st.SaveSet(set); err != nil {
+					panic(fmt.Sprintf("sim: persist set v%d: %v", known, err))
+				}
+				rn.savedSet = known
+			}
+		}
+	}
+	rn.lastSeenGate = gate
+	rn.sinceAppend++
+	if rn.sinceAppend < rn.sim.persistEvery {
+		return
+	}
+	rn.sinceAppend = 0
+	n := rn.sim.Engine.NumPrincipals()
+	if rn.pt == nil {
+		rn.pt = make([]float64, n)
+		rn.pm = make([][]float64, n)
+		for i := range rn.pm {
+			rn.pm[i] = make([]float64, n)
+		}
+	}
+	rn.Red.ExportCredits(rn.pm, rn.pt)
+	rn.pe = rn.Red.ExportEstimate(rn.pe)
+	ws := persist.WindowState{
+		WindowSeq:  rn.Red.Windows,
+		Epoch:      epoch,
+		SetVersion: known,
+		Gate:       gate,
+		Estimate:   rn.pe,
+	}
+	if rn.sim.Engine.Mode() == core.Provider {
+		ws.CreditTotal = rn.pt
+	} else {
+		ws.Credit = rn.pm
+	}
+	if err := st.AppendWindow(ws); err != nil {
+		panic(fmt.Sprintf("sim: persist window: %v", err))
+	}
 }
 
 // FailRedirector kills redirector i: it stops participating in the tree
@@ -396,6 +505,81 @@ func (s *Sim) FailRedirector(i int) {
 	if i >= 0 && i < len(s.Redirectors) {
 		s.failed[i] = true
 	}
+}
+
+// CrashRedirector is FailRedirector with kill -9 semantics for the durable
+// plane: the process's in-memory window state is gone (RestartRedirector
+// rebuilds only from the persist store). In the simulation the two are the
+// same transition — in-memory state is simply never consulted again.
+func (s *Sim) CrashRedirector(i int) { s.FailRedirector(i) }
+
+// RestartRedirector boots redirector i back up from its durable state, the
+// virtual-time twin of a crashed process re-exec'ing: a fresh
+// core.Redirector is registered under the old id (re-entering the rollout
+// quorum through the laggard conservative path), the window counter, EWMA
+// estimate and carried credit are restored from the newest persisted
+// record, the tree node is Reset to the durable (epoch, configuration) and
+// announces a rejoin to its parent, and — if failure detection had removed
+// the node — the topology is deterministically rebuilt to include it
+// again. Without EnablePersistence the restart is a cold start.
+func (s *Sim) RestartRedirector(i int) {
+	if i < 0 || i >= len(s.Redirectors) || !s.failed[i] {
+		return
+	}
+	rn := s.Redirectors[i]
+	var ws persist.WindowState
+	var set *agreement.Set
+	if st := s.stores[i]; st != nil {
+		ws, _ = st.LastWindow()
+		set, _ = st.LoadNewestSet()
+	}
+	var cu *combining.ConfigUpdate
+	if set != nil {
+		payload, err := set.Encode()
+		if err != nil {
+			panic(fmt.Sprintf("sim: re-encode recovered set v%d: %v", set.Version, err))
+		}
+		cu = &combining.ConfigUpdate{Version: set.Version, GateEpoch: ws.Gate, Payload: payload}
+		// The shared engine survives in the simulation, but a real restart
+		// would re-stage the recovered set; StageSet is idempotent at or
+		// below the newest accepted version, so this is safe either way.
+		if _, err := s.Engine.StageSet(set, 0); err != nil {
+			panic(fmt.Sprintf("sim: restage recovered set v%d: %v", set.Version, err))
+		}
+	}
+	// Fresh admission state under the old identity, rehydrated from the
+	// durable record: at most the in-flight window's credit is lost.
+	rn.Red = s.Engine.NewRedirector(i)
+	rn.Red.RestoreState(ws.WindowSeq, ws.Estimate, ws.Credit, ws.CreditTotal)
+	rn.Red.SetRollout(ws.Epoch, ws.SetVersion)
+	if s.Observers != nil && i < len(s.Observers) {
+		rn.Red.SetObserver(s.Observers[i])
+	}
+	rn.savedSet = ws.SetVersion
+	rn.sinceAppend = 0
+	s.failed[i] = false
+	// Tree node: resume from the durable position in place (transport
+	// closures hold the Node pointer), rebuild the topology if failure
+	// detection had pruned this member, and shake hands with the parent.
+	rn.Tree.Reset(ws.Epoch, cu)
+	id := combining.NodeID(i)
+	if _, present := s.topo.Parent[id]; !present {
+		ids := make([]combining.NodeID, 0, len(s.Redirectors))
+		for j := range s.Redirectors {
+			if !s.failed[j] {
+				ids = append(ids, combining.NodeID(j))
+			}
+		}
+		s.topo = combining.BuildTree(ids, s.fanout)
+		s.topo.Apply(s.liveNodes())
+		s.Reconfigurations++
+	} else {
+		// Membership unchanged: still re-apply this node's edges so a Reset
+		// root re-learns its children.
+		rn.Tree.Reconfigure(s.topo.Parent[id], s.topo.Children[id])
+	}
+	s.lastReconfig = s.Clock.Now() // grace: fresh edges are quiet for a while
+	rn.Tree.AnnounceRejoin()
 }
 
 // liveNodes returns the tree nodes of non-failed redirectors.
@@ -445,6 +629,10 @@ func (s *Sim) detectFailures() {
 	}
 	s.topo = s.topo.RemoveNode(combining.NodeID(suspect))
 	s.topo.Apply(s.liveNodes())
+	// Rollout liveness valve: a member the tree gave up on cannot
+	// acknowledge a staged set, so drop it from the promotion quorum (it is
+	// re-admitted by re-registering on restart).
+	s.Engine.EvictRedirector(suspect)
 	s.lastReconfig = now
 	s.Reconfigurations++
 }
@@ -554,6 +742,18 @@ func (s *Sim) Run(end time.Duration) { s.Clock.RunUntil(end) }
 
 // Stop halts the window driver (for tests that re-wire mid-run).
 func (s *Sim) Stop() { s.windowTicker.Stop() }
+
+// ClosePersistence fsyncs and closes every redirector's persist store
+// (after Run; the state directories remain replayable).
+func (s *Sim) ClosePersistence() error {
+	var first error
+	for _, st := range s.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // SetTreeDelay changes the delay on every tree link (before or during a
 // run).

@@ -1,0 +1,113 @@
+package treenet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/combining"
+)
+
+// TestRejoinHandshakeOverTCP pins the crash-recovery handshake end to end
+// over loopback TCP: a restarted leaf whose epoch counter rewound announces
+// a rejoin, and the parent (a) resets its stale-report gate so the leaf's
+// low-epoch reports are accepted again, and (b) immediately streams back
+// the current global broadcast with the newest configuration — the leaf
+// converges without waiting out an epoch round.
+func TestRejoinHandshakeOverTCP(t *testing.T) {
+	const n = 2 // node 0 = root/parent, node 1 = leaf
+	nodes := make([]*combining.Node, n)
+	trs := make([]*Transport, n)
+	var mu sync.Mutex
+
+	for i := 0; i < n; i++ {
+		i := i
+		tr, err := Listen(combining.NodeID(i), "127.0.0.1:0", func(from combining.NodeID, msg interface{}) {
+			mu.Lock()
+			defer mu.Unlock()
+			nodes[i].OnMessage(from, msg)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+	}
+	trs[0].SetPeer(1, trs[1].Addr())
+	trs[1].SetPeer(0, trs[0].Addr())
+	now := func() time.Duration { return time.Duration(time.Now().UnixNano()) }
+	nodes[0] = combining.NewNode(0, -1, []combining.NodeID{1}, 1, trs[0].Send, now)
+	nodes[1] = combining.NewNode(1, 0, nil, 1, trs[1].Send, now)
+	nodes[1].SetLocal([]float64{5})
+
+	cfg := &combining.ConfigUpdate{Version: 3, GateEpoch: 9, Payload: []byte(`{"v":3}`)}
+	mu.Lock()
+	nodes[0].SetConfig(cfg)
+	mu.Unlock()
+
+	// Run epochs until the leaf holds the config and the root has its
+	// report: the steady pre-crash state, with the root's child-epoch gate
+	// well above zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		nodes[1].Tick()
+		nodes[0].Tick()
+		leafCfg := nodes[1].Config()
+		acks := nodes[0].ChildConfigAcks()
+		mu.Unlock()
+		if leafCfg != nil && leafCfg.Version == 3 && acks[1] == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pre-crash convergence never happened")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Crash + restart the leaf process: the node restarts from durable
+	// position epoch 0 with no config (a cold leaf; the durable set, if
+	// any, would seed these). Without the handshake its epoch-1 reports
+	// would be dropped by the root's stale gate forever.
+	mu.Lock()
+	nodes[1].Reset(0, nil)
+	mu.Unlock()
+	nodes[1].AnnounceRejoin()
+
+	// The root's immediate reply must deliver global + config before the
+	// leaf ever Ticks again.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		_, _, haveGlobal := nodes[1].Global()
+		leafCfg := nodes[1].Config()
+		mu.Unlock()
+		if haveGlobal && leafCfg != nil && leafCfg.Version == 3 && leafCfg.GateEpoch == 9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rejoin reply never delivered global + config to the leaf")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// And the leaf's fresh (low-epoch) reports must be aggregated again:
+	// the root re-learns the leaf's contribution.
+	nodes[1].SetLocal([]float64{42})
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		nodes[1].Tick()
+		nodes[0].Tick()
+		g, _, ok := nodes[0].Global()
+		acks := nodes[0].ChildConfigAcks()
+		mu.Unlock()
+		if ok && g.Sum[0] == 42 && acks[1] == 3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("root never re-aggregated the rejoined leaf's reports")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

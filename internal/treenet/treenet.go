@@ -66,7 +66,7 @@ type Handler func(from combining.NodeID, msg interface{})
 
 type envelope struct {
 	From  int                 `json:"from"`
-	Kind  string              `json:"kind"` // "report" or "broadcast"
+	Kind  string              `json:"kind"` // "report", "broadcast", or "rejoin"
 	Epoch int                 `json:"epoch"`
 	Agg   combining.Aggregate `json:"agg"`
 	// Configuration piggyback (see combining.ConfigUpdate): reports carry
@@ -205,10 +205,11 @@ func (t *Transport) dropSend() {
 	t.mu.Unlock()
 }
 
-// Send transmits a combining.Report or combining.Broadcast to a peer. It
-// satisfies combining.SendFunc and never blocks: the message is queued for
-// the peer's writer goroutine, and dropped (counted) if the queue is full,
-// the peer is unknown, or the transport is closed.
+// Send transmits a combining.Report, combining.Broadcast, or
+// combining.Rejoin to a peer. It satisfies combining.SendFunc and never
+// blocks: the message is queued for the peer's writer goroutine, and
+// dropped (counted) if the queue is full, the peer is unknown, or the
+// transport is closed.
 func (t *Transport) Send(to combining.NodeID, msg interface{}) {
 	t.mu.Lock()
 	p, ok := t.peers[to]
@@ -230,6 +231,9 @@ func (t *Transport) Send(to combining.NodeID, msg interface{}) {
 			env.CfgGate = m.Config.GateEpoch
 			env.CfgPayload = m.Config.Payload
 		}
+	case combining.Rejoin:
+		env.Kind, env.Epoch = "rejoin", m.Epoch
+		env.AckVersion = m.AckVersion
 	default:
 		t.dropSend()
 		return
@@ -394,6 +398,8 @@ func (t *Transport) readLoop(conn net.Conn) {
 				}
 			}
 			msg = b
+		case "rejoin":
+			msg = combining.Rejoin{Epoch: env.Epoch, AckVersion: env.AckVersion}
 		default:
 			continue
 		}
