@@ -127,7 +127,7 @@ func BenchmarkAblationTreeVsPairwise(b *testing.B) {
 // (§2.1): transitive reselling gives X and Y 80 req/s guarantees through
 // two agreement hops.
 func BenchmarkExtHierarchicalReselling(b *testing.B) {
-	benchFigure(b, "ext-hier", [][2]string{{"overload", "X"}, {"X-idle", "M"}})
+	benchFigure(b, "ext-resell", [][2]string{{"overload", "X"}, {"X-idle", "M"}})
 }
 
 // BenchmarkExtLocalityCaps regenerates the locality extension (§3.1.2): a

@@ -89,16 +89,27 @@ func pointMetrics(res *loadgen.Result, offered float64, delta loadgen.Conformanc
 // against the settled assertion.
 func runSweepPoint(pt loadgen.SweepPoint) (benchResult, error) {
 	def := loadgen.SweepDefaults
-	capacity := def.Capacity
+	capacity, window := def.Capacity, def.Window
+	duration, warmup := def.Duration, def.Warmup
 	if pt.Capacity > 0 {
 		capacity = pt.Capacity
+	}
+	if pt.Window > 0 {
+		window = pt.Window
+	}
+	if pt.Duration > 0 {
+		duration = pt.Duration
+	}
+	if pt.Warmup > 0 {
+		warmup = pt.Warmup
 	}
 	fleet, err := loadgen.StartFleet(loadgen.FleetConfig{
 		Redirectors: pt.Redirectors,
 		Fanout:      pt.Fanout,
 		Capacity:    capacity,
 		Backends:    def.Backends,
-		Window:      def.Window,
+		Window:      window,
+		Regions:     pt.Regions,
 		// 1% head sampling plus the slowest 8 per window: enough spans to
 		// attribute each point's tail to a phase without perturbing it.
 		Trace: &obs.TraceConfig{SampleEvery: 100, SlowestK: 8},
@@ -113,13 +124,13 @@ func runSweepPoint(pt loadgen.SweepPoint) (benchResult, error) {
 	}
 
 	settled := make(chan loadgen.Conformance, 1)
-	timer := time.AfterFunc(def.Warmup, func() { settled <- fleet.Conformance() })
+	timer := time.AfterFunc(warmup, func() { settled <- fleet.Conformance() })
 	defer timer.Stop()
 
 	res, err := loadgen.Run(target, loadgen.Options{
 		Streams:  pt.Streams(fleet.Capacity, fleet.Orgs),
-		Duration: def.Duration,
-		Warmup:   def.Warmup,
+		Duration: duration,
+		Warmup:   warmup,
 	})
 	if err != nil {
 		return benchResult{}, err
@@ -136,6 +147,18 @@ func runSweepPoint(pt loadgen.SweepPoint) (benchResult, error) {
 	row.Metrics["phase_park_p99_ms"] = float64(ph.Park.Quantile(0.99)) / 1e6
 	row.Metrics["phase_dial_p99_ms"] = float64(ph.Dial.Quantile(0.99)) / 1e6
 	row.Metrics["phase_proxy_p99_ms"] = float64(ph.Proxy.Quantile(0.99)) / 1e6
+	// Hierarchical points record the fleet-wide delta-compression counters
+	// (the in-process sum of every node's rsa_tree_delta_* series) so the
+	// report shows upstream message volume, not just latency.
+	if pt.Regions > 1 {
+		ts := fleet.TreeStats()
+		row.Metrics["delta_frames"] = float64(ts.Delta.Frames)
+		row.Metrics["delta_full_frames"] = float64(ts.Delta.FullFrames)
+		row.Metrics["delta_entries_sent"] = float64(ts.Delta.EntriesSent)
+		row.Metrics["delta_entries_suppressed"] = float64(ts.Delta.EntriesSuppressed)
+		row.Metrics["delta_bytes_saved"] = float64(ts.Delta.BytesSaved)
+		row.Metrics["delta_desyncs"] = float64(ts.Delta.Desyncs)
+	}
 
 	if delta.UnderFloor > 0 {
 		return row, fmt.Errorf("%s: %.0f settled under-floor windows (agreement violated)",
@@ -167,13 +190,19 @@ func runSweep(outPath, baselinePath string) error {
 		rep.Baseline = json.RawMessage(raw)
 	}
 	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		fmt.Fprintln(os.Stderr, "loadgen: FAIL", err)
+	}
+	hier := make(map[int]benchResult)
 	for _, pt := range loadgen.DefaultSweep() {
 		row, err := runSweepPoint(pt)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			fmt.Fprintln(os.Stderr, "loadgen: FAIL", err)
+			fail(err)
+		} else if pt.Regions > 1 {
+			hier[pt.Redirectors] = row
 		}
 		if row.Name != "" {
 			rep.Results = append(rep.Results, row)
@@ -182,6 +211,28 @@ func runSweep(outPath, baselinePath string) error {
 				row.Name, row.Metrics["qps"], row.Metrics["offered_qps"],
 				row.Metrics["p50_ms"], row.Metrics["p99_ms"], row.Metrics["p999_ms"],
 				row.Metrics["under_floor_windows"])
+		}
+	}
+	// Hierarchical-grid assertions: delta compression must actually bite on
+	// every hier point, and the 64→256 quadrupling of the fleet must cost
+	// strictly less than 4× the transmitted delta entries — the sub-linear
+	// upstream message volume the hierarchical plane exists to buy.
+	for r, row := range hier {
+		if row.Metrics["delta_entries_suppressed"] == 0 || row.Metrics["delta_bytes_saved"] == 0 {
+			fail(fmt.Errorf("%s: delta compression suppressed nothing (r=%d)", row.Name, r))
+		}
+		if row.Metrics["delta_desyncs"] > 0 {
+			fail(fmt.Errorf("%s: %.0f delta decoder desyncs on a healthy fleet", row.Name, row.Metrics["delta_desyncs"]))
+		}
+	}
+	if lo, ok := hier[64]; ok {
+		if hi, ok := hier[256]; ok && lo.Metrics["delta_entries_sent"] > 0 {
+			ratio := hi.Metrics["delta_entries_sent"] / lo.Metrics["delta_entries_sent"]
+			fmt.Fprintf(os.Stderr, "loadgen: delta entries sent 64→256: %.0f → %.0f (ratio %.2f, want < 4.0)\n",
+				lo.Metrics["delta_entries_sent"], hi.Metrics["delta_entries_sent"], ratio)
+			if ratio >= 4.0 {
+				fail(fmt.Errorf("upstream message volume grew super-linearly: 4x redirectors cost %.2fx delta entries", ratio))
+			}
 		}
 	}
 	enc, err := json.MarshalIndent(&rep, "", "  ")

@@ -264,5 +264,9 @@ func treeSpec(f *config.File) (*treenet.Spec, error) {
 		}
 		spec.Peers[combining.NodeID(n)] = addr
 	}
+	if f.Tree.Topology != nil {
+		spec.Topology = f.Tree.Topology.Spec()
+		spec.FailureTimeout = time.Duration(f.Tree.Topology.FailureTimeoutMS) * time.Millisecond
+	}
 	return spec, nil
 }

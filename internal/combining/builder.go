@@ -1,0 +1,98 @@
+package combining
+
+import "time"
+
+// Builder constructs combining-tree nodes. It replaces the old positional
+// constructor: placement (parent, children), sizing, transport, clock, and
+// metrics each read as named steps, and compiled topologies plug in
+// directly via Place.
+//
+//	node := combining.NewBuilder(3).
+//		Parent(1).Children(7, 8).
+//		Principals(numPrincipals).
+//		Transport(send).
+//		Clock(clock.Elapsed).
+//		Build()
+type Builder struct {
+	id       NodeID
+	parent   NodeID
+	children []NodeID
+	numPrin  int
+	send     SendFunc
+	now      func() time.Duration
+	hop      *HopMetrics
+}
+
+// NewBuilder starts a builder for node id. The node defaults to a root
+// (no parent, no children) with a one-principal vector and a wall-clock
+// time base.
+func NewBuilder(id NodeID) *Builder {
+	return &Builder{id: id, parent: -1, numPrin: 1}
+}
+
+// Parent sets the node's parent (-1 for a root).
+func (b *Builder) Parent(parent NodeID) *Builder {
+	b.parent = parent
+	return b
+}
+
+// Children sets the node's children, replacing any previous set.
+func (b *Builder) Children(children ...NodeID) *Builder {
+	b.children = append(b.children[:0], children...)
+	return b
+}
+
+// Place positions the node according to a flat topology: parent and
+// children are read from t (the node is t's root when it has no parent
+// entry).
+func (b *Builder) Place(t Topology) *Builder {
+	if b.id == t.Root {
+		b.parent = -1
+	} else {
+		b.parent = t.Parent[b.id]
+	}
+	return b.Children(t.Children[b.id]...)
+}
+
+// Principals sets the aggregate vector length (minimum 1).
+func (b *Builder) Principals(n int) *Builder {
+	if n < 1 {
+		n = 1
+	}
+	b.numPrin = n
+	return b
+}
+
+// Transport sets the outbound send hook.
+func (b *Builder) Transport(send SendFunc) *Builder {
+	b.send = send
+	return b
+}
+
+// Clock sets the node's time base (virtual time in the simulator, process
+// uptime in the redirectors). nil restores the wall-clock default.
+func (b *Builder) Clock(now func() time.Duration) *Builder {
+	b.now = now
+	return b
+}
+
+// Metrics attaches per-hop timing instruments.
+func (b *Builder) Metrics(hm *HopMetrics) *Builder {
+	b.hop = hm
+	return b
+}
+
+// Build constructs the node. The builder may be reused afterwards (each
+// Build returns an independent node).
+func (b *Builder) Build() *Node {
+	now := b.now
+	if now == nil {
+		start := time.Now()
+		now = func() time.Duration { return time.Since(start) }
+	}
+	n := newNode(b.id, b.parent, b.children, b.numPrin, b.send, now)
+	if b.hop != nil {
+		n.SetHopMetrics(b.hop)
+	}
+	return n
+}

@@ -240,9 +240,10 @@ func NewHopMetrics() *HopMetrics {
 	}
 }
 
-// NewNode constructs a node. parent is −1 for the root. now supplies
-// timestamps for staleness tracking (virtual or wall time).
-func NewNode(id NodeID, parent NodeID, children []NodeID, numPrincipals int,
+// newNode constructs a node (the Builder's backend). parent is −1 for the
+// root. now supplies timestamps for staleness tracking (virtual or wall
+// time).
+func newNode(id NodeID, parent NodeID, children []NodeID, numPrincipals int,
 	send SendFunc, now func() time.Duration) *Node {
 	return &Node{
 		id:          id,

@@ -35,7 +35,8 @@ func newRig(t testing.TB, n, numPrin, fanout int, delay time.Duration) *rig {
 		send := func(to NodeID, msg interface{}) {
 			r.net.Send(simnet.NodeID(id), simnet.NodeID(to), msg)
 		}
-		r.nodes[id] = NewNode(id, r.topo.Parent[id], r.topo.Children[id], numPrin, send, r.clock.Now)
+		r.nodes[id] = NewBuilder(id).Place(r.topo).Principals(numPrin).
+			Transport(send).Clock(r.clock.Now).Build()
 		r.net.Handle(simnet.NodeID(id), func(from simnet.NodeID, msg interface{}) {
 			r.nodes[id].OnMessage(NodeID(from), msg)
 		})
@@ -294,7 +295,8 @@ func TestSingleNodeTree(t *testing.T) {
 }
 
 func TestSetLocalShorterVectorZeroFills(t *testing.T) {
-	n := NewNode(0, -1, nil, 3, func(NodeID, interface{}) {}, func() time.Duration { return 0 })
+	n := NewBuilder(0).Principals(3).Transport(func(NodeID, interface{}) {}).
+		Clock(func() time.Duration { return 0 }).Build()
 	n.SetLocal([]float64{1, 2, 3})
 	n.SetLocal([]float64{9})
 	n.Tick()
@@ -314,7 +316,8 @@ func TestAggregateCombineMismatchedLengths(t *testing.T) {
 }
 
 func TestUnknownMessageIgnored(t *testing.T) {
-	n := NewNode(0, -1, nil, 1, func(NodeID, interface{}) {}, func() time.Duration { return 0 })
+	n := NewBuilder(0).Transport(func(NodeID, interface{}) {}).
+		Clock(func() time.Duration { return 0 }).Build()
 	n.OnMessage(5, "garbage")
 	if _, _, ok := n.Global(); ok {
 		t.Fatal("garbage message produced a global view")
@@ -325,8 +328,8 @@ func TestUnknownMessageIgnored(t *testing.T) {
 }
 
 func TestOutOfOrderMessagesIgnored(t *testing.T) {
-	n := NewNode(0, -1, []NodeID{1}, 1, func(NodeID, interface{}) {},
-		func() time.Duration { return 0 })
+	n := NewBuilder(0).Children(1).Transport(func(NodeID, interface{}) {}).
+		Clock(func() time.Duration { return 0 }).Build()
 	n.OnMessage(1, Report{Epoch: 5, Agg: FromLocal([]float64{50})})
 	n.OnMessage(1, Report{Epoch: 3, Agg: FromLocal([]float64{999})}) // reordered
 	n.Tick()
@@ -335,8 +338,8 @@ func TestOutOfOrderMessagesIgnored(t *testing.T) {
 		t.Fatalf("stale report overwrote fresher data: %v", g.Sum)
 	}
 
-	leaf := NewNode(1, 0, nil, 1, func(NodeID, interface{}) {},
-		func() time.Duration { return 0 })
+	leaf := NewBuilder(1).Parent(0).Transport(func(NodeID, interface{}) {}).
+		Clock(func() time.Duration { return 0 }).Build()
 	leaf.OnMessage(0, Broadcast{Epoch: 9, Agg: FromLocal([]float64{9})})
 	leaf.OnMessage(0, Broadcast{Epoch: 2, Agg: FromLocal([]float64{2})})
 	g, _, _ = leaf.Global()
@@ -347,8 +350,8 @@ func TestOutOfOrderMessagesIgnored(t *testing.T) {
 
 func TestLastHeardTracksNeighbors(t *testing.T) {
 	at := 7 * time.Second
-	n := NewNode(0, -1, []NodeID{1}, 1, func(NodeID, interface{}) {},
-		func() time.Duration { return at })
+	n := NewBuilder(0).Children(1).Transport(func(NodeID, interface{}) {}).
+		Clock(func() time.Duration { return at }).Build()
 	if _, heard := n.LastHeard(1); heard {
 		t.Fatal("unheard neighbor reported heard")
 	}

@@ -15,8 +15,10 @@ func Example() {
 	// Deliver messages synchronously for the example.
 	toRoot := func(to combining.NodeID, msg interface{}) { root.OnMessage(1, msg) }
 	toLeaf := func(to combining.NodeID, msg interface{}) { leaf.OnMessage(0, msg) }
-	root = combining.NewNode(0, -1, []combining.NodeID{1}, 2, toLeaf, now)
-	leaf = combining.NewNode(1, 0, nil, 2, toRoot, now)
+	root = combining.NewBuilder(0).Children(1).Principals(2).
+		Transport(toLeaf).Clock(now).Build()
+	leaf = combining.NewBuilder(1).Parent(0).Principals(2).
+		Transport(toRoot).Clock(now).Build()
 
 	root.SetLocal([]float64{10, 0})
 	leaf.SetLocal([]float64{5, 20})

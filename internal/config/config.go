@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/topology"
 )
 
 // ErrConfig reports an invalid configuration file.
@@ -37,6 +38,61 @@ type AgreementSpec struct {
 	UB    float64 `json:"ub"`
 }
 
+// TopologyRegion declares one named group of co-located redirectors in a
+// hierarchical combining plane.
+type TopologyRegion struct {
+	Name    string `json:"name"`
+	Members []int  `json:"members"`
+}
+
+// TopologySpec is the declarative multi-level combining-plane layout:
+// named regions compile to regional sub-trees whose sub-roots join a
+// global tier (see internal/topology). When present it supersedes the
+// flat parent/children/members wiring of the enclosing TreeSpec.
+type TopologySpec struct {
+	Regions []TopologyRegion `json:"regions"`
+	// Fanout bounds children per interior node (default 2).
+	Fanout int `json:"fanout"`
+	// Sharding selects the principal-sharding policy: "none" (default,
+	// one tree over all principals) or "component" (one tree with an
+	// independent epoch per disjoint agreement component).
+	Sharding string `json:"sharding"`
+	// DeltaThreshold, when positive, enables delta compression of
+	// upstream queue vectors: a principal's entry is suppressed when none
+	// of its statistics moved by more than this since last sent.
+	DeltaThreshold float64 `json:"delta_threshold"`
+	// DeltaResyncEvery forces a full-state frame every N frames so
+	// suppressed drift is bounded (default 16 when compression is on).
+	DeltaResyncEvery int `json:"delta_resync_every"`
+	// FailureTimeoutMS, when positive, arms hierarchy-aware failure
+	// detection: a tree neighbor silent for this long is removed and the
+	// plane recompiles without it.
+	FailureTimeoutMS int `json:"failure_timeout_ms"`
+}
+
+// Spec converts the config form into the topology package's spec (nil
+// when the receiver is nil). Defaults are applied by topology.Compile.
+func (t *TopologySpec) Spec() *topology.Spec {
+	if t == nil {
+		return nil
+	}
+	s := topology.Spec{
+		Fanout:   t.Fanout,
+		Sharding: t.Sharding,
+		Delta: topology.DeltaSpec{
+			Threshold:   t.DeltaThreshold,
+			ResyncEvery: t.DeltaResyncEvery,
+		},
+	}
+	for _, r := range t.Regions {
+		s.Regions = append(s.Regions, topology.Region{
+			Name:    r.Name,
+			Members: append([]int(nil), r.Members...),
+		})
+	}
+	return &s
+}
+
 // TreeSpec wires this process into the combining tree.
 type TreeSpec struct {
 	NodeID     int               `json:"node_id"`
@@ -44,16 +100,28 @@ type TreeSpec struct {
 	Children   []int             `json:"children"`
 	Peers      map[string]string `json:"peers"` // node id (decimal) → addr
 	ListenAddr string            `json:"listen_addr"`
+	// Topology, when present, lays the plane out hierarchically and
+	// supersedes the flat Parent/Children/Members/Fanout wiring; the
+	// node's placement is computed from its node_id and the spec.
+	Topology *TopologySpec `json:"topology"`
 	// FailureTimeoutMS, when positive, arms the reparenter: a tree
 	// neighbor silent for this long is cut out of the topology and the
 	// node rewires itself around it.
+	//
+	// Deprecated: with a topology spec, set topology.failure_timeout_ms
+	// instead.
 	FailureTimeoutMS int `json:"failure_timeout_ms"`
 	// Members lists every node id in the tree (defaults to this node plus
 	// the peer map's keys). The reparenter rebuilds topologies from this
 	// set, so all nodes must agree on it.
+	//
+	// Deprecated: declare a topology spec instead; it carries the member
+	// set per region.
 	Members []int `json:"members"`
 	// Fanout is the tree arity used when rebuilding topologies after a
 	// failure (default 2).
+	//
+	// Deprecated: with a topology spec, set topology.fanout instead.
 	Fanout int `json:"fanout"`
 }
 
@@ -310,7 +378,31 @@ func Parse(data []byte) (*File, error) {
 	if f.Mode == "provider" && f.Provider == "" {
 		return nil, fmt.Errorf("%w: provider mode needs a provider name", ErrConfig)
 	}
+	if f.Tree != nil {
+		if f.Tree.Topology != nil {
+			if err := f.Tree.Topology.Spec().Normalize().Validate(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+			}
+		} else {
+			warnFlatTreeKey(len(f.Tree.Members) > 0, "members")
+			warnFlatTreeKey(f.Tree.Fanout != 0, "fanout")
+			warnFlatTreeKey(f.Tree.FailureTimeoutMS != 0, "failure_timeout_ms")
+		}
+	}
 	return &f, nil
+}
+
+// warnFlatTreeKey emits a once-per-process deprecation warning for a flat
+// tree layout key used without a topology spec. Flat configs keep
+// working; the warning steers operators to the declarative form.
+func warnFlatTreeKey(set bool, key string) {
+	if !set {
+		return
+	}
+	if _, dup := aliasWarned.LoadOrStore("tree."+key+"(flat)", true); !dup {
+		obs.Default().With("config").Warn("deprecated flat tree key",
+			"field", "tree."+key, "use", "tree.topology")
+	}
 }
 
 // Load reads and parses a scenario file.

@@ -1,9 +1,13 @@
 package config
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"repro/internal/topology"
 )
 
 const sample = `{
@@ -189,5 +193,117 @@ func TestCanonicalFieldWinsOverAlias(t *testing.T) {
 	}
 	if f.WindowMS != 100 {
 		t.Fatalf("alias overrode canonical field: window_ms = %d", f.WindowMS)
+	}
+}
+
+// treeFlat and treeHier are the same two-node deployment written in the
+// deprecated flat tree form and the declarative topology form.
+const treeFlat = `{
+  "mode": "community",
+  "window_ms": 100,
+  "num_redirectors": 2,
+  "principals": [{"name": "A", "capacity": 10}],
+  "tree": {
+    "node_id": 0, "parent": -1, "children": [1],
+    "peers": {"1": "127.0.0.1:7001"}, "listen_addr": "127.0.0.1:7000",
+    "members": [0, 1], "fanout": 2, "failure_timeout_ms": 1500
+  }
+}`
+
+const treeHier = `{
+  "mode": "community",
+  "window_ms": 100,
+  "num_redirectors": 2,
+  "principals": [{"name": "A", "capacity": 10}],
+  "tree": {
+    "node_id": 0,
+    "peers": {"1": "127.0.0.1:7001"}, "listen_addr": "127.0.0.1:7000",
+    "topology": {
+      "regions": [
+        {"name": "east", "members": [0]},
+        {"name": "west", "members": [1]}
+      ],
+      "fanout": 2,
+      "sharding": "component",
+      "delta_threshold": 0.5,
+      "delta_resync_every": 8,
+      "failure_timeout_ms": 1500
+    }
+  }
+}`
+
+// TestTreeConfigRoundTrip checks that both tree forms parse, survive a
+// marshal/re-parse round trip, and that the topology form converts into
+// a valid compiled plane.
+func TestTreeConfigRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		raw  string
+	}{{"flat", treeFlat}, {"topology", treeHier}} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse([]byte(tc.raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := json.Marshal(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := Parse(enc)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if !reflect.DeepEqual(f, g) {
+				t.Fatalf("round trip changed the config:\n%+v\n%+v", f, g)
+			}
+		})
+	}
+
+	flat, err := Parse([]byte(treeFlat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Tree.Topology != nil {
+		t.Fatalf("flat form grew a topology: %+v", flat.Tree.Topology)
+	}
+	if len(flat.Tree.Members) != 2 || flat.Tree.Fanout != 2 || flat.Tree.FailureTimeoutMS != 1500 {
+		t.Fatalf("flat keys not preserved: %+v", flat.Tree)
+	}
+
+	hier, err := Parse([]byte(treeHier))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := hier.Tree.Topology.Spec()
+	if spec == nil {
+		t.Fatal("nil topology spec")
+	}
+	pl, err := topology.Compile(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pl.Members()); got != 2 {
+		t.Fatalf("members = %d", got)
+	}
+	if spec.Sharding != topology.ShardComponent || spec.Delta.Threshold != 0.5 || spec.Delta.ResyncEvery != 8 {
+		t.Fatalf("topology tuning lost: %+v", spec)
+	}
+	if hier.Tree.Topology.FailureTimeoutMS != 1500 {
+		t.Fatalf("failure timeout lost: %+v", hier.Tree.Topology)
+	}
+}
+
+// TestTopologySpecRejected checks that a malformed topology fails Parse
+// instead of surfacing at node boot.
+func TestTopologySpecRejected(t *testing.T) {
+	_, err := Parse([]byte(`{
+	  "mode": "community",
+	  "principals": [{"name": "A", "capacity": 10}],
+	  "tree": {"node_id": 0, "listen_addr": "127.0.0.1:0",
+	           "topology": {"regions": [{"name": "east", "members": [0]},
+	                                    {"name": "east", "members": [1]}]}}
+	}`))
+	if err == nil {
+		t.Fatal("duplicate region name accepted")
 	}
 }

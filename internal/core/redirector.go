@@ -23,6 +23,13 @@ type Redirector struct {
 	globalAt time.Duration
 	haveGlob bool
 
+	// Per-principal aggregate freshness: with principal sharding, each
+	// agreement component's tree delivers its aggregate independently, so
+	// principals age out of date at different times (SetGlobalComponent).
+	globalAtP  []time.Duration
+	globalHasP []bool
+	freshBuf   []bool // scratch for the per-window freshness mask
+
 	// rolloutEpoch/rolloutKnown feed the engine's epoch gate: the combining
 	// tree epoch this redirector has reached and the newest agreement-set
 	// version it has learned of (see SetRollout and Engine.stateFor).
@@ -52,6 +59,10 @@ type Redirector struct {
 	Rejected     int
 	Windows      int
 	Conservative int // windows run in conservative fallback
+	// Partial counts mixed windows: at least one agreement component had a
+	// fresh aggregate (planned normally) while another was stale and fell
+	// back to its conservative share.
+	Partial int
 }
 
 // NewRedirector stamps out admission state for one redirector node and
@@ -107,12 +118,46 @@ func (r *Redirector) LocalEstimateInto(dst []float64) []float64 {
 // SetGlobal installs the latest global queue-length aggregate (the Sum
 // vector broadcast by the combining tree) with its generation time.
 func (r *Redirector) SetGlobal(queues []float64, at time.Duration) {
-	if r.global == nil {
-		r.global = make([]float64, r.e.n)
-	}
+	r.ensureGlobal()
 	copy(r.global, queues)
 	r.globalAt = at
 	r.haveGlob = true
+	for i := range r.globalAtP {
+		r.globalAtP[i] = at
+		r.globalHasP[i] = true
+	}
+}
+
+// SetGlobalComponent installs one agreement component's aggregate:
+// queues[k] is the global figure for principal members[k]. Each component's
+// tree settles independently under principal sharding, so freshness is
+// tracked per principal — StartWindow plans normally for principals whose
+// component is fresh and claims the conservative share for the rest.
+func (r *Redirector) SetGlobalComponent(members []int, queues []float64, at time.Duration) {
+	r.ensureGlobal()
+	for k, p := range members {
+		if p < 0 || p >= r.e.n || k >= len(queues) {
+			continue
+		}
+		r.global[p] = queues[k]
+		r.globalAtP[p] = at
+		r.globalHasP[p] = true
+	}
+	if at > r.globalAt {
+		r.globalAt = at
+	}
+	r.haveGlob = true
+}
+
+// ensureGlobal lazily sizes the aggregate-tracking state.
+func (r *Redirector) ensureGlobal() {
+	if r.global == nil {
+		r.global = make([]float64, r.e.n)
+	}
+	if r.globalAtP == nil {
+		r.globalAtP = make([]time.Duration, r.e.n)
+		r.globalHasP = make([]bool, r.e.n)
+	}
 }
 
 // HasGlobal reports whether any global aggregate has been received.
@@ -210,8 +255,24 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 	// received the new agreement set: its entitlements are superseded, so it
 	// falls back to the conservative claim like any other blind window.
 	stale := !r.haveGlob || lagging
-	if r.e.cfg.Staleness > 0 && r.haveGlob && now-r.globalAt > r.e.cfg.Staleness {
-		stale = true
+	// Per-principal freshness: under principal sharding each component's
+	// aggregate ages independently. A nil mask means every principal is
+	// fresh; an all-stale mask collapses into the blind path below.
+	var fresh []bool
+	if !stale {
+		fresh = r.freshMask(now)
+		if fresh != nil {
+			any := false
+			for _, f := range fresh {
+				if f {
+					any = true
+					break
+				}
+			}
+			if !any {
+				stale, fresh = true, nil
+			}
+		}
 	}
 	if stale {
 		r.Conservative++
@@ -262,6 +323,13 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 			return fmt.Errorf("core: window schedule: %w", err)
 		}
 		for i := 0; i < r.e.n; i++ {
+			if fresh != nil && !fresh[i] {
+				// This principal's component aggregate is stale: claim the
+				// conservative share while the rest of the window plans
+				// normally.
+				r.conservativeCommunity(st, rec, i)
+				continue
+			}
 			frac := 0.0
 			if n[i] > 0 {
 				frac = r.estimate[i] / n[i]
@@ -300,6 +368,12 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 			}
 		}
 		for ci, p := range st.customers {
+			if fresh != nil && !fresh[p] {
+				// Stale component: conservative share on top of the carried
+				// credit installed above.
+				r.conservativeProvider(st, rec, int(p), r.creditsTotal[p])
+				continue
+			}
 			frac := 0.0
 			if n[p] > 0 {
 				frac = r.estimate[p] / n[p]
@@ -316,7 +390,45 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 			}
 		}
 	}
+	if fresh != nil {
+		r.Partial++
+	}
 	return nil
+}
+
+// freshMask returns the per-principal aggregate-freshness mask for a
+// window starting at now, or nil when every principal is fresh (the flat
+// single-tree fast path: SetGlobal stamps all principals together).
+func (r *Redirector) freshMask(now time.Duration) []bool {
+	if r.globalAtP == nil {
+		return nil
+	}
+	mixed := false
+	for i := range r.globalAtP {
+		if !r.freshAt(i, now) {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		return nil
+	}
+	if r.freshBuf == nil {
+		r.freshBuf = make([]bool, r.e.n)
+	}
+	for i := range r.freshBuf {
+		r.freshBuf[i] = r.freshAt(i, now)
+	}
+	return r.freshBuf
+}
+
+// freshAt reports whether principal i's component aggregate is usable at
+// now (received, and inside the staleness budget when one is configured).
+func (r *Redirector) freshAt(i int, now time.Duration) bool {
+	if !r.globalHasP[i] {
+		return false
+	}
+	return r.e.cfg.Staleness <= 0 || now-r.globalAtP[i] <= r.e.cfg.Staleness
 }
 
 // markSolveErr tags the pending record of a window whose LP failed: the
@@ -351,35 +463,54 @@ func carry(remaining float64) float64 {
 // doing (Figure 8, phase 1). The grant doubles as floor and ceiling in the
 // trace record: a blind window must admit exactly its conservative share.
 func (r *Redirector) conservativeCredits(st schedState, rec *obs.Record) {
-	share := 1 / float64(r.e.cfg.NumRedirectors)
-	if r.e.cfg.AggressiveWhenBlind {
-		share = 1 // ablation only; see Config.AggressiveWhenBlind
-	}
 	switch r.e.cfg.Mode {
 	case Community:
 		for i := 0; i < r.e.n; i++ {
-			carried := 0.0
-			for k := 0; k < r.e.n; k++ {
-				c := carry(r.credits[i][k])
-				carried += c
-				r.credits[i][k] = st.access.MI[k][i]*share + c
-			}
-			if rec != nil {
-				g := st.access.MC[i] * share
-				rec.Granted[i], rec.Floor[i] = g, g
-				rec.Ceil[i] = g + carried
-			}
+			r.conservativeCommunity(st, rec, i)
 		}
 	case Provider:
 		for _, p := range st.customers {
-			c := carry(r.creditsTotal[p])
-			r.creditsTotal[p] = st.access.MC[p]*share + c
-			if rec != nil {
-				g := st.access.MC[p] * share
-				rec.Granted[p], rec.Floor[p] = g, g
-				rec.Ceil[p] = g + c
-			}
+			r.conservativeProvider(st, rec, int(p), carry(r.creditsTotal[p]))
 		}
+	}
+}
+
+// conservativeShare is the blind claim fraction: 1/R of every mandatory
+// entitlement (1 under the AggressiveWhenBlind ablation).
+func (r *Redirector) conservativeShare() float64 {
+	if r.e.cfg.AggressiveWhenBlind {
+		return 1 // ablation only; see Config.AggressiveWhenBlind
+	}
+	return 1 / float64(r.e.cfg.NumRedirectors)
+}
+
+// conservativeCommunity claims principal i's conservative share in
+// Community mode (whole-window fallback, or a single stale component in a
+// mixed window).
+func (r *Redirector) conservativeCommunity(st schedState, rec *obs.Record, i int) {
+	share := r.conservativeShare()
+	carried := 0.0
+	for k := 0; k < r.e.n; k++ {
+		c := carry(r.credits[i][k])
+		carried += c
+		r.credits[i][k] = st.access.MI[k][i]*share + c
+	}
+	if rec != nil {
+		g := st.access.MC[i] * share
+		rec.Granted[i], rec.Floor[i] = g, g
+		rec.Ceil[i] = g + carried
+	}
+}
+
+// conservativeProvider claims customer p's conservative share in Provider
+// mode on top of the already-carried credit c.
+func (r *Redirector) conservativeProvider(st schedState, rec *obs.Record, p int, c float64) {
+	share := r.conservativeShare()
+	g := st.access.MC[p] * share
+	r.creditsTotal[p] = g + c
+	if rec != nil {
+		rec.Granted[p], rec.Floor[p] = g, g
+		rec.Ceil[p] = g + c
 	}
 }
 

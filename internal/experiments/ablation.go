@@ -125,10 +125,10 @@ func treeMessages(n int) int {
 	nodes := make(map[combining.NodeID]*combining.Node, n)
 	for _, id := range ids {
 		id := id
-		nodes[id] = combining.NewNode(id, topo.Parent[id], topo.Children[id], 1,
-			func(to combining.NodeID, msg interface{}) {
+		nodes[id] = combining.NewBuilder(id).Place(topo).Principals(1).
+			Transport(func(to combining.NodeID, msg interface{}) {
 				net.Send(simnet.NodeID(id), simnet.NodeID(to), msg)
-			}, clock.Now)
+			}).Clock(clock.Now).Build()
 		net.Handle(simnet.NodeID(id), func(from simnet.NodeID, msg interface{}) {
 			nodes[id].OnMessage(combining.NodeID(from), msg)
 		})

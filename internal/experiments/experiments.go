@@ -174,7 +174,8 @@ var registry = []struct {
 	{"abl-tree", AblationTree},
 	{"abl-window", AblationWindowSize},
 	{"abl-conservative", AblationConservativeFallback},
-	{"ext-hier", ExtHierarchical},
+	{"ext-hier", ExtHierPlane},
+	{"ext-resell", ExtReselling},
 	{"ext-local", ExtLocality},
 	{"ext-dynamic", ExtDynamicCapacity},
 	{"ext-failover", ExtFailover},

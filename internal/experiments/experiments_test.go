@@ -96,11 +96,11 @@ func TestAblationTree(t *testing.T) {
 	runAndCheck(t, "abl-tree")
 }
 
-func TestExtHierarchicalReselling(t *testing.T) {
+func TestExtReselling(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")
 	}
-	runAndCheck(t, "ext-hier")
+	runAndCheck(t, "ext-resell")
 }
 
 func TestExtLocalityCaps(t *testing.T) {
@@ -214,7 +214,7 @@ func TestExperimentsAreDeterministic(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
+	if len(ids) != 19 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil || !strings.Contains(err.Error(), "unknown id") {
@@ -250,5 +250,24 @@ func TestExtReconfig(t *testing.T) {
 	}
 	if res.Values["identical@replay"] != 1 {
 		t.Fatal("two runs of the experiment diverged: not deterministic")
+	}
+}
+
+// TestExtHierPlane: the hierarchical plane experiment survives a regional
+// sub-root crash with re-convergence, no mixed-version windows, and a
+// bit-identical replay.
+func TestExtHierPlane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "ext-hier")
+	if res.Values["identical@replay"] != 1 {
+		t.Fatal("two runs of the experiment diverged: not deterministic")
+	}
+	if res.Values["mixed-version@windows"] != 0 {
+		t.Fatalf("%v windows mixed agreement versions", res.Values["mixed-version@windows"])
+	}
+	if res.Values["promoted-parent@west"] != 0 || res.Values["leaf-parent@west"] != 4 {
+		t.Fatalf("west region re-parented wrong: %v", res.Values)
 	}
 }

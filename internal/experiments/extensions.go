@@ -11,7 +11,7 @@ import (
 	"repro/internal/workload"
 )
 
-// ExtHierarchical exercises the hierarchical agreement model of §2.1 (the
+// ExtReselling exercises the hierarchical agreement model of §2.1 (the
 // sub-ASP reselling case the paper says its techniques "naturally extend
 // to"): ASP S (400 req/s) grants sub-ASP M [0.5, 0.8] of its resources; M
 // resells [0.4, 0.6] of its currency to each of its customers X and Y.
@@ -20,7 +20,7 @@ import (
 // each, M retains 200·(1−0.8) = 40, and S keeps 400·0.5 = 200 — exactly
 // partitioning capacity under full overload. When X goes idle, the max–min
 // scheduler redistributes its share between M and Y.
-func ExtHierarchical() (*Result, error) {
+func ExtReselling() (*Result, error) {
 	s := agreement.New()
 	asp := s.MustAddPrincipal("S", 400)
 	m := s.MustAddPrincipal("M", 0)
@@ -62,7 +62,7 @@ func ExtHierarchical() (*Result, error) {
 	sm.Run(120 * time.Second)
 
 	res := &Result{
-		ID:       "ext-hier",
+		ID:       "ext-resell",
 		Title:    "Hierarchical sub-ASP reselling (paper §2.1 extension)",
 		Recorder: sm.Recorder,
 		Phases: []metrics.Phase{

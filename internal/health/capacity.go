@@ -34,6 +34,7 @@ type Reinterpreter struct {
 	total map[agreement.Principal]int    // backends per owner
 	live  map[agreement.Principal]int    // backends currently up
 	down  map[string]bool
+	nodes map[int]string // topology node id -> current raw target
 
 	degraded  atomic.Uint64 // transitions into a degraded state
 	recovered atomic.Uint64 // transitions back to full capacity
@@ -50,6 +51,7 @@ func NewReinterpreter(eng Engine, owners map[string]agreement.Principal) *Reinte
 		total: make(map[agreement.Principal]int),
 		live:  make(map[agreement.Principal]int),
 		down:  make(map[string]bool),
+		nodes: make(map[int]string),
 	}
 	for target, p := range owners {
 		r.owner[target] = p
@@ -68,6 +70,52 @@ func (r *Reinterpreter) Targets() []string {
 		out = append(out, t)
 	}
 	return out
+}
+
+// BindNode binds a topology node id to the raw target currently serving
+// it. The first binding must name a watched target; a re-binding (a
+// restart that came back on a different address) transfers the old
+// target's registration — owner and down state — to the new address. Node
+// ids are the stable way to address members of a hierarchical plane:
+// re-parenting and restarts change raw addresses, never ids.
+func (r *Reinterpreter) BindNode(node int, target string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, bound := r.nodes[node]
+	if bound && prev != target {
+		p, known := r.owner[prev]
+		if !known {
+			return fmt.Errorf("health: node %d bound to unknown backend %q", node, prev)
+		}
+		delete(r.owner, prev)
+		r.owner[target] = p
+		if r.down[prev] {
+			delete(r.down, prev)
+			r.down[target] = true
+		}
+	} else if _, known := r.owner[target]; !known {
+		return fmt.Errorf("health: unknown backend %q", target)
+	}
+	r.nodes[node] = target
+	return nil
+}
+
+// NodeTarget resolves a topology node id to its current raw target.
+func (r *Reinterpreter) NodeTarget(node int) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	target, ok := r.nodes[node]
+	return target, ok
+}
+
+// SetNodeDown is SetBackendDown addressed by topology node id instead of
+// raw target; unbound ids are an error so wiring mistakes surface.
+func (r *Reinterpreter) SetNodeDown(node int, isDown bool) error {
+	target, ok := r.NodeTarget(node)
+	if !ok {
+		return fmt.Errorf("health: unbound node id %d", node)
+	}
+	return r.SetBackendDown(target, isDown)
 }
 
 // SetBackendDown marks one backend down (or back up) and re-interprets the

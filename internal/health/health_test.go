@@ -357,3 +357,58 @@ func TestReinterpreterWithCheckerEndToEnd(t *testing.T) {
 		t.Fatalf("capacities = %v, want restored", eng.caps)
 	}
 }
+
+// TestReinterpreterNodeAddressing drives the reinterpreter by topology
+// node id: kills by id, rebinds after a restart that changed the raw
+// address (transferring owner and down state), and recovers by id.
+func TestReinterpreterNodeAddressing(t *testing.T) {
+	eng := &fakeEngine{caps: []float64{320, 0, 0}}
+	owners := map[string]agreement.Principal{
+		"http://s1:1": 0,
+		"http://s2:1": 0,
+	}
+	r := NewReinterpreter(eng, owners)
+
+	if err := r.BindNode(7, "http://s1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BindNode(8, "http://nope:1"); err == nil {
+		t.Fatal("bound a node to an unwatched target")
+	}
+	if err := r.SetNodeDown(9, true); err == nil {
+		t.Fatal("unbound node id accepted")
+	}
+
+	if err := r.SetNodeDown(7, true); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Degraded() || !reflect.DeepEqual(eng.caps, []float64{160, 0, 0}) {
+		t.Fatalf("node kill did not degrade: caps = %v", eng.caps)
+	}
+
+	// The node restarts on a new address: re-binding transfers the old
+	// target's registration, so the id keeps working.
+	if err := r.BindNode(7, "http://s1:2"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.NodeTarget(7); got != "http://s1:2" {
+		t.Fatalf("NodeTarget = %q", got)
+	}
+	if err := r.SetNodeDown(7, false); err != nil {
+		t.Fatal(err)
+	}
+	if r.Degraded() || !reflect.DeepEqual(eng.caps, []float64{320, 0, 0}) {
+		t.Fatalf("node recovery by id did not restore: caps = %v", eng.caps)
+	}
+	deg, rec := r.Transitions()
+	if deg != 1 || rec != 1 {
+		t.Fatalf("transitions = %d/%d, want 1/1", deg, rec)
+	}
+	// The old address is gone from the watch set; the new one is live.
+	if err := r.SetBackendDown("http://s1:1", true); err == nil {
+		t.Fatal("stale address still registered after rebind")
+	}
+	if err := r.SetBackendDown("http://s1:2", true); err != nil {
+		t.Fatal(err)
+	}
+}

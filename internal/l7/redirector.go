@@ -21,6 +21,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/persist"
+	"repro/internal/topology"
 	"repro/internal/treenet"
 )
 
@@ -126,7 +127,7 @@ type Redirector struct {
 	// atomic round-robin cursor.
 	mu     sync.Mutex
 	red    *core.Redirector
-	tree   *combining.Node
+	tree   *combining.Forest
 	hop    *combining.HopMetrics
 	estBuf []float64 // reused local-estimate buffer (under mu)
 
@@ -147,7 +148,8 @@ type Redirector struct {
 	client  *http.Client
 
 	transport *treenet.Transport
-	reparent  *treenet.Reparenter
+	reparent  treenet.Detector
+	topoPlane func() *topology.Plane // nil on a flat layout
 	ticker    *time.Ticker
 	done      chan struct{}
 	closeOnce sync.Once
@@ -231,6 +233,11 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		if addr == "" {
 			addr = "127.0.0.1:0"
 		}
+		wiring, werr := cfg.Tree.Resolve()
+		if werr != nil {
+			ln.Close()
+			return nil, werr
+		}
 		r.transport, err = treenet.Listen(cfg.Tree.NodeID, addr, r.onTreeMessage)
 		if err != nil {
 			ln.Close()
@@ -239,23 +246,36 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		for id, peerAddr := range cfg.Tree.Peers {
 			r.transport.SetPeer(id, peerAddr)
 		}
-		r.tree = combining.NewNode(cfg.Tree.NodeID, cfg.Tree.Parent, cfg.Tree.Children,
-			cfg.Engine.NumPrincipals(), r.transport.Send, r.elapsed)
-		r.hop = combining.NewHopMetrics()
-		r.tree.SetHopMetrics(r.hop)
-		if cfg.Tree.FailureTimeout > 0 {
-			members := cfg.Tree.Members
-			if len(members) == 0 {
-				members = append(members, cfg.Tree.NodeID)
-				for id := range cfg.Tree.Peers {
-					members = append(members, id)
+		r.reparent = wiring.Detector
+		r.topoPlane = wiring.Plane
+		// Principal sharding: under the component policy each disjoint
+		// agreement component runs its own tree (independent epochs) over
+		// the shared plane; otherwise one tree carries the full vector.
+		var comps [][]int
+		if top := cfg.Tree.Topology; top != nil {
+			if top.Sharding == topology.ShardComponent {
+				for _, c := range cfg.Engine.System().Components() {
+					ms := make([]int, len(c))
+					for i, p := range c {
+						ms[i] = int(p)
+					}
+					comps = append(comps, ms)
 				}
 			}
-			fanout := cfg.Tree.Fanout
-			if fanout < 2 {
-				fanout = 2
+			if d := top.Normalize().Delta; d.Enabled() {
+				r.transport.EnableDelta(d.Threshold, d.ResyncEvery)
 			}
-			r.reparent = treenet.NewReparenter(cfg.Tree.NodeID, members, fanout, cfg.Tree.FailureTimeout)
+		}
+		r.hop = combining.NewHopMetrics()
+		r.tree, err = combining.NewForest(combining.ForestConfig{
+			ID: cfg.Tree.NodeID, Parent: wiring.Parent, Children: wiring.Children,
+			NumPrincipals: cfg.Engine.NumPrincipals(), Components: comps,
+			Send: r.transport.TreeSend, Now: r.elapsed, Hop: r.hop,
+		})
+		if err != nil {
+			ln.Close()
+			r.transport.Close()
+			return nil, err
 		}
 		// Configuration updates arriving from the parent stage a new
 		// scheduling generation on the local engine behind the sender's
@@ -429,6 +449,9 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 	if r.plane != nil {
 		hcfg.Control = r.plane.Handler()
 	}
+	if r.tree != nil {
+		hcfg.Topology = r.topologyInfo
+	}
 	if r.tracer != nil {
 		if cfg.Flight != nil {
 			fl := *cfg.Flight
@@ -478,12 +501,123 @@ func (r *Redirector) SetTreePeer(id combining.NodeID, addr string) {
 	}
 }
 
+// TreeStats snapshots the tree transport's health and delta-compression
+// counters (all zero without a tree).
+func (r *Redirector) TreeStats() treenet.Stats {
+	if r.transport == nil {
+		return treenet.Stats{}
+	}
+	return r.transport.Stats()
+}
+
+// BindNode binds a topology node id to the raw backend target currently
+// serving it in the health plane, so chaos harnesses can address members
+// by stable id across restarts and re-parenting (see
+// health.Reinterpreter.BindNode). Errors without health checking.
+func (r *Redirector) BindNode(node int, target string) error {
+	if r.reint == nil {
+		return fmt.Errorf("l7: health checking disabled, no node registry")
+	}
+	return r.reint.BindNode(node, target)
+}
+
+// NodeTarget resolves a bound topology node id to its current raw target
+// ("" when unbound or health checking is off).
+func (r *Redirector) NodeTarget(node int) (string, bool) {
+	if r.reint == nil {
+		return "", false
+	}
+	return r.reint.NodeTarget(node)
+}
+
 func (r *Redirector) elapsed() time.Duration { return time.Since(r.start) }
 
-func (r *Redirector) onTreeMessage(from combining.NodeID, msg interface{}) {
+// topologyInfo snapshots the combining plane for GET /v1/topology. On a
+// hierarchical layout it reports every member's current placement from the
+// (possibly repaired) compiled plane; on a flat layout it reports this
+// node's own neighborhood — the authoritative local view either way.
+func (r *Redirector) topologyInfo() *obs.TopologyInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.tree.OnMessage(from, msg)
+	if r.tree == nil {
+		return nil
+	}
+	self := r.tree.ID()
+	info := &obs.TopologyInfo{Self: int(self)}
+	if r.topoPlane != nil {
+		plane := r.topoPlane()
+		info.Root = int(plane.Root())
+		info.Levels = plane.Levels()
+		for _, id := range plane.Members() {
+			node := obs.TopologyNode{ID: int(id), Parent: -1, Alive: plane.Alive(id)}
+			if pl, ok := plane.Placement(id); ok {
+				node.Region, node.Parent = pl.Region, int(pl.Parent)
+				node.Level, node.SubRoot = pl.Level, pl.SubRoot
+			}
+			info.Nodes = append(info.Nodes, node)
+		}
+	} else {
+		// Flat layout: this node only knows its own placement (and, with a
+		// detector, which neighbors it pruned).
+		parent, children := r.cfg.Tree.Parent, r.cfg.Tree.Children
+		if r.reparent != nil {
+			parent, children = r.reparent.Parent(), r.reparent.Children()
+		}
+		info.Levels = 2
+		if parent < 0 {
+			info.Root = int(self)
+		} else {
+			info.Root = int(parent)
+		}
+		removed := make(map[combining.NodeID]bool)
+		if r.reparent != nil {
+			for _, id := range r.reparent.Removed() {
+				removed[id] = true
+			}
+		}
+		level := 0
+		if parent >= 0 {
+			level = 1
+			info.Nodes = append(info.Nodes, obs.TopologyNode{
+				ID: int(parent), Region: "flat", Parent: -1, Alive: !removed[parent],
+			})
+		}
+		info.Nodes = append(info.Nodes, obs.TopologyNode{
+			ID: int(self), Region: "flat", Parent: int(parent), Level: level, Alive: true,
+		})
+		for _, c := range children {
+			info.Nodes = append(info.Nodes, obs.TopologyNode{
+				ID: int(c), Region: "flat", Parent: int(self), Level: level + 1, Alive: !removed[c],
+			})
+		}
+	}
+	names := r.names
+	for t := 0; t < r.tree.Trees(); t++ {
+		comp := obs.TopologyComponent{
+			Tree:        t,
+			Epoch:       r.tree.Tree(t).Epoch(),
+			GlobalEpoch: r.tree.Tree(t).GlobalEpoch(),
+		}
+		for _, p := range r.tree.Component(t) {
+			if p >= 0 && p < len(names) {
+				comp.Principals = append(comp.Principals, names[p])
+			}
+		}
+		info.Components = append(info.Components, comp)
+	}
+	if r.transport != nil {
+		st := r.transport.Stats()
+		info.DeltaBytesSaved = st.Delta.BytesSaved
+		info.DeltaEntriesSuppressed = st.Delta.EntriesSuppressed
+		info.DeltaEnabled = r.cfg.Tree.Topology != nil && r.cfg.Tree.Topology.Delta.Enabled()
+	}
+	return info
+}
+
+func (r *Redirector) onTreeMessage(tree int, from combining.NodeID, msg interface{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tree.OnMessage(tree, from, msg)
 	if _, ok := msg.(combining.Broadcast); ok {
 		r.pushGlobalLocked()
 		// Pre-solve the plan the next window boundary will need while we
@@ -493,9 +627,20 @@ func (r *Redirector) onTreeMessage(from combining.NodeID, msg interface{}) {
 	}
 }
 
+// pushGlobalLocked publishes the settled aggregates to the engine: the
+// flat single-tree path keeps the uniform SetGlobal semantics, sharded
+// forests stamp each agreement component with its own tree's timestamp.
 func (r *Redirector) pushGlobalLocked() {
-	if agg, at, ok := r.tree.Global(); ok {
-		r.red.SetGlobal(agg.Sum, at)
+	if r.tree.Trees() == 1 {
+		if agg, at, ok := r.tree.ComponentGlobal(0); ok {
+			r.red.SetGlobal(agg.Sum, at)
+		}
+		return
+	}
+	for t := 0; t < r.tree.Trees(); t++ {
+		if agg, at, ok := r.tree.ComponentGlobal(t); ok {
+			r.red.SetGlobalComponent(r.tree.Component(t), agg.Sum, at)
+		}
 	}
 }
 

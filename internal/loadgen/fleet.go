@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/l7"
 	"repro/internal/obs"
+	"repro/internal/topology"
 	"repro/internal/treenet"
 )
 
@@ -33,6 +34,14 @@ type FleetConfig struct {
 	Backends int
 	// Window is the scheduling window (default 50ms).
 	Window time.Duration
+	// Regions, when > 1, lays the fleet out hierarchically: the redirectors
+	// split into Regions contiguous regional sub-trees under a global tier
+	// (compiled by internal/topology) with delta-compressed queue vectors on
+	// every tree edge, and peers are wired per tree edge instead of
+	// all-pairs — at 256 nodes the O(n²) mesh would cost tens of thousands
+	// of idle peer queues. When 0 or 1 the fleet keeps the flat BuildTree
+	// layout and the full mesh.
+	Regions int
 	// Trace, when non-nil, arms request-span tracing on every redirector so
 	// sweeps can report per-phase latency alongside end-to-end numbers.
 	Trace *obs.TraceConfig
@@ -91,7 +100,21 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	for i := range ids {
 		ids[i] = combining.NodeID(i)
 	}
-	topo := combining.BuildTree(ids, cfg.Fanout)
+	var (
+		topo combining.Topology
+		spec *topology.Spec
+	)
+	if cfg.Regions > 1 {
+		spec = fleetTopology(cfg.Redirectors, cfg.Regions, cfg.Fanout)
+		plane, err := topology.Compile(*spec)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		topo = plane.Topology()
+	} else {
+		topo = combining.BuildTree(ids, cfg.Fanout)
+	}
 
 	for i := 0; i < cfg.Redirectors; i++ {
 		// One engine per redirector, exactly like separate processes
@@ -130,6 +153,9 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 				Children:   topo.Children[combining.NodeID(i)],
 				ListenAddr: "127.0.0.1:0",
 				Fanout:     cfg.Fanout,
+				// On the hierarchical grid the redirector takes placement
+				// (and delta compression) from the plane spec instead.
+				Topology: spec,
 			}
 		}
 		r, err := l7.NewRedirector(rcfg)
@@ -140,15 +166,57 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 		f.Redirectors = append(f.Redirectors, r)
 	}
 
-	// Every tree port is ephemeral, so peers are wired after the fact.
-	for i, ri := range f.Redirectors {
-		for j, rj := range f.Redirectors {
-			if i != j {
-				ri.SetTreePeer(combining.NodeID(j), rj.TreeAddr())
+	// Every tree port is ephemeral, so peers are wired after the fact. The
+	// flat grid wires the full mesh (repairs can re-parent anywhere); the
+	// hierarchical grid wires only the plane's edges, both directions.
+	if cfg.Regions > 1 {
+		for i, ri := range f.Redirectors {
+			id := combining.NodeID(i)
+			if p := topo.Parent[id]; p >= 0 {
+				ri.SetTreePeer(p, f.Redirectors[p].TreeAddr())
+			}
+			for _, c := range topo.Children[id] {
+				ri.SetTreePeer(c, f.Redirectors[c].TreeAddr())
+			}
+		}
+	} else {
+		for i, ri := range f.Redirectors {
+			for j, rj := range f.Redirectors {
+				if i != j {
+					ri.SetTreePeer(combining.NodeID(j), rj.TreeAddr())
+				}
 			}
 		}
 	}
 	return f, nil
+}
+
+// fleetTopology lays n redirectors out as `regions` contiguous equal blocks
+// — region-00 {0..k-1}, region-01 {k..2k-1}, … — with delta compression
+// tuned for the sweep's demand scale: per-redirector per-principal rates sit
+// in the tens of req/s, so a 0.5 req/s threshold suppresses idle entries
+// without hiding real movement, and a 16-frame resync bounds drift.
+func fleetTopology(n, regions, fanout int) *topology.Spec {
+	spec := &topology.Spec{
+		Fanout: fanout,
+		Delta:  topology.DeltaSpec{Threshold: 0.5, ResyncEvery: 16},
+	}
+	per := (n + regions - 1) / regions
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		members := make([]int, 0, hi-lo)
+		for m := lo; m < hi; m++ {
+			members = append(members, m)
+		}
+		spec.Regions = append(spec.Regions, topology.Region{
+			Name:    fmt.Sprintf("region-%02d", len(spec.Regions)),
+			Members: members,
+		})
+	}
+	return spec
 }
 
 // Target returns a round-robin target over the fleet's redirectors, so
@@ -184,6 +252,24 @@ func (f *Fleet) Conformance() Conformance {
 		}
 	}
 	return c
+}
+
+// TreeStats folds every redirector's tree-transport counters — including
+// the delta-compression codec counters — into one fleet-wide snapshot.
+// All zero on a single-redirector fleet (no tree) or when delta compression
+// is off (flat layout).
+func (f *Fleet) TreeStats() treenet.Stats {
+	var sum treenet.Stats
+	for _, r := range f.Redirectors {
+		st := r.TreeStats()
+		sum.SendErrors += st.SendErrors
+		sum.QueueDrops += st.QueueDrops
+		sum.Dials += st.Dials
+		sum.Reconnects += st.Reconnects
+		sum.PeersConnected += st.PeersConnected
+		sum.Delta.Add(st.Delta)
+	}
+	return sum
 }
 
 // PhaseDurations aggregates the per-phase request latency distributions

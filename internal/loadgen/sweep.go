@@ -24,16 +24,35 @@ type SweepPoint struct {
 	// well past the default grid's ceiling without re-scaling every other
 	// point.
 	Capacity float64
+	// Regions, when > 1, lays the point's fleet out hierarchically — the
+	// redirectors split into regional sub-trees under a global tier with
+	// delta-compressed queue vectors on every edge (see FleetConfig.Regions).
+	Regions int
+	// Window/Duration/Warmup, when positive, override SweepDefaults for
+	// this point. The hierarchical points stretch the scheduling window
+	// with fleet size so each redirector still sees several requests per
+	// principal per window (admissions are whole requests; a near-empty
+	// window sits inside the credit carry and the under-floor audit turns
+	// into noise), and stretch warmup/duration with it so the deeper plane
+	// still settles and measures tens of windows.
+	Window   time.Duration
+	Duration time.Duration
+	Warmup   time.Duration
 }
 
 // Name renders the canonical point label used in BENCH_scale.json. Points
 // that override the default fleet capacity carry it in the label so the two
-// load dimensions (relative fraction, absolute rate) stay distinguishable.
+// load dimensions (relative fraction, absolute rate) stay distinguishable,
+// and hierarchical points carry their region count.
 func (p SweepPoint) Name() string {
+	name := fmt.Sprintf("Scale/r=%d/f=%d/load=%.2f", p.Redirectors, p.Fanout, p.Load)
 	if p.Capacity > 0 {
-		return fmt.Sprintf("Scale/r=%d/f=%d/load=%.2f/cap=%g", p.Redirectors, p.Fanout, p.Load, p.Capacity)
+		name += fmt.Sprintf("/cap=%g", p.Capacity)
 	}
-	return fmt.Sprintf("Scale/r=%d/f=%d/load=%.2f", p.Redirectors, p.Fanout, p.Load)
+	if p.Regions > 1 {
+		name += fmt.Sprintf("/reg=%d", p.Regions)
+	}
+	return name
 }
 
 // Streams expands the point into per-principal arrival streams against a
@@ -61,6 +80,14 @@ func (p SweepPoint) Streams(capacity float64, orgs []string) []Stream {
 // high-rate points at 4× the default fleet capacity (12800 req/s) that
 // push the absolute offered QPS past anything the base grid reaches —
 // 6400 and 10240 req/s — to expose contention the fractional points mask.
+//
+// The last three points are the hierarchical-plane scale grid: 64, 128 and
+// 256 redirectors laid out as 16-member regional sub-trees under a global
+// tier, with delta-compressed queue vectors on every tree edge. Window
+// length scales with fleet size (100/200/400 ms) to keep per-redirector
+// per-window demand in the audit's meaningful range, so upstream message
+// volume (delta entries on the wire) must grow sub-linearly across the
+// grid — cmd/loadgen asserts the 64→256 ratio stays under 4×.
 func DefaultSweep() []SweepPoint {
 	return []SweepPoint{
 		{Redirectors: 1, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 1},
@@ -71,6 +98,12 @@ func DefaultSweep() []SweepPoint {
 		{Redirectors: 4, Fanout: 3, Load: 0.8, Process: Poisson, Seed: 6},
 		{Redirectors: 2, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 7, Capacity: 12800},
 		{Redirectors: 4, Fanout: 2, Load: 0.8, Process: Poisson, Seed: 8, Capacity: 12800},
+		{Redirectors: 64, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 9, Capacity: 12800,
+			Regions: 4, Window: 100 * time.Millisecond, Duration: 5 * time.Second, Warmup: 2 * time.Second},
+		{Redirectors: 128, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 10, Capacity: 12800,
+			Regions: 8, Window: 200 * time.Millisecond, Duration: 8 * time.Second, Warmup: 4 * time.Second},
+		{Redirectors: 256, Fanout: 2, Load: 0.5, Process: Poisson, Seed: 11, Capacity: 12800,
+			Regions: 16, Window: 400 * time.Millisecond, Duration: 12 * time.Second, Warmup: 8 * time.Second},
 	}
 }
 

@@ -51,6 +51,9 @@ type HandlerConfig struct {
 	// Config, when non-nil, supplies the engine's configuration-version
 	// state for the rsa_config_* series.
 	Config func() ConfigInfo
+	// Topology, when non-nil, serves the combining-plane snapshot on
+	// GET /v1/topology (nil return → 404, no plane configured).
+	Topology func() *TopologyInfo
 }
 
 // NamedHistogram pairs a latency Histogram with the series name and help
@@ -81,6 +84,7 @@ type ConfigInfo struct {
 //	/v1/debug/windows    JSON array of the last N window trace records (?n=)
 //	/v1/debug/trace      JSON request spans, slowest first (?principal=, ?min_ms=, ?n=)
 //	/v1/debug/flight     JSON flight-recorder captures, newest first (?n=)
+//	/v1/topology         combining-plane snapshot (when configured)
 //	/v1/agreements       dynamic agreement control plane (when configured)
 //	/v1/principals/...   principal join/leave (when configured)
 //	/debug/pprof/...     net/http/pprof
@@ -126,6 +130,9 @@ func (h *Handler) Register(mux *http.ServeMux) {
 	}
 	if h.cfg.Flight != nil {
 		mux.HandleFunc("/v1/debug/flight", h.serveFlight)
+	}
+	if h.cfg.Topology != nil {
+		mux.HandleFunc("/v1/topology", h.serveTopology)
 	}
 	mux.HandleFunc("/metrics", deprecatedAlias("/v1/metrics", h.serveMetrics))
 	mux.HandleFunc("/debug/windows", deprecatedAlias("/v1/debug/windows", h.serveWindows))

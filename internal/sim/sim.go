@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/simnet"
+	"repro/internal/topology"
 	"repro/internal/vclock"
 	"repro/internal/workload"
 )
@@ -52,6 +53,12 @@ type Config struct {
 	TreeDelay time.Duration
 	// TreeFanout is the combining-tree fan-out (default 2).
 	TreeFanout int
+	// Topology, when set, lays the redirectors out hierarchically (regional
+	// sub-trees under a global tier; see internal/topology) instead of the
+	// flat BuildTree layout. Its members must be exactly 0..Redirectors-1.
+	// Failure detection and restarts recompile the plane, so a dead
+	// regional sub-root re-parents its region into the global tier.
+	Topology *topology.Spec
 	// Names labels the recorder series; defaults to P0, P1, ...
 	Names []string
 	// MaxBacklog bounds each server's queue (default 5000).
@@ -102,6 +109,7 @@ type Sim struct {
 	Observers []*obs.Observer
 
 	topo           combining.Topology
+	plane          *topology.Plane // nil on the flat layout
 	fanout         int
 	failed         map[int]bool
 	failureTimeout time.Duration
@@ -220,7 +228,27 @@ func New(cfg Config) (*Sim, error) {
 	for i := range ids {
 		ids[i] = combining.NodeID(i)
 	}
-	topo := combining.BuildTree(ids, cfg.TreeFanout)
+	var topo combining.Topology
+	if cfg.Topology != nil {
+		plane, perr := topology.Compile(*cfg.Topology)
+		if perr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, perr)
+		}
+		members := plane.Members()
+		if len(members) != cfg.Redirectors {
+			return nil, fmt.Errorf("%w: topology has %d members for %d redirectors",
+				ErrConfig, len(members), cfg.Redirectors)
+		}
+		for i, id := range members {
+			if int(id) != i {
+				return nil, fmt.Errorf("%w: topology members must be 0..%d", ErrConfig, cfg.Redirectors-1)
+			}
+		}
+		s.plane = plane
+		topo = plane.Topology()
+	} else {
+		topo = combining.BuildTree(ids, cfg.TreeFanout)
+	}
 	s.topo = topo
 	s.fanout = cfg.TreeFanout
 	for i := 0; i < cfg.Redirectors; i++ {
@@ -232,7 +260,8 @@ func New(cfg Config) (*Sim, error) {
 			sim: s,
 			Red: cfg.Engine.NewRedirector(i),
 		}
-		rn.Tree = combining.NewNode(id, topo.Parent[id], topo.Children[id], n, send, s.Clock.Now)
+		rn.Tree = combining.NewBuilder(id).Place(topo).Principals(n).
+			Transport(send).Clock(s.Clock.Now).Build()
 		s.Redirectors = append(s.Redirectors, rn)
 		s.Net.Handle(simnet.NodeID(id), func(from simnet.NodeID, msg interface{}) {
 			if s.failed[int(id)] {
@@ -564,13 +593,18 @@ func (s *Sim) RestartRedirector(i int) {
 	rn.Tree.Reset(ws.Epoch, cu)
 	id := combining.NodeID(i)
 	if _, present := s.topo.Parent[id]; !present {
-		ids := make([]combining.NodeID, 0, len(s.Redirectors))
-		for j := range s.Redirectors {
-			if !s.failed[j] {
-				ids = append(ids, combining.NodeID(j))
+		if s.plane != nil {
+			s.plane = s.plane.Restore(id)
+			s.topo = s.plane.Topology()
+		} else {
+			ids := make([]combining.NodeID, 0, len(s.Redirectors))
+			for j := range s.Redirectors {
+				if !s.failed[j] {
+					ids = append(ids, combining.NodeID(j))
+				}
 			}
+			s.topo = combining.BuildTree(ids, s.fanout)
 		}
-		s.topo = combining.BuildTree(ids, s.fanout)
 		s.topo.Apply(s.liveNodes())
 		s.Reconfigurations++
 	} else {
@@ -627,7 +661,12 @@ func (s *Sim) detectFailures() {
 	if _, present := s.topo.Parent[combining.NodeID(suspect)]; !present {
 		return // already removed
 	}
-	s.topo = s.topo.RemoveNode(combining.NodeID(suspect))
+	if s.plane != nil {
+		s.plane = s.plane.Remove(combining.NodeID(suspect))
+		s.topo = s.plane.Topology()
+	} else {
+		s.topo = s.topo.RemoveNode(combining.NodeID(suspect))
+	}
 	s.topo.Apply(s.liveNodes())
 	// Rollout liveness valve: a member the tree gave up on cannot
 	// acknowledge a staged set, so drop it from the promotion quorum (it is
@@ -754,6 +793,10 @@ func (s *Sim) ClosePersistence() error {
 	}
 	return first
 }
+
+// Plane returns the current (possibly repaired) hierarchical plane, nil
+// when the simulation runs the flat layout.
+func (s *Sim) Plane() *topology.Plane { return s.plane }
 
 // SetTreeDelay changes the delay on every tree link (before or during a
 // run).

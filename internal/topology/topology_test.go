@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/combining"
+)
+
+func twoRegions() Spec {
+	return Spec{
+		Regions: []Region{
+			{Name: "east", Members: []int{0, 1, 2, 3}},
+			{Name: "west", Members: []int{4, 5, 6, 7}},
+		},
+		Fanout: 2,
+	}
+}
+
+func TestCompileTwoRegions(t *testing.T) {
+	p, err := Compile(twoRegions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root() != 0 {
+		t.Fatalf("root = %d, want 0", p.Root())
+	}
+	// Sub-roots are the lowest member of each region; the global root
+	// dual-hats as east's sub-root.
+	for id, wantSub := range map[combining.NodeID]bool{0: true, 4: true, 1: false, 5: false} {
+		n, ok := p.Placement(id)
+		if !ok {
+			t.Fatalf("placement(%d) missing", id)
+		}
+		if n.SubRoot != wantSub {
+			t.Fatalf("placement(%d).SubRoot = %v, want %v", id, n.SubRoot, wantSub)
+		}
+	}
+	// West's sub-root hangs off the global tier, not inside east.
+	w, _ := p.Placement(4)
+	if w.Parent != 0 {
+		t.Fatalf("west sub-root parent = %d, want 0", w.Parent)
+	}
+	// Every non-sub-root node's parent is inside its own region.
+	for _, id := range p.Members() {
+		n, _ := p.Placement(id)
+		if n.SubRoot {
+			continue
+		}
+		par, _ := p.Placement(n.Parent)
+		if par.Region != n.Region {
+			t.Fatalf("node %d (region %s) parented to %d (region %s)", id, n.Region, n.Parent, par.Region)
+		}
+	}
+	if p.Levels() < 3 {
+		t.Fatalf("levels = %d, want >= 3", p.Levels())
+	}
+	// The flattened view must be a rooted tree over all 8 members, with
+	// the root carrying the BuildTree-style -1 parent entry (consumers
+	// treat a missing Parent entry as "removed").
+	topo := p.Topology()
+	if len(topo.Parent) != 8 || topo.Root != 0 || topo.Parent[0] != -1 {
+		t.Fatalf("flat topology = %+v", topo)
+	}
+}
+
+func TestCompileIsDeterministic(t *testing.T) {
+	a, err := Compile(twoRegions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(twoRegions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("planes differ: %s vs %s", a, b)
+	}
+	for _, id := range a.Members() {
+		na, _ := a.Placement(id)
+		nb, _ := b.Placement(id)
+		if na.Parent != nb.Parent || na.Level != nb.Level {
+			t.Fatalf("node %d placed differently: %+v vs %+v", id, na, nb)
+		}
+	}
+}
+
+// TestRemoveSubRootReparentsWithinRegion is the regression test for the
+// flat-rebuild bug: killing a regional sub-root must promote a replacement
+// from the same region and re-attach it to the global tier — survivors
+// never re-parent to a leaf of a sibling region.
+func TestRemoveSubRootReparentsWithinRegion(t *testing.T) {
+	p, err := Compile(twoRegions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := p.Remove(4) // west's sub-root
+	if np.Alive(4) {
+		t.Fatal("removed node still alive")
+	}
+	// 5 is promoted to west sub-root and re-attaches to the global tier.
+	n5, ok := np.Placement(5)
+	if !ok || !n5.SubRoot {
+		t.Fatalf("placement(5) = %+v, want west sub-root", n5)
+	}
+	if got, _ := np.Placement(n5.Parent); got.Region != "east" || !got.SubRoot {
+		t.Fatalf("new west sub-root parented to %+v, want a global-tier node", got)
+	}
+	// The remaining west members stay inside west.
+	for _, id := range []combining.NodeID{6, 7} {
+		n, _ := np.Placement(id)
+		if n.Region != "west" {
+			t.Fatalf("node %d region = %s", id, n.Region)
+		}
+		par, _ := np.Placement(n.Parent)
+		if par.Region != "west" {
+			t.Fatalf("west survivor %d re-parented to %s node %d", id, par.Region, n.Parent)
+		}
+	}
+	// Restore brings the original wiring back.
+	rp := np.Restore(4)
+	if rn, _ := rp.Placement(4); !rn.SubRoot {
+		t.Fatalf("restored node 4 = %+v, want sub-root", rn)
+	}
+}
+
+func TestRemoveGlobalRoot(t *testing.T) {
+	p, err := Compile(twoRegions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := p.Remove(0)
+	// East promotes 1; the new global root is the lowest sub-root.
+	n1, _ := np.Placement(1)
+	if !n1.SubRoot {
+		t.Fatalf("placement(1) = %+v, want sub-root", n1)
+	}
+	root, _ := np.Placement(np.Root())
+	if !root.SubRoot || root.Parent != -1 {
+		t.Fatalf("new root = %+v", root)
+	}
+	if np.Levels() < 2 {
+		t.Fatalf("levels = %d", np.Levels())
+	}
+}
+
+func TestRemoveWholeRegion(t *testing.T) {
+	p, err := Compile(Spec{
+		Regions: []Region{
+			{Name: "east", Members: []int{0, 1}},
+			{Name: "west", Members: []int{2}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := p.Remove(2)
+	if np.Alive(2) || len(np.Members()) != 2 {
+		t.Fatalf("members = %v", np.Members())
+	}
+	// Removing everything leaves the last plane intact (a plane always has
+	// a root).
+	np = np.Remove(0)
+	last := np.Remove(1)
+	if last.Root() != 1 {
+		t.Fatalf("root = %d, want the sole survivor 1", last.Root())
+	}
+}
+
+func TestFromFlatMatchesBuildTree(t *testing.T) {
+	members := []combining.NodeID{3, 1, 4, 1, 5}[:3] // 3,1,4
+	p, err := FromFlat(members, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := combining.BuildTree(members, 2)
+	if p.Root() != want.Root {
+		t.Fatalf("root = %d, want %d", p.Root(), want.Root)
+	}
+	for id, wp := range want.Parent {
+		n, _ := p.Placement(id)
+		if n.Parent != wp {
+			t.Fatalf("parent(%d) = %d, want %d", id, n.Parent, wp)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Regions: []Region{{Name: "", Members: []int{0}}}},
+		{Regions: []Region{{Name: "a", Members: nil}}},
+		{Regions: []Region{{Name: "a", Members: []int{0}}, {Name: "a", Members: []int{1}}}},
+		{Regions: []Region{{Name: "a", Members: []int{0}}, {Name: "b", Members: []int{0}}}},
+		{Regions: []Region{{Name: "a", Members: []int{-1}}}},
+		{Regions: []Region{{Name: "a", Members: []int{0}}}, Sharding: "zonal"},
+		{Regions: []Region{{Name: "a", Members: []int{0}}}, Delta: DeltaSpec{Threshold: -1}},
+	}
+	for i, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("case %d: Validate accepted %+v", i, spec)
+		}
+	}
+	if err := (twoRegions()).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Spec{
+		Regions: []Region{{Name: "a", Members: []int{0}}},
+		Delta:   DeltaSpec{Threshold: 0.5},
+	}.Normalize()
+	if s.Fanout != DefaultFanout || s.Sharding != ShardNone || s.Delta.ResyncEvery != DefaultResyncEvery {
+		t.Fatalf("normalized = %+v", s)
+	}
+}

@@ -7,11 +7,12 @@ import (
 	"repro/internal/obs"
 )
 
-// WriteMetrics appends the rsa_treenet_* Prometheus series for one tree
-// transport (and optional reparenter) to w. Either argument may be nil;
-// both front-ends call this from their obs.Handler Extra callbacks — before
-// this the transport's send errors were counted but unscrapeable.
-func WriteMetrics(w io.Writer, t *Transport, rep *Reparenter) {
+// WriteMetrics appends the rsa_treenet_* and rsa_tree_delta_* Prometheus
+// series for one tree transport (and optional failure detector) to w.
+// Either argument may be nil; both front-ends call this from their
+// obs.Handler Extra callbacks — before this the transport's send errors
+// were counted but unscrapeable.
+func WriteMetrics(w io.Writer, t *Transport, det Detector) {
 	if t == nil {
 		return
 	}
@@ -32,8 +33,20 @@ func WriteMetrics(w io.Writer, t *Transport, rep *Reparenter) {
 	fmt.Fprintf(w, "rsa_treenet_deadline_errors_total{op=\"write\"} %d\n", st.DeadlineErrorsWrite)
 	obs.WriteMetric(w, "rsa_treenet_write_timeouts_total", "counter",
 		"Peer writes that failed with an expired deadline (stalled but live peer).", float64(st.WriteTimeouts))
-	if rep != nil {
+	obs.WriteMetric(w, "rsa_tree_delta_frames_total", "counter",
+		"Delta-compressed aggregate frames encoded.", float64(st.Delta.Frames))
+	obs.WriteMetric(w, "rsa_tree_delta_full_frames_total", "counter",
+		"Full-state resync frames among them.", float64(st.Delta.FullFrames))
+	obs.WriteMetric(w, "rsa_tree_delta_entries_sent_total", "counter",
+		"Per-principal entries transmitted on delta streams.", float64(st.Delta.EntriesSent))
+	obs.WriteMetric(w, "rsa_tree_delta_entries_suppressed_total", "counter",
+		"Per-principal entries withheld as under-threshold.", float64(st.Delta.EntriesSuppressed))
+	obs.WriteMetric(w, "rsa_tree_delta_bytes_saved_total", "counter",
+		"Estimated wire bytes avoided by delta suppression.", float64(st.Delta.BytesSaved))
+	obs.WriteMetric(w, "rsa_tree_delta_desyncs_total", "counter",
+		"Inbound delta streams that hit a sequence gap and waited for a resync.", float64(st.Delta.Desyncs))
+	if det != nil {
 		obs.WriteMetric(w, "rsa_treenet_reparents_total", "counter",
-			"Times this node rewired itself around a silent tree neighbor.", float64(rep.Reparents()))
+			"Times this node rewired itself around a silent tree neighbor.", float64(det.Reparents()))
 	}
 }

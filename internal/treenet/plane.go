@@ -1,0 +1,187 @@
+package treenet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/combining"
+	"repro/internal/topology"
+)
+
+// Wiring is a resolved Spec: the node's concrete placement plus the
+// failure detector matching the layout. Plane is nil on a flat layout;
+// Detector is nil when failure detection is disabled.
+type Wiring struct {
+	Parent   combining.NodeID
+	Children []combining.NodeID
+	Detector Detector
+	// Plane returns the current (possibly repaired) hierarchical plane.
+	Plane func() *topology.Plane
+}
+
+// Resolve turns the spec into concrete tree wiring. With a Topology the
+// placement comes from the compiled hierarchical plane (superseding the
+// flat Parent/Children/Members fields); otherwise the flat fields are used
+// as before. The detector tracks the same layout so repairs and placement
+// never diverge.
+func (s *Spec) Resolve() (Wiring, error) {
+	if s.Topology != nil {
+		plane, err := topology.Compile(*s.Topology)
+		if err != nil {
+			return Wiring{}, err
+		}
+		pl, ok := plane.Placement(s.NodeID)
+		if !ok {
+			return Wiring{}, fmt.Errorf("treenet: node %d not in topology", s.NodeID)
+		}
+		w := Wiring{Parent: pl.Parent, Children: pl.Children, Plane: func() *topology.Plane { return plane }}
+		if s.FailureTimeout > 0 {
+			rep, err := NewPlaneReparenter(s.NodeID, *s.Topology, s.FailureTimeout)
+			if err != nil {
+				return Wiring{}, err
+			}
+			w.Detector = rep
+			w.Plane = rep.Plane
+		}
+		return w, nil
+	}
+	w := Wiring{Parent: s.Parent, Children: s.Children}
+	if s.FailureTimeout > 0 {
+		members := s.Members
+		if len(members) == 0 {
+			members = append(members, s.NodeID)
+			for id := range s.Peers {
+				members = append(members, id)
+			}
+		}
+		fanout := s.Fanout
+		if fanout < 2 {
+			fanout = 2
+		}
+		w.Detector = NewReparenter(s.NodeID, members, fanout, s.FailureTimeout)
+	}
+	return w, nil
+}
+
+// PlaneReparenter is the hierarchical counterpart of Reparenter: the same
+// local silent-neighbor detection, but repairs recompile the declarative
+// topology.Spec minus the removed set (topology.Plane.Remove) instead of
+// pruning a flat BuildTree layout. Because the recompile is a pure
+// function of (spec, removed set), every survivor that observes the same
+// failure computes the same repaired plane — in particular, when a
+// regional sub-root dies its region's survivors re-parent through the
+// promoted member into the global tier, never sideways to a sibling leaf.
+type PlaneReparenter struct {
+	mu         sync.Mutex
+	self       combining.NodeID
+	timeout    time.Duration
+	plane      *topology.Plane
+	graceUntil time.Duration
+	started    bool
+	reparents  int
+}
+
+// NewPlaneReparenter builds a detector for node self over the plane
+// compiled from spec. timeout is how long a tree neighbor may stay silent
+// before it is declared dead (0 disables detection), with the same grace
+// windows as Reparenter.
+func NewPlaneReparenter(self combining.NodeID, spec topology.Spec, timeout time.Duration) (*PlaneReparenter, error) {
+	plane, err := topology.Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &PlaneReparenter{self: self, timeout: timeout, plane: plane}, nil
+}
+
+// Plane returns the current (possibly repaired) compiled plane.
+func (r *PlaneReparenter) Plane() *topology.Plane {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.plane
+}
+
+// Parent returns self's current parent (-1 at the global root).
+func (r *PlaneReparenter) Parent() combining.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pl, ok := r.plane.Placement(r.self); ok {
+		return pl.Parent
+	}
+	return -1
+}
+
+// Children returns self's current children.
+func (r *PlaneReparenter) Children() []combining.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if pl, ok := r.plane.Placement(r.self); ok {
+		return append([]combining.NodeID(nil), pl.Children...)
+	}
+	return nil
+}
+
+// Reparents reports how many times this node rewired itself.
+func (r *PlaneReparenter) Reparents() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reparents
+}
+
+// Removed returns the node ids this detector has pruned, ascending.
+func (r *PlaneReparenter) Removed() []combining.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.plane.Removed()
+}
+
+// Check inspects self's plane neighbors at time now and, if one has been
+// silent past the failure timeout, recompiles the plane without it and
+// reconfigures node to the repaired placement. Same locking contract as
+// Reparenter.Check.
+func (r *PlaneReparenter) Check(node TreeNode, now time.Duration) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timeout <= 0 {
+		return false
+	}
+	if !r.started {
+		r.started = true
+		r.graceUntil = now + r.timeout
+	}
+	if now < r.graceUntil {
+		return false
+	}
+	pl, ok := r.plane.Placement(r.self)
+	if !ok {
+		return false
+	}
+	neighbors := make([]combining.NodeID, 0, 1+len(pl.Children))
+	if pl.Parent >= 0 {
+		neighbors = append(neighbors, pl.Parent)
+	}
+	neighbors = append(neighbors, pl.Children...)
+
+	var failed combining.NodeID = -1
+	for _, nb := range neighbors {
+		at, heard := node.LastHeard(nb)
+		silentSince := r.graceUntil - r.timeout
+		if heard && at > silentSince {
+			silentSince = at
+		}
+		if now-silentSince > r.timeout {
+			failed = nb
+			break
+		}
+	}
+	if failed < 0 {
+		return false
+	}
+	r.plane = r.plane.Remove(failed)
+	r.graceUntil = now + r.timeout
+	r.reparents++
+	if repaired, ok := r.plane.Placement(r.self); ok {
+		node.Reconfigure(repaired.Parent, repaired.Children)
+	}
+	return true
+}

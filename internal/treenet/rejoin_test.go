@@ -22,7 +22,7 @@ func TestRejoinHandshakeOverTCP(t *testing.T) {
 
 	for i := 0; i < n; i++ {
 		i := i
-		tr, err := Listen(combining.NodeID(i), "127.0.0.1:0", func(from combining.NodeID, msg interface{}) {
+		tr, err := Listen(combining.NodeID(i), "127.0.0.1:0", func(tree int, from combining.NodeID, msg interface{}) {
 			mu.Lock()
 			defer mu.Unlock()
 			nodes[i].OnMessage(from, msg)
@@ -36,8 +36,8 @@ func TestRejoinHandshakeOverTCP(t *testing.T) {
 	trs[0].SetPeer(1, trs[1].Addr())
 	trs[1].SetPeer(0, trs[0].Addr())
 	now := func() time.Duration { return time.Duration(time.Now().UnixNano()) }
-	nodes[0] = combining.NewNode(0, -1, []combining.NodeID{1}, 1, trs[0].Send, now)
-	nodes[1] = combining.NewNode(1, 0, nil, 1, trs[1].Send, now)
+	nodes[0] = combining.NewBuilder(0).Children(1).Transport(trs[0].Send).Clock(now).Build()
+	nodes[1] = combining.NewBuilder(1).Parent(0).Transport(trs[1].Send).Clock(now).Build()
 	nodes[1].SetLocal([]float64{5})
 
 	cfg := &combining.ConfigUpdate{Version: 3, GateEpoch: 9, Payload: []byte(`{"v":3}`)}

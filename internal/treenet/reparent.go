@@ -1,11 +1,35 @@
 package treenet
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/combining"
 )
+
+// TreeNode is the slice of combining.Node (or combining.Forest) a failure
+// detector needs: observing neighbor silence and rewiring the placement.
+type TreeNode interface {
+	LastHeard(nb combining.NodeID) (time.Duration, bool)
+	Reconfigure(parent combining.NodeID, children []combining.NodeID)
+}
+
+// Detector is a pluggable tree failure detector. Reparenter implements it
+// over the flat BuildTree layout, PlaneReparenter over a hierarchical
+// topology.Plane. Callers must never store a typed-nil concrete detector
+// in a Detector variable — use an untyped nil instead.
+type Detector interface {
+	// Check inspects self's neighbors at time now and repairs the local
+	// topology around a silent one; it reports whether a repair happened.
+	Check(node TreeNode, now time.Duration) bool
+	// Parent and Children return self's current placement.
+	Parent() combining.NodeID
+	Children() []combining.NodeID
+	// Reparents counts repairs; Removed lists the pruned node ids.
+	Reparents() int
+	Removed() []combining.NodeID
+}
 
 // Reparenter is the failure detector that lets a real-TCP combining tree
 // survive dead peers. Every node runs one, seeded with the full member list
@@ -69,12 +93,24 @@ func (r *Reparenter) Reparents() int {
 	return r.reparents
 }
 
+// Removed returns the node ids this detector has pruned, ascending.
+func (r *Reparenter) Removed() []combining.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]combining.NodeID, 0, len(r.removed))
+	for id := range r.removed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Check inspects self's tree neighbors at time now (on the same clock the
 // combining node's `now` callback uses) and, if one has been silent past
 // the failure timeout, removes it from the local topology and reconfigures
 // node. It reports whether a repair happened. Callers already serialize
 // node access (the window loop); Check must run under that same lock.
-func (r *Reparenter) Check(node *combining.Node, now time.Duration) bool {
+func (r *Reparenter) Check(node TreeNode, now time.Duration) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.timeout <= 0 {

@@ -19,7 +19,7 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 	}
 	addr := recv.Addr()
 
-	send, err := Listen(0, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	send, err := Listen(0, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,13 +63,13 @@ func TestReconnectAfterPeerRestart(t *testing.T) {
 }
 
 func TestQueueOverflowDropsNotBlocks(t *testing.T) {
-	tr, err := Listen(0, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	tr, err := Listen(0, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tr.Close()
 	// Peer address that never accepts: reserve a port and close it.
-	dead, err := Listen(1, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	dead, err := Listen(1, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func newTreeRig(t *testing.T, ids []combining.NodeID, timeout time.Duration) *tr
 	topo := combining.BuildTree(ids, 2)
 	for _, id := range ids {
 		id := id
-		tr, err := Listen(id, "127.0.0.1:0", func(from combining.NodeID, msg interface{}) {
+		tr, err := Listen(id, "127.0.0.1:0", func(tree int, from combining.NodeID, msg interface{}) {
 			rig.mu.Lock()
 			defer rig.mu.Unlock()
 			if n, ok := rig.nodes[id]; ok {
@@ -140,8 +140,7 @@ func newTreeRig(t *testing.T, ids []combining.NodeID, timeout time.Duration) *tr
 				rig.trs[id].SetPeer(other, rig.trs[other].Addr())
 			}
 		}
-		rig.nodes[id] = combining.NewNode(id, topo.Parent[id], topo.Children[id], 1,
-			rig.trs[id].Send, rig.now)
+		rig.nodes[id] = combining.NewBuilder(id).Place(topo).Transport(rig.trs[id].Send).Clock(rig.now).Build()
 		rig.reps[id] = NewReparenter(id, ids, 2, timeout)
 	}
 	return rig

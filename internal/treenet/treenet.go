@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/combining"
+	"repro/internal/topology"
 )
 
 const (
@@ -57,18 +58,29 @@ type Spec struct {
 	// FailureTimeout is how long a tree neighbor may stay silent before the
 	// node re-parents around it (0 disables failure detection).
 	FailureTimeout time.Duration
+	// Topology, when set, supersedes Members/Fanout: the node takes its
+	// placement (and its failure repairs) from the hierarchical plane
+	// compiled from this spec instead of the flat BuildTree layout.
+	Topology *topology.Spec
 }
 
-// Handler receives decoded tree messages. It is called from connection
-// goroutines: implementations must synchronize access to the combining
-// node.
-type Handler func(from combining.NodeID, msg interface{})
+// Handler receives decoded tree messages. tree is the component-tree index
+// the sender tagged the frame with (0 on a single flat tree). It is called
+// from connection goroutines: implementations must synchronize access to
+// the combining node or forest.
+type Handler func(tree int, from combining.NodeID, msg interface{})
 
 type envelope struct {
-	From  int                 `json:"from"`
-	Kind  string              `json:"kind"` // "report", "broadcast", or "rejoin"
+	From int    `json:"from"`
+	Kind string `json:"kind"` // "report", "broadcast", or "rejoin"
+	// Tree is the component-tree index sharing this transport (see
+	// combining.Forest); 0 for a flat single-tree plane.
+	Tree  int                 `json:"tree,omitempty"`
 	Epoch int                 `json:"epoch"`
 	Agg   combining.Aggregate `json:"agg"`
+	// Delta replaces Agg when delta compression is enabled: the receiver
+	// reconstructs the aggregate from its per-stream decoder state.
+	Delta *combining.DeltaFrame `json:"delta,omitempty"`
 	// Configuration piggyback (see combining.ConfigUpdate): reports carry
 	// the acknowledged version, broadcasts the newest update.
 	AckVersion uint64 `json:"ack_version,omitempty"`
@@ -122,6 +134,16 @@ type Stats struct {
 	// a live but stalled peer, distinguishable from outright peer death
 	// (other write errors) in the failure-detector sense.
 	WriteTimeouts int
+	// Delta aggregates the delta-compression codec counters over every
+	// per-(tree,peer) stream (zero when EnableDelta was never called).
+	Delta combining.DeltaStats
+}
+
+// deltaKey identifies one directed delta stream: a component tree crossed
+// with the far-end node.
+type deltaKey struct {
+	tree int
+	node combining.NodeID
 }
 
 // Transport is one node's endpoint.
@@ -134,6 +156,16 @@ type Transport struct {
 	peers  map[combining.NodeID]*peer
 	closed bool
 	stats  Stats
+
+	// Delta compression state. Encoders compress outbound aggregates per
+	// (tree, peer) stream; decoders rebuild inbound ones per (tree, from).
+	// Guarded by deltaMu, never held together with mu.
+	deltaMu     sync.Mutex
+	deltaOn     bool
+	deltaThresh float64
+	deltaResync int
+	encoders    map[deltaKey]*combining.DeltaEncoder
+	decoders    map[deltaKey]*combining.DeltaDecoder
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -192,11 +224,21 @@ func (t *Transport) SendErrors() int {
 	return t.stats.SendErrors
 }
 
-// Stats returns a snapshot of the transport counters.
+// Stats returns a snapshot of the transport counters, including the delta
+// codec counters folded over every stream.
 func (t *Transport) Stats() Stats {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	st := t.stats
+	t.mu.Unlock()
+	t.deltaMu.Lock()
+	for _, enc := range t.encoders {
+		st.Delta.Add(enc.Stats())
+	}
+	for _, dec := range t.decoders {
+		st.Delta.Desyncs += dec.Desyncs()
+	}
+	t.deltaMu.Unlock()
+	return st
 }
 
 func (t *Transport) dropSend() {
@@ -205,12 +247,88 @@ func (t *Transport) dropSend() {
 	t.mu.Unlock()
 }
 
+// EnableDelta turns on delta compression for outbound aggregates: an
+// entry rides the wire only when a statistic moved by more than threshold
+// (or went to zero) since the last transmission on that (tree, peer)
+// stream, with a full-state resync every resyncEvery frames bounding the
+// drift a dropped frame can cause. Call before traffic starts.
+func (t *Transport) EnableDelta(threshold float64, resyncEvery int) {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	t.deltaOn = true
+	t.deltaThresh = threshold
+	t.deltaResync = resyncEvery
+	t.encoders = make(map[deltaKey]*combining.DeltaEncoder)
+	t.decoders = make(map[deltaKey]*combining.DeltaDecoder)
+}
+
+// encodeDelta compresses agg for the (tree, to) stream, lazily creating
+// (or re-sizing) the encoder. Returns nil when compression is off.
+func (t *Transport) encodeDelta(tree int, to combining.NodeID, agg combining.Aggregate) *combining.DeltaFrame {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	if !t.deltaOn {
+		return nil
+	}
+	key := deltaKey{tree, to}
+	enc := t.encoders[key]
+	if enc == nil || len(agg.Sum) != enc.N() {
+		enc = combining.NewDeltaEncoder(len(agg.Sum), t.deltaThresh, t.deltaResync)
+		t.encoders[key] = enc
+	}
+	f := enc.Encode(agg)
+	return &f
+}
+
+// decodeDelta reconstructs an inbound aggregate from the (tree, from)
+// stream decoder. ok is false when the stream is desynced (the message
+// must be dropped until a full frame arrives).
+func (t *Transport) decodeDelta(tree int, from combining.NodeID, f *combining.DeltaFrame) (combining.Aggregate, bool) {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	if t.decoders == nil {
+		t.decoders = make(map[deltaKey]*combining.DeltaDecoder)
+	}
+	key := deltaKey{tree, from}
+	dec := t.decoders[key]
+	if dec == nil || (f.Full && f.N != dec.N()) {
+		dec = combining.NewDeltaDecoder(f.N)
+		t.decoders[key] = dec
+	}
+	return dec.Apply(*f)
+}
+
+// resetEncoders forces the next frame on every stream toward peer id to be
+// a full resync — called after a reconnect, when the far end may have
+// restarted and lost its decoder state.
+func (t *Transport) resetEncoders(id combining.NodeID) {
+	t.deltaMu.Lock()
+	defer t.deltaMu.Unlock()
+	for key, enc := range t.encoders {
+		if key.node == id {
+			enc.Reset()
+		}
+	}
+}
+
 // Send transmits a combining.Report, combining.Broadcast, or
-// combining.Rejoin to a peer. It satisfies combining.SendFunc and never
-// blocks: the message is queued for the peer's writer goroutine, and
-// dropped (counted) if the queue is full, the peer is unknown, or the
+// combining.Rejoin to a peer on tree 0. It satisfies combining.SendFunc
+// and never blocks: the message is queued for the peer's writer goroutine,
+// and dropped (counted) if the queue is full, the peer is unknown, or the
 // transport is closed.
 func (t *Transport) Send(to combining.NodeID, msg interface{}) {
+	t.send(0, to, msg)
+}
+
+// TreeSend returns the SendFunc for one component tree: frames it produces
+// are tagged with the tree index so the receiving forest can route them.
+func (t *Transport) TreeSend(tree int) combining.SendFunc {
+	return func(to combining.NodeID, msg interface{}) {
+		t.send(tree, to, msg)
+	}
+}
+
+func (t *Transport) send(tree int, to combining.NodeID, msg interface{}) {
 	t.mu.Lock()
 	p, ok := t.peers[to]
 	closed := t.closed
@@ -219,13 +337,19 @@ func (t *Transport) Send(to combining.NodeID, msg interface{}) {
 		t.dropSend()
 		return
 	}
-	env := envelope{From: int(t.self)}
+	env := envelope{From: int(t.self), Tree: tree}
 	switch m := msg.(type) {
 	case combining.Report:
-		env.Kind, env.Epoch, env.Agg = "report", m.Epoch, m.Agg
+		env.Kind, env.Epoch = "report", m.Epoch
 		env.AckVersion = m.AckVersion
+		if env.Delta = t.encodeDelta(tree, to, m.Agg); env.Delta == nil {
+			env.Agg = m.Agg
+		}
 	case combining.Broadcast:
-		env.Kind, env.Epoch, env.Agg = "broadcast", m.Epoch, m.Agg
+		env.Kind, env.Epoch = "broadcast", m.Epoch
+		if env.Delta = t.encodeDelta(tree, to, m.Agg); env.Delta == nil {
+			env.Agg = m.Agg
+		}
 		if m.Config != nil {
 			env.CfgVersion = m.Config.Version
 			env.CfgGate = m.Config.GateEpoch
@@ -338,6 +462,11 @@ func (t *Transport) redial(p *peer, conn *net.Conn, enc **json.Encoder) bool {
 		t.stats.Reconnects++
 	}
 	t.mu.Unlock()
+	if again {
+		// The peer may have restarted and lost its decoder state: force a
+		// full resync frame on every delta stream toward it.
+		t.resetEncoders(p.id)
+	}
 	return true
 }
 
@@ -384,12 +513,22 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
+		agg := env.Agg
+		if env.Delta != nil {
+			// Desynced stream: drop the message and wait for the sender's
+			// next full frame — the tree just aggregates staler data for a
+			// few epochs, exactly like a lost report.
+			var ok bool
+			if agg, ok = t.decodeDelta(env.Tree, combining.NodeID(env.From), env.Delta); !ok {
+				continue
+			}
+		}
 		var msg interface{}
 		switch env.Kind {
 		case "report":
-			msg = combining.Report{Epoch: env.Epoch, Agg: env.Agg, AckVersion: env.AckVersion}
+			msg = combining.Report{Epoch: env.Epoch, Agg: agg, AckVersion: env.AckVersion}
 		case "broadcast":
-			b := combining.Broadcast{Epoch: env.Epoch, Agg: env.Agg}
+			b := combining.Broadcast{Epoch: env.Epoch, Agg: agg}
 			if env.CfgVersion > 0 {
 				b.Config = &combining.ConfigUpdate{
 					Version:   env.CfgVersion,
@@ -403,7 +542,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		default:
 			continue
 		}
-		t.handler(combining.NodeID(env.From), msg)
+		t.handler(env.Tree, combining.NodeID(env.From), msg)
 	}
 }
 

@@ -15,7 +15,7 @@ type collector struct {
 	from []combining.NodeID
 }
 
-func (c *collector) handle(from combining.NodeID, msg interface{}) {
+func (c *collector) handle(tree int, from combining.NodeID, msg interface{}) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.msgs = append(c.msgs, msg)
@@ -45,7 +45,7 @@ func TestReportAndBroadcastRoundTrip(t *testing.T) {
 	}
 	defer recv.Close()
 
-	send, err := Listen(0, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	send, err := Listen(0, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestReportAndBroadcastRoundTrip(t *testing.T) {
 }
 
 func TestSendToUnknownPeerCounted(t *testing.T) {
-	tr, err := Listen(0, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	tr, err := Listen(0, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,13 +101,13 @@ func TestSendToUnknownPeerCounted(t *testing.T) {
 }
 
 func TestSendToDeadPeerCounted(t *testing.T) {
-	tr, err := Listen(0, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	tr, err := Listen(0, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tr.Close()
 	// A listener we immediately close: connection refused.
-	dead, err := Listen(1, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	dead, err := Listen(1, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestSendToDeadPeerCounted(t *testing.T) {
 }
 
 func TestCloseIsIdempotentAndStopsSends(t *testing.T) {
-	tr, err := Listen(0, "127.0.0.1:0", func(combining.NodeID, interface{}) {})
+	tr, err := Listen(0, "127.0.0.1:0", func(int, combining.NodeID, interface{}) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestTreeOverTCP(t *testing.T) {
 
 	for i := 0; i < n; i++ {
 		i := i
-		tr, err := Listen(combining.NodeID(i), "127.0.0.1:0", func(from combining.NodeID, msg interface{}) {
+		tr, err := Listen(combining.NodeID(i), "127.0.0.1:0", func(tree int, from combining.NodeID, msg interface{}) {
 			mu.Lock()
 			defer mu.Unlock()
 			nodes[i].OnMessage(from, msg)
@@ -169,9 +169,8 @@ func TestTreeOverTCP(t *testing.T) {
 				trs[i].SetPeer(combining.NodeID(j), trs[j].Addr())
 			}
 		}
-		nodes[i] = combining.NewNode(combining.NodeID(i), topo.Parent[combining.NodeID(i)],
-			topo.Children[combining.NodeID(i)], 1, trs[i].Send,
-			func() time.Duration { return time.Duration(time.Now().UnixNano()) })
+		nodes[i] = combining.NewBuilder(combining.NodeID(i)).Place(topo).Transport(trs[i].Send).
+			Clock(func() time.Duration { return time.Duration(time.Now().UnixNano()) }).Build()
 		nodes[i].SetLocal([]float64{float64((i + 1) * 10)})
 	}
 	// Run several epochs: leaves report, root broadcasts.
