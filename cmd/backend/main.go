@@ -58,6 +58,8 @@ func main() {
 			Extra: func(w io.Writer) {
 				obs.WriteMetric(w, "rsa_backend_served_total", "counter",
 					"Requests this backend has completed.", float64(served()))
+				obs.WriteMetric(w, "rsa_backend_capacity", "gauge",
+					"Configured service capacity in requests/second.", *capacity)
 			},
 		})
 		bound, err := obs.Serve(*admin, h, nil)

@@ -1,16 +1,19 @@
 // Command doclint enforces godoc coverage: every package must carry a
 // package comment, and every exported top-level identifier — functions,
 // methods, types, and grouped or standalone consts and vars — must have a
-// doc comment on the declaration or its enclosing group.
+// doc comment on the declaration or its enclosing group. In _test.go files
+// it checks godoc Example functions instead: every example must carry an
+// "Output:" comment so it actually executes (and is verified) under go
+// test rather than merely compiling.
 //
 // Usage:
 //
 //	doclint [dir ...]
 //
 // With no arguments it walks the current module (., cmd/..., internal/...),
-// skipping _test.go files and testdata directories. Findings are printed
-// one per line as file:line: message; any finding makes the exit status 1,
-// which is how CI fails the documentation gate.
+// skipping testdata directories. Findings are printed one per line as
+// file:line: message; any finding makes the exit status 1, which is how CI
+// fails the documentation gate.
 package main
 
 import (
@@ -33,7 +36,8 @@ type finding struct {
 }
 
 // lintDir parses one directory's non-test Go files and reports
-// documentation gaps.
+// documentation gaps. Test files are parsed separately for the Example
+// runnability check.
 func lintDir(fset *token.FileSet, dir string) ([]finding, error) {
 	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
@@ -45,7 +49,61 @@ func lintDir(fset *token.FileSet, dir string) ([]finding, error) {
 	for _, pkg := range pkgs {
 		out = append(out, lintPackage(fset, pkg)...)
 	}
+	tests, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	for _, pkg := range tests {
+		for _, f := range pkg.Files {
+			out = append(out, lintExamples(fset, f)...)
+		}
+	}
 	return out, nil
+}
+
+// lintExamples enforces that godoc Example functions are runnable: an
+// example without an "Output:" (or "Unordered output:") comment compiles
+// but never executes under go test, so it can silently rot. Helpers named
+// Example* with parameters or results are not examples and are skipped.
+func lintExamples(fset *token.FileSet, f *ast.File) []finding {
+	var out []finding
+	for _, decl := range f.Decls {
+		d, ok := decl.(*ast.FuncDecl)
+		if !ok || d.Recv != nil || !strings.HasPrefix(d.Name.Name, "Example") {
+			continue
+		}
+		if d.Type.Params.NumFields() != 0 || d.Type.Results.NumFields() != 0 {
+			continue
+		}
+		if d.Body == nil || exampleHasOutput(f, d) {
+			continue
+		}
+		out = append(out, finding{
+			pos: fset.Position(d.Pos()),
+			msg: fmt.Sprintf("example %s has no // Output: comment (never runs under go test)", d.Name.Name),
+		})
+	}
+	return out
+}
+
+// exampleHasOutput reports whether any comment inside the example's body
+// declares expected output.
+func exampleHasOutput(f *ast.File, d *ast.FuncDecl) bool {
+	for _, g := range f.Comments {
+		if g.Pos() < d.Body.Lbrace || g.End() > d.Body.Rbrace {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			lower := strings.ToLower(text)
+			if strings.HasPrefix(lower, "output:") || strings.HasPrefix(lower, "unordered output:") {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // lintPackage checks one parsed package: a package comment somewhere, and a

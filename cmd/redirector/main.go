@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/budget"
 	"repro/internal/combining"
 	"repro/internal/config"
 	"repro/internal/l4"
@@ -74,6 +75,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(eng.DescribeEntitlements())
+	// Hierarchical scenarios: show how the budget tree folded into the flat
+	// entitlements above, floors and ceilings per principal.
+	if len(f.Budget) > 0 {
+		fmt.Print(budget.Describe(budget.Spec{Roots: f.Budget}))
+	}
 
 	adminAddr := f.AdminAddr
 	if *admin != "" {

@@ -294,3 +294,78 @@ func TestCountsFoldShards(t *testing.T) {
 		t.Fatal("no admits counted")
 	}
 }
+
+// TestLeaseCreditFlowsThroughShards pins the admission half of the lease
+// plane: credit deposited from an engine lease (core.Engine.SetLeaseCredits)
+// must be exported into the shard pools at every window swap and stay
+// spendable window after window, on top of the holder's planned share.
+func TestLeaseCreditFlowsThroughShards(t *testing.T) {
+	s := agreement.New()
+	sp := s.MustAddPrincipal("S", 640)
+	a := s.MustAddPrincipal("A", 0)
+	b := s.MustAddPrincipal("B", 0)
+	s.MustSetAgreement(sp, a, 0.8, 1)
+	s.MustSetAgreement(sp, b, 0.2, 1)
+	e, err := core.NewEngine(core.Config{
+		Mode: core.Provider, System: s, ProviderPrincipal: sp,
+		Window: 100 * time.Millisecond, NumRedirectors: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := e.NewRedirector(0)
+	pl, err := New(Config{Redirector: red, Engine: e, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B holds a 100 req/s lease: 10 requests per 100 ms window on top of
+	// its planned 0.2 × 64 = 12.8.
+	total := make([]float64, 3)
+	total[b] = 100
+	if err := e.SetLeaseCredits(nil, total); err != nil {
+		t.Fatal(err)
+	}
+	demand := []float64{0, 64, 30}
+	warm(t, pl, red, demand, 5)
+
+	now := 500 * time.Millisecond
+	for w := 0; w < 3; w++ {
+		gotB := 0
+		for i := 0; i < int(demand[int(b)]); i++ {
+			if pl.Admit(b).Admitted {
+				gotB++
+			}
+		}
+		for i := 0; i < int(demand[int(a)]); i++ {
+			pl.Admit(a)
+		}
+		// Planned 12.8 plus leased 10 ≈ 23 spendable; without the lease B
+		// could never clear 14 even with the one-request carry.
+		if gotB < 18 || gotB > 26 {
+			t.Fatalf("window %d: B admitted %d of 30, want ≈23 (12.8 plan + 10 lease)", w, gotB)
+		}
+		red.SetGlobal(demand, now)
+		if err := pl.StartWindow(now); err != nil {
+			t.Fatal(err)
+		}
+		now += 100 * time.Millisecond
+	}
+
+	// Clearing the lease drops B back to its planned share at the next swap.
+	if err := e.SetLeaseCredits(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	red.SetGlobal(demand, now)
+	if err := pl.StartWindow(now); err != nil {
+		t.Fatal(err)
+	}
+	gotB := 0
+	for i := 0; i < int(demand[int(b)]); i++ {
+		if pl.Admit(b).Admitted {
+			gotB++
+		}
+	}
+	if gotB > 15 {
+		t.Fatalf("B admitted %d after lease cleared, want ≤ 14 (planned share + carry)", gotB)
+	}
+}

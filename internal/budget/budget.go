@@ -1,0 +1,261 @@
+// Package budget implements hierarchical principals: organizations, teams,
+// and services arranged in a tree whose entitlements fold down from each
+// root's physical capacity, plus the lease ledger for long-lived work that
+// draws a node's budget down across scheduling windows.
+//
+// The paper's agreement graph is flat, but its §6 future work calls out
+// nested tenants and long-lived requests. This package closes the gap
+// without touching the enforcement math: a budget tree COMPILES into plain
+// chained agreements (parent→child [floor, ceil]) on an agreement.System,
+// so the Figure-5 fold and the window LP do all the work — a child's
+// min-guarantee floor becomes mandatory capacity protected under overload,
+// and borrow-from-idle-sibling behavior is exactly the LP redistributing
+// optional capacity that idle siblings present no demand for. Fold computes
+// the same entitlements directly on the tree (one multiplication chain per
+// node), which is what the conservation property test compares against the
+// flat fold: hierarchy creates and destroys no credit.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/agreement"
+)
+
+// Errors reported by budget-tree validation.
+var (
+	// ErrSpec reports a structurally invalid budget tree.
+	ErrSpec = errors.New("budget: invalid spec")
+	// ErrLease reports an invalid lease operation.
+	ErrLease = errors.New("budget: invalid lease")
+)
+
+// Node is one principal in a budget tree. Roots carry physical capacity
+// (requests/second); every other node's entitlement is a slice of its
+// parent's, bounded by [Floor, Ceil] fractions.
+type Node struct {
+	// Name is the principal name; unique across the whole spec.
+	Name string `json:"name"`
+	// Capacity is the physical capacity in requests/second. Meaningful on
+	// roots only; interior and leaf nodes are backed purely by their
+	// parent's grant.
+	Capacity float64 `json:"capacity,omitempty"`
+	// Floor is the min-guarantee fraction of the parent's currency this
+	// node holds even under overload (the agreement lower bound).
+	Floor float64 `json:"floor,omitempty"`
+	// Ceil is the borrow limit as a fraction of the parent's currency
+	// (the agreement upper bound). Zero means 1: borrow freely from idle
+	// siblings up to everything the parent has.
+	Ceil float64 `json:"ceil,omitempty"`
+	// Children are the sub-teams or services funded by this node.
+	Children []Node `json:"children,omitempty"`
+}
+
+// Spec is a forest of budget trees — typically one root per organization.
+type Spec struct {
+	Roots []Node `json:"roots"`
+}
+
+// ceil returns the node's effective upper bound (zero defaults to 1).
+func (n *Node) ceil() float64 {
+	if n.Ceil == 0 {
+		return 1
+	}
+	return n.Ceil
+}
+
+// Validate checks the spec: unique non-empty names, non-negative root
+// capacities, per-node Floor ≤ Ceil ≤ 1, and Σ child floors ≤ 1 at every
+// node (the same over-commit rule agreement.SetAgreement enforces).
+func (s Spec) Validate() error {
+	if len(s.Roots) == 0 {
+		return fmt.Errorf("%w: no roots", ErrSpec)
+	}
+	seen := make(map[string]bool)
+	for i := range s.Roots {
+		r := &s.Roots[i]
+		if r.Capacity < 0 {
+			return fmt.Errorf("%w: root %q capacity %v", ErrSpec, r.Name, r.Capacity)
+		}
+		if err := validateNode(r, seen, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateNode recursively checks one subtree.
+func validateNode(n *Node, seen map[string]bool, root bool) error {
+	if n.Name == "" {
+		return fmt.Errorf("%w: empty node name", ErrSpec)
+	}
+	if seen[n.Name] {
+		return fmt.Errorf("%w: duplicate node %q", ErrSpec, n.Name)
+	}
+	seen[n.Name] = true
+	if !root {
+		if n.Floor < 0 || n.Floor > 1 {
+			return fmt.Errorf("%w: node %q floor %v outside [0, 1]", ErrSpec, n.Name, n.Floor)
+		}
+		c := n.ceil()
+		if c < n.Floor || c > 1 {
+			return fmt.Errorf("%w: node %q ceil %v outside [floor, 1]", ErrSpec, n.Name, c)
+		}
+		if n.Capacity != 0 {
+			return fmt.Errorf("%w: non-root node %q carries capacity", ErrSpec, n.Name)
+		}
+	}
+	total := 0.0
+	for i := range n.Children {
+		total += n.Children[i].Floor
+		if err := validateNode(&n.Children[i], seen, false); err != nil {
+			return err
+		}
+	}
+	if total > 1+1e-12 {
+		return fmt.Errorf("%w: node %q grants %.3f of its currency in floors", ErrSpec, n.Name, total)
+	}
+	return nil
+}
+
+// Compile materializes the budget tree as a fresh agreement system: one
+// principal per node (roots carry their capacity) and one direct agreement
+// parent→child [Floor, Ceil] per edge. The existing agreement fold and
+// window LP then enforce the hierarchy with no new scheduling code.
+func Compile(s Spec) (*agreement.System, error) {
+	sys := agreement.New()
+	if err := CompileInto(sys, s); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// CompileInto adds the budget tree's principals and chained agreements to
+// an existing system (the config loader uses this to mix a hierarchy with
+// flat principals and agreements in one deployment).
+func CompileInto(sys *agreement.System, s Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for i := range s.Roots {
+		if err := compileNode(sys, &s.Roots[i], -1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compileNode adds one node and its edge from the parent, then recurses.
+func compileNode(sys *agreement.System, n *Node, parent agreement.Principal) error {
+	p, err := sys.AddPrincipal(n.Name, n.Capacity)
+	if err != nil {
+		return err
+	}
+	if parent >= 0 {
+		if err := sys.SetAgreement(parent, p, n.Floor, n.ceil()); err != nil {
+			return err
+		}
+	}
+	for i := range n.Children {
+		if err := compileNode(sys, &n.Children[i], p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entitlement is one node's folded budget in requests/second.
+type Entitlement struct {
+	// MC is the mandatory capacity: what the node is guaranteed even when
+	// every sibling is busy (root capacity × Π floors × leak factor).
+	MC float64
+	// OC is the optional capacity: what the node may additionally borrow
+	// when siblings are idle, up to the ceil chain.
+	OC float64
+}
+
+// Entitlements maps node names to their folded budgets.
+type Entitlements map[string]Entitlement
+
+// Total sums mandatory capacity across all nodes. For a valid tree this
+// equals the summed root capacities exactly — the conservation property:
+// folding a hierarchy neither creates nor destroys guaranteed credit.
+func (e Entitlements) Total() float64 {
+	t := 0.0
+	for _, v := range e {
+		t += v.MC
+	}
+	return t
+}
+
+// Fold computes every node's entitlement directly on the tree, without
+// building an agreement system: a tree has exactly one path root⇝node, so
+// the Figure-5 simple-path sums collapse to one running product per branch.
+// The result must agree bit-for-bit in structure (and to float tolerance in
+// value) with compiling the tree and running the flat agreement fold —
+// the property the budget conservation test pins.
+func Fold(s Spec) (Entitlements, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(Entitlements)
+	for i := range s.Roots {
+		r := &s.Roots[i]
+		// The root's own fold: MT = 1 (a currency includes its backing),
+		// OT = 0 (no path into itself).
+		foldNode(out, r, r.Capacity, r.Capacity, 0)
+	}
+	return out, nil
+}
+
+// foldNode computes entitlements for node n given the root capacity v, the
+// mandatory flow mand = v·Π floors along the path, and the optional flow
+// opt = v·OT (the one-optional-hop path sum). It mirrors agreement.Flows:
+//
+//	MC = mand·(1 − Σ child floors)
+//	OC = opt + mand·Σ child floors   (granted-away value reclaimable while
+//	                                  children leave it unused)
+func foldNode(out Entitlements, n *Node, v, mand, opt float64) {
+	sumLB := 0.0
+	for i := range n.Children {
+		sumLB += n.Children[i].Floor
+	}
+	out[n.Name] = Entitlement{
+		MC: mand * (1 - sumLB),
+		OC: opt + mand*sumLB,
+	}
+	for i := range n.Children {
+		c := &n.Children[i]
+		// One more hop: mandatory multiplies by the floor; the optional sum
+		// extends every prior optional choice by the ceil and adds the new
+		// path whose optional hop is this edge.
+		foldNode(out, c, v, mand*c.Floor, opt*c.ceil()+mand*(c.ceil()-c.Floor))
+	}
+}
+
+// Describe renders the tree with folded entitlements — the operator-facing
+// summary cmd/redirector logs at startup for hierarchical deployments.
+func Describe(s Spec) string {
+	ents, err := Fold(s)
+	if err != nil {
+		return fmt.Sprintf("budget: %v", err)
+	}
+	var sb strings.Builder
+	sb.WriteString("budget tree (mandatory/optional req/s):\n")
+	for i := range s.Roots {
+		describeNode(&sb, &s.Roots[i], ents, 1)
+	}
+	return sb.String()
+}
+
+// describeNode renders one subtree at the given indent depth.
+func describeNode(sb *strings.Builder, n *Node, ents Entitlements, depth int) {
+	e := ents[n.Name]
+	fmt.Fprintf(sb, "%s%-16s [%.2f, %.2f]  mc %8.1f  oc %8.1f\n",
+		strings.Repeat("  ", depth), n.Name, n.Floor, n.ceil(), e.MC, e.OC)
+	for i := range n.Children {
+		describeNode(sb, &n.Children[i], ents, depth+1)
+	}
+}

@@ -29,3 +29,21 @@ func Example() {
 	fmt.Printf("global queues: %v across %d nodes\n", g.Sum, g.Count)
 	// Output: global queues: [15 20] across 2 nodes
 }
+
+// A builder assembles one node of the tree declaratively: identity, wiring,
+// and principal count, with the transport and clock injected. A node with
+// no parent and no children is a complete single-node tree — its local
+// queue vector is the global view.
+func ExampleNewBuilder() {
+	now := func() time.Duration { return 0 }
+	solo := combining.NewBuilder(0).Principals(3).
+		Transport(func(to combining.NodeID, msg interface{}) {}).
+		Clock(now).Build()
+
+	solo.SetLocal([]float64{4, 2, 0})
+	solo.Tick()
+
+	g, _, _ := solo.Global()
+	fmt.Printf("global queues: %v across %d node\n", g.Sum, g.Count)
+	// Output: global queues: [4 2 0] across 1 node
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/health"
 	"repro/internal/obs"
@@ -237,17 +238,23 @@ type L4Spec struct {
 
 // File is the root of a scenario description.
 type File struct {
-	Mode           string             `json:"mode"` // "community" or "provider"
-	WindowMS       int                `json:"window_ms"`
-	NumRedirectors int                `json:"num_redirectors"`
-	StalenessMS    int                `json:"staleness_ms"`
-	Principals     []PrincipalSpec    `json:"principals"`
-	Agreements     []AgreementSpec    `json:"agreements"`
-	Provider       string             `json:"provider"`
-	Prices         map[string]float64 `json:"prices"`
-	L7             *L7Spec            `json:"l7"`
-	L4             *L4Spec            `json:"l4"`
-	Tree           *TreeSpec          `json:"tree"`
+	Mode           string          `json:"mode"` // "community" or "provider"
+	WindowMS       int             `json:"window_ms"`
+	NumRedirectors int             `json:"num_redirectors"`
+	StalenessMS    int             `json:"staleness_ms"`
+	Principals     []PrincipalSpec `json:"principals"`
+	Agreements     []AgreementSpec `json:"agreements"`
+	// Budget declares hierarchical principals as a forest of budget trees
+	// (org → team → service; see internal/budget). Each tree compiles into
+	// chained agreements on top of the flat Principals/Agreements lists, so
+	// both forms mix freely in one deployment; node names share the flat
+	// principals' namespace.
+	Budget   []budget.Node      `json:"budget"`
+	Provider string             `json:"provider"`
+	Prices   map[string]float64 `json:"prices"`
+	L7       *L7Spec            `json:"l7"`
+	L4       *L4Spec            `json:"l4"`
+	Tree     *TreeSpec          `json:"tree"`
 	// Health, when present, enables active backend health checking and
 	// capacity re-interpretation on the front-end.
 	Health *HealthSpec `json:"health"`
@@ -276,9 +283,11 @@ type File struct {
 }
 
 // Field names are canonically snake_case. Earlier revisions accepted
-// camelCase spellings for some of them; those decode with a once-per-process
-// deprecation warning. Keys are scoped by the object that holds them ("" is
-// the top level).
+// camelCase spellings for some of them; each deprecated spelling decodes
+// with a warning emitted once per field per process (a config with three
+// aliased fields warns three times on first parse, then never again, no
+// matter how often a long-lived process reloads it). Keys are scoped by the
+// object that holds them ("" is the top level).
 var fieldAliases = map[string]map[string]string{
 	"": {
 		"windowMS":        "window_ms",
@@ -304,9 +313,13 @@ var fieldAliases = map[string]map[string]string{
 	},
 }
 
-// aliasWarned makes each deprecated spelling warn once per process, not once
-// per Parse call (long-lived processes reload configs).
+// aliasWarned makes each deprecated spelling warn once per field per
+// process, not once per Parse call (long-lived processes reload configs).
 var aliasWarned sync.Map
+
+// configLog returns the logger deprecation warnings go to; a package
+// variable so tests can capture and count the warnings.
+var configLog = func() *obs.Logger { return obs.Default().With("config") }
 
 func applyAliases(m map[string]json.RawMessage, scope string) {
 	for old, canon := range fieldAliases[scope] {
@@ -320,7 +333,7 @@ func applyAliases(m map[string]json.RawMessage, scope string) {
 		delete(m, old)
 		key := scope + "." + old
 		if _, dup := aliasWarned.LoadOrStore(key, true); !dup {
-			obs.Default().With("config").Warn("deprecated field name",
+			configLog().Warn("deprecated field name",
 				"field", strings.TrimPrefix(key, "."), "use", canon)
 		}
 	}
@@ -363,7 +376,8 @@ func canonicalize(data []byte) []byte {
 }
 
 // Parse decodes and sanity-checks a scenario. Deprecated camelCase field
-// spellings are accepted with a once-per-process warning; see fieldAliases.
+// spellings are accepted with a warning emitted once per field per process;
+// see fieldAliases.
 func Parse(data []byte) (*File, error) {
 	var f File
 	if err := json.Unmarshal(canonicalize(data), &f); err != nil {
@@ -372,8 +386,13 @@ func Parse(data []byte) (*File, error) {
 	if f.Mode != "community" && f.Mode != "provider" {
 		return nil, fmt.Errorf("%w: mode must be community or provider, got %q", ErrConfig, f.Mode)
 	}
-	if len(f.Principals) == 0 {
+	if len(f.Principals) == 0 && len(f.Budget) == 0 {
 		return nil, fmt.Errorf("%w: no principals", ErrConfig)
+	}
+	if len(f.Budget) > 0 {
+		if err := (budget.Spec{Roots: f.Budget}).Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
 	}
 	if f.Mode == "provider" && f.Provider == "" {
 		return nil, fmt.Errorf("%w: provider mode needs a provider name", ErrConfig)
@@ -392,15 +411,15 @@ func Parse(data []byte) (*File, error) {
 	return &f, nil
 }
 
-// warnFlatTreeKey emits a once-per-process deprecation warning for a flat
-// tree layout key used without a topology spec. Flat configs keep
+// warnFlatTreeKey emits a once-per-key-per-process deprecation warning for a
+// flat tree layout key used without a topology spec. Flat configs keep
 // working; the warning steers operators to the declarative form.
 func warnFlatTreeKey(set bool, key string) {
 	if !set {
 		return
 	}
 	if _, dup := aliasWarned.LoadOrStore("tree."+key+"(flat)", true); !dup {
-		obs.Default().With("config").Warn("deprecated flat tree key",
+		configLog().Warn("deprecated flat tree key",
 			"field", "tree."+key, "use", "tree.topology")
 	}
 }
@@ -432,6 +451,11 @@ func (f *File) BuildSystem() (*agreement.System, error) {
 			return nil, fmt.Errorf("%w: unknown user %q", ErrConfig, a.User)
 		}
 		if err := s.SetAgreement(owner, user, a.LB, a.UB); err != nil {
+			return nil, err
+		}
+	}
+	if len(f.Budget) > 0 {
+		if err := budget.CompileInto(s, budget.Spec{Roots: f.Budget}); err != nil {
 			return nil, err
 		}
 	}

@@ -1,12 +1,16 @@
 package config
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/topology"
 )
 
@@ -305,5 +309,90 @@ func TestTopologySpecRejected(t *testing.T) {
 	}`))
 	if err == nil {
 		t.Fatal("duplicate region name accepted")
+	}
+}
+
+// TestAliasWarningOncePerFieldPerProcess pins the documented warning
+// semantics: each deprecated spelling warns exactly once per process — a
+// config with two aliased fields warns twice on first parse, and reloading
+// the same config warns zero more times.
+func TestAliasWarningOncePerFieldPerProcess(t *testing.T) {
+	var buf bytes.Buffer
+	oldLog := configLog
+	configLog = func() *obs.Logger { return obs.NewLogger(&buf, obs.LevelWarn).With("config") }
+	aliasWarned = sync.Map{}
+	defer func() { configLog = oldLog }()
+
+	doc := []byte(`{
+	  "mode": "community",
+	  "windowMS": 250,
+	  "stalenessMS": 900,
+	  "principals": [{"name": "A", "capacity": 10}]
+	}`)
+	for reload := 0; reload < 3; reload++ {
+		if _, err := Parse(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Count(buf.String(), "deprecated field name"); got != 2 {
+		t.Fatalf("warned %d times over 3 parses of 2 aliased fields, want exactly 2:\n%s",
+			got, buf.String())
+	}
+	// A not-yet-seen alias still warns — the suppression is per field, not
+	// one warning per process total.
+	if _, err := Parse([]byte(`{
+	  "mode": "community",
+	  "numRedirectors": 2,
+	  "principals": [{"name": "A", "capacity": 10}]
+	}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "deprecated field name"); got != 3 {
+		t.Fatalf("fresh alias suppressed: %d warnings, want 3:\n%s", got, buf.String())
+	}
+}
+
+// TestBudgetTreeConfig compiles a scenario-file budget forest into chained
+// agreements alongside flat principals.
+func TestBudgetTreeConfig(t *testing.T) {
+	f, err := Parse([]byte(`{
+	  "mode": "provider",
+	  "provider": "org",
+	  "principals": [{"name": "standalone", "capacity": 40}],
+	  "budget": [{
+	    "name": "org", "capacity": 120, "children": [
+	      {"name": "team", "floor": 0.5, "children": [
+	        {"name": "svc-a", "floor": 0.5},
+	        {"name": "svc-b", "floor": 0.5}
+	      ]},
+	      {"name": "batch", "floor": 0.25}
+	    ]
+	  }]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := f.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPrincipals() != 6 {
+		t.Fatalf("principals = %d, want 6 (1 flat + 5 tree nodes)", sys.NumPrincipals())
+	}
+	org, ok := sys.Lookup("org")
+	if !ok || sys.Capacity(org) != 120 {
+		t.Fatalf("root not compiled: %v %v", ok, sys.Capacity(org))
+	}
+	team, _ := sys.Lookup("team")
+	if lb, ub, ok := sys.AgreementBetween(org, team); !ok || lb != 0.5 || ub != 1 {
+		t.Fatalf("org→team agreement = %v %v %v, want [0.5, 1]", lb, ub, ok)
+	}
+	// An invalid tree is rejected at Parse time, not BuildSystem time.
+	if _, err := Parse([]byte(`{
+	  "mode": "community",
+	  "budget": [{"name": "org", "capacity": 10, "children": [
+	    {"name": "a", "floor": 0.8}, {"name": "b", "floor": 0.8}]}]
+	}`)); err == nil {
+		t.Fatal("over-committed budget tree accepted")
 	}
 }

@@ -207,6 +207,62 @@ func (m *Manager) advanceClass(c *Class, alloc float64, now time.Duration) {
 	}
 }
 
+// RemoveClass deletes a class from the manager, reporting whether it was
+// present. Unfinished jobs inside the class are abandoned — the server-side
+// half of a lease revocation: the reservation disappears and its share is
+// redistributed to the surviving classes from the next window on.
+func (m *Manager) RemoveClass(c *Class) bool {
+	for i, other := range m.classes {
+		if other == c {
+			m.classes = append(m.classes[:i], m.classes[i+1:]...)
+			c.jobs = nil
+			return true
+		}
+	}
+	return false
+}
+
+// Reservation is the server-side shadow of a lease: a dedicated service
+// class created when the lease is granted, resized when it shrinks, and
+// removed (preempting any unfinished jobs) when it is revoked or expires.
+type Reservation struct {
+	m     *Manager
+	class *Class
+}
+
+// Reserve carves a dedicated class named name out of the server for a lease
+// holder. The usual over-commit rule applies: the reserved share plus
+// existing class shares may not exceed 1.
+func (m *Manager) Reserve(name string, share float64) (*Reservation, error) {
+	c, err := m.AddClass(name, share)
+	if err != nil {
+		return nil, err
+	}
+	return &Reservation{m: m, class: c}, nil
+}
+
+// Class exposes the reservation's backing service class (job submission,
+// consumption telemetry).
+func (r *Reservation) Class() *Class { return r.class }
+
+// Shrink lowers the reservation to a smaller share — the cooperative
+// reclaim path, mirroring Ledger.Shrink. Growing a reservation is not
+// supported; revoke and re-grant instead, so the over-commit check runs
+// against current occupancy.
+func (r *Reservation) Shrink(share float64) error {
+	if share > r.class.share {
+		return fmt.Errorf("%w: shrink to %v exceeds reserved %v", ErrShareRange, share, r.class.share)
+	}
+	return r.m.SetShare(r.class, share)
+}
+
+// Release tears the reservation down, abandoning unfinished jobs (lease
+// revocation preempts; lease expiry follows the same path after the holder
+// drained). Reports whether the reservation was still live.
+func (r *Reservation) Release() bool {
+	return r.m.RemoveClass(r.class)
+}
+
 // Stop halts the manager's window ticker.
 func (m *Manager) Stop() { m.ticker.Stop() }
 

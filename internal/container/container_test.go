@@ -202,3 +202,59 @@ func TestBadManagerConfigPanics(t *testing.T) {
 	}()
 	NewManager(vclock.New(), 0, time.Second)
 }
+
+func TestReservationLifecycle(t *testing.T) {
+	clock := vclock.New()
+	m := NewManager(clock, 100, 100*time.Millisecond)
+	base, _ := m.AddClass("base", 0.5)
+	if _, err := m.Submit(base, 10000, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := m.Reserve("lease-1", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Reserve("lease-2", 0.7); err == nil {
+		t.Fatal("over-committed reservation accepted")
+	}
+	if _, err := m.Submit(res.Class(), 10000, nil); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(10 * time.Second)
+	// Reserved class holds its 0.4 share against the saturated base class
+	// (work conservation tops both up pro rata with 0.1 spare).
+	if res.Class().ConsumedWork < 400 {
+		t.Fatalf("reservation consumed %.1f, want ≥ 400", res.Class().ConsumedWork)
+	}
+
+	if err := res.Shrink(0.5); err == nil {
+		t.Fatal("growing a reservation accepted")
+	}
+	if err := res.Shrink(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Class().Share(); got != 0.1 {
+		t.Fatalf("share after shrink = %v", got)
+	}
+
+	jobs := res.Class().ActiveJobs()
+	if jobs == 0 {
+		t.Fatal("expected an unfinished job before release")
+	}
+	if !res.Release() {
+		t.Fatal("release reported reservation missing")
+	}
+	if res.Release() {
+		t.Fatal("double release succeeded")
+	}
+	if res.Class().ActiveJobs() != 0 {
+		t.Fatal("release kept unfinished jobs")
+	}
+	// The freed share flows back to the survivors.
+	before := base.ConsumedWork
+	clock.RunUntil(20 * time.Second)
+	if gained := base.ConsumedWork - before; gained < 990 {
+		t.Fatalf("base gained %.1f over 10 s after release, want ≈1000", gained)
+	}
+}

@@ -181,6 +181,23 @@ type Engine struct {
 	// fast path: stateFor does one atomic load and falls through to the
 	// plain RLock snapshot, keeping the window hot path unchanged.
 	rolloutGate atomic.Int64
+
+	// leases holds the immutable per-window lease-credit snapshot (nil when
+	// no lease is active). A lease reserves capacity out of the agreement
+	// fold — the control plane lowers the owner's effective capacity through
+	// the versioned-set path — and this is the other half: the dedicated
+	// credit the holder draws each window, deposited by StartWindow on top
+	// of the LP plan. Kept outside schedState so lease-credit updates never
+	// rebuild a scheduling generation on their own.
+	leases atomic.Pointer[leaseCredits]
+}
+
+// leaseCredits is one immutable lease-credit snapshot, in requests/window.
+// matrix[holder][owner] feeds Community credits; total[holder] feeds
+// Provider credits.
+type leaseCredits struct {
+	matrix [][]float64
+	total  []float64
 }
 
 // stagedGen is a generation staged behind an epoch gate: redirectors swap to
@@ -890,6 +907,79 @@ func (e *Engine) Access() *agreement.Access {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.cur.access
+}
+
+// SetLeaseCredits installs the lease-credit snapshot redirectors deposit on
+// top of the LP plan each window. matrix[holder][owner] and total[holder]
+// are dedicated rates in requests/second (scaled to the window here);
+// Community deposits from the matrix, Provider from the totals. Passing nil
+// for both clears all lease credit. The snapshot swaps atomically — a
+// window in flight finishes on the credits it read — and deliberately does
+// NOT bump the scheduling generation: the entitlement side of a lease (the
+// owner's capacity set-aside) rides the versioned mutator path, while the
+// credit side is plain per-window data.
+func (e *Engine) SetLeaseCredits(matrix [][]float64, total []float64) error {
+	if matrix == nil && total == nil {
+		e.leases.Store(nil)
+		return nil
+	}
+	lc := &leaseCredits{}
+	if matrix != nil {
+		if len(matrix) != e.n {
+			return fmt.Errorf("%w: lease matrix has %d holders, want %d", ErrConfig, len(matrix), e.n)
+		}
+		lc.matrix = make([][]float64, e.n)
+		for h := range matrix {
+			if len(matrix[h]) != e.n {
+				return fmt.Errorf("%w: lease matrix row %d has %d owners, want %d",
+					ErrConfig, h, len(matrix[h]), e.n)
+			}
+			lc.matrix[h] = make([]float64, e.n)
+			for o, v := range matrix[h] {
+				if v < 0 {
+					return fmt.Errorf("%w: negative lease rate %v", ErrConfig, v)
+				}
+				lc.matrix[h][o] = v * e.windowS
+			}
+		}
+	}
+	if total != nil {
+		if len(total) != e.n {
+			return fmt.Errorf("%w: lease totals have %d holders, want %d", ErrConfig, len(total), e.n)
+		}
+		lc.total = make([]float64, e.n)
+		for h, v := range total {
+			if v < 0 {
+				return fmt.Errorf("%w: negative lease rate %v", ErrConfig, v)
+			}
+			lc.total[h] = v * e.windowS
+		}
+	}
+	e.leases.Store(lc)
+	return nil
+}
+
+// LeaseCredits reports the currently installed lease-credit rates in
+// requests/second (summed over owners per holder), or nil when none are set.
+func (e *Engine) LeaseCredits() []float64 {
+	lc := e.leases.Load()
+	if lc == nil {
+		return nil
+	}
+	out := make([]float64, e.n)
+	switch {
+	case lc.matrix != nil:
+		for h := range lc.matrix {
+			for _, v := range lc.matrix[h] {
+				out[h] += v / e.windowS
+			}
+		}
+	case lc.total != nil:
+		for h, v := range lc.total {
+			out[h] = v / e.windowS
+		}
+	}
+	return out
 }
 
 // Customers returns, in LP order, the customer principals of a Provider

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+// TestLeaseDepositProviderConservative pins the blind-window deposit: a
+// customer holding a lease gets its conservative mandatory share plus the
+// full leased rate (share 1/R with R=1), on top of nothing else.
+func TestLeaseDepositProviderConservative(t *testing.T) {
+	e, _, b := providerEngine(t, 1)
+	r := e.NewRedirector(0)
+	if err := r.StartWindow(0); err != nil {
+		t.Fatal(err)
+	}
+	base := r.CreditsRemaining(b)
+	if base <= 0 {
+		t.Fatalf("no baseline credit for B: %v", base)
+	}
+
+	total := make([]float64, e.NumPrincipals())
+	total[b] = 100 // req/s → 10 req/window at 100ms
+	if err := e.SetLeaseCredits(nil, total); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartWindow(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	got := r.CreditsRemaining(b)
+	// Conservative claim replaces (not accumulates) the mandatory share; the
+	// delta over baseline is the per-window lease deposit plus the standard
+	// ≤1-request carry from the untouched first window.
+	if want := base + 10 + 1; !approx(got, want) {
+		t.Fatalf("leased blind credit for B = %v, want %v", got, want)
+	}
+
+	// Clearing the snapshot removes the deposit from the next window.
+	if err := e.SetLeaseCredits(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartWindow(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CreditsRemaining(b); !approx(got, base+1) {
+		t.Fatalf("credit after lease clear = %v, want baseline+carry %v", got, base+1)
+	}
+}
+
+// TestLeaseDepositCommunityConservative is the Community-mode counterpart:
+// the deposit lands in the holder→owner credit cell named by the matrix.
+func TestLeaseDepositCommunityConservative(t *testing.T) {
+	e, a, b := communityEngine(t, 1)
+	r := e.NewRedirector(0)
+	if err := r.StartWindow(0); err != nil {
+		t.Fatal(err)
+	}
+	base := r.CreditsRemaining(a)
+
+	matrix := make([][]float64, e.NumPrincipals())
+	for i := range matrix {
+		matrix[i] = make([]float64, e.NumPrincipals())
+	}
+	matrix[a][b] = 50 // A draws 50 req/s of leased credit on B's servers
+	if err := e.SetLeaseCredits(matrix, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartWindow(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// base + the 5-request deposit + one carried request per funded owner
+	// cell (A holds credit on both A's and B's servers).
+	if got, want := r.CreditsRemaining(a), base+5+2; !approx(got, want) {
+		t.Fatalf("leased blind credit for A = %v, want %v", got, want)
+	}
+	// The deposit must be directed at owner B: admitting for A drains it.
+	admitted := 0
+	for q := 0; q < 60; q++ {
+		if d := r.Admit(a); d.Admitted {
+			admitted++
+		}
+	}
+	if admitted < int(base) {
+		t.Fatalf("admitted %d of 60 for A, want at least the baseline %v", admitted, base)
+	}
+}
+
+// TestLeaseDepositScalesWithDemandFraction checks the fresh path: the
+// deposit is scaled by the redirector's share of the holder's global demand,
+// so a holder whose demand is entirely local receives the full rate once its
+// estimator converges.
+func TestLeaseDepositScalesWithDemandFraction(t *testing.T) {
+	e, _, b := providerEngine(t, 1)
+	r := e.NewRedirector(0)
+	total := make([]float64, e.NumPrincipals())
+	total[b] = 100
+	if err := e.SetLeaseCredits(nil, total); err != nil {
+		t.Fatal(err)
+	}
+	demand := make([]float64, e.NumPrincipals())
+	demand[b] = 20 // req/window
+	var withLease float64
+	now := time.Duration(0)
+	for w := 0; w < 30; w++ {
+		r.SetGlobal(demand, now)
+		if err := r.StartWindow(now); err != nil {
+			t.Fatal(err)
+		}
+		withLease = r.CreditsRemaining(b)
+		for q := 0.0; q < demand[b]; q++ {
+			r.Admit(b)
+		}
+		now += 100 * time.Millisecond
+	}
+	// Converged: frac → 1, so the window holds the planned grant for 20
+	// requests of demand plus the 10-request lease deposit (±1 carry).
+	if withLease < 28 {
+		t.Fatalf("converged leased credit = %v, want ≥ 28 (plan ≈ 20 + deposit 10)", withLease)
+	}
+	rates := e.LeaseCredits()
+	if rates == nil || !approx(rates[b], 100) {
+		t.Fatalf("LeaseCredits = %v, want 100 req/s for B", rates)
+	}
+}
+
+// TestSetLeaseCreditsValidates rejects malformed snapshots.
+func TestSetLeaseCreditsValidates(t *testing.T) {
+	e, _, _ := providerEngine(t, 1)
+	if err := e.SetLeaseCredits(nil, []float64{1}); err == nil {
+		t.Fatal("short totals accepted")
+	}
+	if err := e.SetLeaseCredits(make([][]float64, 1), nil); err == nil {
+		t.Fatal("short matrix accepted")
+	}
+	bad := make([]float64, e.NumPrincipals())
+	bad[0] = -1
+	if err := e.SetLeaseCredits(nil, bad); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if e.LeaseCredits() != nil {
+		t.Fatal("failed SetLeaseCredits installed a snapshot")
+	}
+}

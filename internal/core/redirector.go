@@ -349,6 +349,7 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 				rec.Floor[i] = floor * frac
 				rec.Ceil[i] = (st.access.MC[i]+st.access.OC[i])*frac + carried
 			}
+			r.depositLeaseCommunity(rec, i, frac)
 		}
 	case Provider:
 		plan, hit, err := r.e.providerPlan(st, n)
@@ -388,6 +389,7 @@ func (r *Redirector) StartWindow(now time.Duration) error {
 				rec.Floor[p] = floor * frac
 				rec.Ceil[p] += (st.access.MC[p] + st.access.OC[p]) * frac
 			}
+			r.depositLeaseProvider(rec, int(p), frac)
 		}
 	}
 	if fresh != nil {
@@ -500,6 +502,7 @@ func (r *Redirector) conservativeCommunity(st schedState, rec *obs.Record, i int
 		rec.Granted[i], rec.Floor[i] = g, g
 		rec.Ceil[i] = g + carried
 	}
+	r.depositLeaseCommunity(rec, i, share)
 }
 
 // conservativeProvider claims customer p's conservative share in Provider
@@ -511,6 +514,50 @@ func (r *Redirector) conservativeProvider(st schedState, rec *obs.Record, p int,
 	if rec != nil {
 		rec.Granted[p], rec.Floor[p] = g, g
 		rec.Ceil[p] = g + c
+	}
+	r.depositLeaseProvider(rec, p, share)
+}
+
+// depositLeaseCommunity adds principal i's lease credit for this window on
+// top of the LP-planned Community credits. scale is this redirector's share
+// of the holder's global demand (frac on the fresh path, the conservative
+// 1/R on blind or stale windows), so the fleet-wide deposit sums to about
+// the leased rate. The deposit widens Granted and Ceil in the trace record —
+// admitting leased work is never an over-admission — but leaves Floor alone:
+// a holder is not obliged to draw its lease, and the under-floor audit must
+// not flag the idle case.
+func (r *Redirector) depositLeaseCommunity(rec *obs.Record, i int, scale float64) {
+	lc := r.e.leases.Load()
+	if lc == nil || lc.matrix == nil || scale <= 0 {
+		return
+	}
+	d := 0.0
+	for k := 0; k < r.e.n; k++ {
+		v := lc.matrix[i][k] * scale
+		r.credits[i][k] += v
+		d += v
+	}
+	if d > 0 && rec != nil {
+		rec.Granted[i] += d
+		rec.Ceil[i] += d
+	}
+}
+
+// depositLeaseProvider is depositLeaseCommunity for Provider mode: the
+// holder's leased total lands in its single credit bucket.
+func (r *Redirector) depositLeaseProvider(rec *obs.Record, p int, scale float64) {
+	lc := r.e.leases.Load()
+	if lc == nil || lc.total == nil || scale <= 0 {
+		return
+	}
+	v := lc.total[p] * scale
+	if v <= 0 {
+		return
+	}
+	r.creditsTotal[p] += v
+	if rec != nil {
+		rec.Granted[p] += v
+		rec.Ceil[p] += v
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"repro/internal/agreement"
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -57,6 +58,15 @@ type Options struct {
 	// restarted plane's next mutation produces Resume.Version+1 instead of
 	// restarting at 1 and being discarded fleet-wide as stale.
 	Resume *agreement.Set
+	// SaveLeases, when non-nil, receives the versioned lease table after
+	// every lease mutation (internal/persist durably stores it alongside
+	// agreement sets). Called under the plane mutex; keep it fast.
+	SaveLeases func(t *budget.Table)
+	// ResumeLeases, when non-nil, is the newest durable lease table a
+	// restarted host recovered: New restores the ledger from it (id sequence
+	// included) and re-installs the active leases' credit on the engine, so
+	// leases survive a crash with at most one un-synced mutation lost.
+	ResumeLeases *budget.Table
 }
 
 // Plane is the control plane for one engine. All mutations serialize through
@@ -73,6 +83,13 @@ type Plane struct {
 	// version numbers accepted mutations; snapshots carry it as their
 	// agreement.Set version.
 	version uint64
+
+	// ledger tracks leases (see lease.go); nominal remembers each owner's
+	// pre-lease capacity while any of its capacity is set aside, and
+	// leaseVersion numbers durable lease-table snapshots.
+	ledger       *budget.Ledger
+	nominal      map[string]float64
+	leaseVersion uint64
 }
 
 // New builds a control plane over sys (the authoritative agreement system,
@@ -98,7 +115,19 @@ func New(sys *agreement.System, eng *core.Engine, opt Options) (*Plane, error) {
 	if lead <= 0 {
 		lead = DefaultLead
 	}
-	return &Plane{sys: clone, flows: flows, eng: eng, opt: opt, lead: lead, version: version}, nil
+	p := &Plane{
+		sys: clone, flows: flows, eng: eng, opt: opt, lead: lead, version: version,
+		ledger:  budget.NewLedger(),
+		nominal: make(map[string]float64),
+	}
+	if opt.ResumeLeases != nil {
+		p.ledger.Restore(opt.ResumeLeases)
+		p.leaseVersion = opt.ResumeLeases.Version
+		// The resumed agreement set already carries the capacity set-asides;
+		// the credit side is engine-local state and must be re-installed.
+		p.pushLeaseCreditsLocked()
+	}
+	return p, nil
 }
 
 // Version returns the version of the newest accepted mutation (0 before

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"repro/internal/agreement"
+	"repro/internal/budget"
 	"repro/internal/core"
 )
 
@@ -40,15 +42,23 @@ type statusJSON struct {
 //	DELETE /v1/agreements?owner=&user=  remove one agreement
 //	POST   /v1/principals/join       {name, capacity}
 //	POST   /v1/principals/leave      {name}
+//	GET    /v1/leases                lease table, versions, reclaim bound
+//	POST   /v1/leases                grant {owner,holder,rate,windows}
+//	DELETE /v1/leases?id=N           revoke one lease
+//	POST   /v1/leases/renew          {id, windows}
+//	POST   /v1/leases/shrink         {id, rate}
 //
 // Every accepted mutation responds 200 with {"version": N} — the snapshot
-// version now rolling out. Validation failures respond 400 and change
-// nothing.
+// version now rolling out (lease mutations respond with the full lease).
+// Validation failures respond 400 and change nothing.
 func (p *Plane) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/agreements", p.serveAgreements)
 	mux.HandleFunc("/v1/principals/join", p.serveJoin)
 	mux.HandleFunc("/v1/principals/leave", p.serveLeave)
+	mux.HandleFunc("/v1/leases", p.serveLeases)
+	mux.HandleFunc("/v1/leases/renew", p.serveLeaseRenew)
+	mux.HandleFunc("/v1/leases/shrink", p.serveLeaseShrink)
 	return mux
 }
 
@@ -63,7 +73,8 @@ func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	if !errors.Is(err, ErrPlane) && !errors.Is(err, agreement.ErrBadBounds) &&
 		!errors.Is(err, agreement.ErrOverCommitted) && !errors.Is(err, agreement.ErrBadCapacity) &&
-		!errors.Is(err, agreement.ErrSelfAgreement) && !errors.Is(err, agreement.ErrUnknown) {
+		!errors.Is(err, agreement.ErrSelfAgreement) && !errors.Is(err, agreement.ErrUnknown) &&
+		!errors.Is(err, budget.ErrLease) && !errors.Is(err, budget.ErrSpec) {
 		status = http.StatusInternalServerError
 	}
 	http.Error(w, err.Error(), status)
@@ -122,6 +133,103 @@ func (p *Plane) serveStatus(w http.ResponseWriter) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(st)
+}
+
+// leaseReqJSON is the wire form of lease mutations on the admin API.
+type leaseReqJSON struct {
+	ID      uint64  `json:"id,omitempty"`
+	Owner   string  `json:"owner,omitempty"`
+	Holder  string  `json:"holder,omitempty"`
+	Rate    float64 `json:"rate,omitempty"`
+	Windows int     `json:"windows,omitempty"`
+}
+
+// leaseStatusJSON is the GET /v1/leases response body.
+type leaseStatusJSON struct {
+	Version      uint64         `json:"version"`
+	SetVersion   uint64         `json:"set_version"`
+	ReclaimBound int            `json:"reclaim_bound_windows"`
+	Leases       []budget.Lease `json:"leases"`
+}
+
+func writeLease(w http.ResponseWriter, ls budget.Lease) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ls)
+}
+
+func (p *Plane) serveLeases(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		p.mu.Lock()
+		st := leaseStatusJSON{
+			Version:      p.leaseVersion,
+			SetVersion:   p.version,
+			ReclaimBound: p.lead + 1,
+			Leases:       p.ledger.List(),
+		}
+		p.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	case http.MethodPost:
+		var body leaseReqJSON
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ls, err := p.GrantLease(body.Owner, body.Holder, body.Rate, body.Windows)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeLease(w, ls)
+	case http.MethodDelete:
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ls, err := p.RevokeLease(budget.LeaseID(id))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeLease(w, ls)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (p *Plane) serveLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	p.serveLeaseMutation(w, r, func(body leaseReqJSON) (budget.Lease, error) {
+		return p.RenewLease(budget.LeaseID(body.ID), body.Windows)
+	})
+}
+
+func (p *Plane) serveLeaseShrink(w http.ResponseWriter, r *http.Request) {
+	p.serveLeaseMutation(w, r, func(body leaseReqJSON) (budget.Lease, error) {
+		return p.ShrinkLease(budget.LeaseID(body.ID), body.Rate)
+	})
+}
+
+func (p *Plane) serveLeaseMutation(w http.ResponseWriter, r *http.Request,
+	apply func(leaseReqJSON) (budget.Lease, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var body leaseReqJSON
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		http.Error(w, "bad body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ls, err := apply(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeLease(w, ls)
 }
 
 func (p *Plane) serveJoin(w http.ResponseWriter, r *http.Request) {

@@ -182,6 +182,7 @@ var registry = []struct {
 	{"ext-chaos", ExtChaos},
 	{"ext-reconfig", ExtReconfig},
 	{"ext-soak", ExtSoak},
+	{"ext-budget", ExtBudget},
 }
 
 // IDs lists all experiment identifiers in order.

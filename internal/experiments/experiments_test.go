@@ -214,7 +214,7 @@ func TestExperimentsAreDeterministic(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("IDs = %v", ids)
 	}
 	if _, err := Run("nope"); err == nil || !strings.Contains(err.Error(), "unknown id") {
@@ -269,5 +269,23 @@ func TestExtHierPlane(t *testing.T) {
 	}
 	if res.Values["promoted-parent@west"] != 0 || res.Values["leaf-parent@west"] != 4 {
 		t.Fatalf("west region re-parented wrong: %v", res.Values)
+	}
+}
+
+// TestExtBudget: entitlements fold down the budget tree, the burst never
+// pushes a sibling under its floor, the mid-run lease sets capacity aside
+// and reclaims it within the documented bound, and the run replays
+// bit-identically.
+func TestExtBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res := runAndCheck(t, "ext-budget")
+	if res.Values["identical@replay"] != 1 {
+		t.Fatal("two runs of the experiment diverged: not deterministic")
+	}
+	if res.Values["set-aside@capacity"] != 120 || res.Values["restored@capacity"] != 160 {
+		t.Fatalf("lease capacity set-aside/reclaim missed the %v-window bound: %v",
+			res.Values["bound@reclaim"], res.Values)
 	}
 }

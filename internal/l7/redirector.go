@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/agreement"
+	"repro/internal/budget"
 	"repro/internal/combining"
 	"repro/internal/core"
 	"repro/internal/ctrlplane"
@@ -349,6 +350,23 @@ func NewRedirector(cfg RedirectorConfig) (*Redirector, error) {
 		// recovered snapshot, so its next mutation is not discarded
 		// fleet-wide as stale.
 		opt := ctrlplane.Options{Lead: cfg.CtrlLead, Logger: cfg.Engine.Logger(), Resume: resumeSet}
+		if cfg.Persist != nil {
+			// Leases ride the same durable store: the table is saved after
+			// every lease mutation and recovered on restart, so long-lived
+			// reservations survive a crash with bounded loss.
+			store := cfg.Persist
+			logger := cfg.Engine.Logger()
+			opt.SaveLeases = func(t *budget.Table) {
+				if perr := store.SaveLeases(t); perr != nil {
+					logger.Error("persist lease table", "version", t.Version, "err", perr)
+				}
+			}
+			if lt, perr := store.LoadNewestLeases(); perr == nil {
+				opt.ResumeLeases = lt
+			} else {
+				logger.Error("load lease table", "err", perr)
+			}
+		}
 		if r.tree != nil {
 			tree := r.tree
 			opt.Epoch = func() int {

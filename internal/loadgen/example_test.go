@@ -1,0 +1,22 @@
+package loadgen_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// A stream expands into explicit send offsets — a pure function of the
+// stream and the horizon, so every run (and every platform) replays the
+// same schedule bit-identically.
+func ExampleStream_Schedule() {
+	s := loadgen.Stream{Principal: 0, Rate: 4, Process: loadgen.Uniform}
+	for _, at := range s.Schedule(time.Second) {
+		fmt.Println(at)
+	}
+	// Output:
+	// 250ms
+	// 500ms
+	// 750ms
+}

@@ -44,8 +44,9 @@ type HandlerConfig struct {
 	// exports rsa_flight_captures_total.
 	Flight *FlightRecorder
 
-	// Control, when non-nil, is mounted under /v1/agreements and
-	// /v1/principals — the dynamic agreement control plane's admin API
+	// Control, when non-nil, is mounted under /v1/agreements,
+	// /v1/principals and /v1/leases — the dynamic agreement control
+	// plane's admin API
 	// (internal/ctrlplane.Handler).
 	Control http.Handler
 	// Config, when non-nil, supplies the engine's configuration-version
@@ -87,6 +88,7 @@ type ConfigInfo struct {
 //	/v1/topology         combining-plane snapshot (when configured)
 //	/v1/agreements       dynamic agreement control plane (when configured)
 //	/v1/principals/...   principal join/leave (when configured)
+//	/v1/leases           lease grant/renew/shrink/revoke (when configured)
 //	/debug/pprof/...     net/http/pprof
 //
 // The pre-versioning paths /metrics and /debug/windows remain as aliases;
@@ -140,6 +142,8 @@ func (h *Handler) Register(mux *http.ServeMux) {
 		mux.Handle("/v1/agreements", h.cfg.Control)
 		mux.Handle("/v1/agreements/", h.cfg.Control)
 		mux.Handle("/v1/principals/", h.cfg.Control)
+		mux.Handle("/v1/leases", h.cfg.Control)
+		mux.Handle("/v1/leases/", h.cfg.Control)
 	}
 	if !h.cfg.DisablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

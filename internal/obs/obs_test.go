@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -352,5 +353,28 @@ func TestHandlerNilSources(t *testing.T) {
 	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/windows", nil))
 	if rr.Code != 200 {
 		t.Fatalf("/debug/windows with no observers: status %d", rr.Code)
+	}
+}
+
+func TestHandlerControlMounts(t *testing.T) {
+	// The control plane's admin API must be reachable through the admin
+	// mux under every path family it serves — a handler that answers
+	// /v1/agreements but 404s /v1/leases strands the lease runbook.
+	ctrl := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ctrl:"+r.URL.Path)
+	})
+	h := NewHandler(HandlerConfig{Control: ctrl})
+	for _, path := range []string{
+		"/v1/agreements",
+		"/v1/principals/join",
+		"/v1/leases",
+		"/v1/leases/renew",
+		"/v1/leases/shrink",
+	} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != 200 || rr.Body.String() != "ctrl:"+path {
+			t.Errorf("%s: status %d body %q, want the control plane", path, rr.Code, rr.Body.String())
+		}
 	}
 }

@@ -10,7 +10,9 @@
 //     committed by temp-file + fsync + atomic rename so a crash can never
 //     leave a half-written snapshot under the final name. Encoding reuses
 //     agreement.Set's Encode/DecodeSet, the same bytes the combining tree
-//     piggybacks.
+//     piggybacks. Lease tables (internal/budget) follow the identical
+//     discipline as leases-<version>.json, so long-lived reservations
+//     survive a crash with at most one un-synced mutation lost.
 //   - A small append-only window log ("wal") of WindowState records, each
 //     framed as [4-byte length][4-byte CRC32][JSON payload] and fsynced on
 //     append. Replay at Open validates frames in order and truncates the
@@ -36,6 +38,7 @@ import (
 	"sync"
 
 	"repro/internal/agreement"
+	"repro/internal/budget"
 )
 
 // ErrClosed reports use of a Store after Close.
@@ -278,26 +281,82 @@ func (s *Store) SaveSet(set *agreement.Set) error {
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, "set.tmp*")
+	return s.commitFile(path, "set", data)
+}
+
+// commitFile durably writes data under path by temp file + fsync + atomic
+// rename + directory fsync, the discipline every versioned snapshot shares.
+func (s *Store) commitFile(path, kind string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, kind+".tmp*")
 	if err != nil {
-		return fmt.Errorf("persist: save set: %w", err)
+		return fmt.Errorf("persist: save %s: %w", kind, err)
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
-		return fmt.Errorf("persist: save set: %w", err)
+		return fmt.Errorf("persist: save %s: %w", kind, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("persist: save set: %w", err)
+		return fmt.Errorf("persist: save %s: %w", kind, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("persist: save set: %w", err)
+		return fmt.Errorf("persist: save %s: %w", kind, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("persist: save set: %w", err)
+		return fmt.Errorf("persist: save %s: %w", kind, err)
 	}
 	return syncDir(s.dir)
+}
+
+// SaveLeases durably stores a lease-table snapshot as leases-<version>.json,
+// under the same commit discipline as SaveSet. Tables are immutable per
+// version; re-saving a version is a cheap no-op. A crash between a lease
+// mutation and this save costs at most that one mutation — the same bounded
+// loss as the window log.
+func (s *Store) SaveLeases(t *budget.Table) error {
+	if t == nil {
+		return errors.New("persist: nil lease table")
+	}
+	path := filepath.Join(s.dir, leaseFileName(t.Version))
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	data, err := budget.EncodeTable(t)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return s.commitFile(path, "leases", data)
+}
+
+// LoadNewestLeases returns the highest-versioned decodable lease table in
+// the directory, or (nil, nil) on a cold start. Undecodable files are
+// skipped like agreement-set snapshots.
+func (s *Store) LoadNewestLeases() (*budget.Table, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var best *budget.Table
+	for _, e := range entries {
+		v, ok := versionedFileName(e.Name(), "leases-")
+		if !ok {
+			continue
+		}
+		if best != nil && v <= best.Version {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		t, err := budget.DecodeTable(data)
+		if err != nil || t.Version != v {
+			continue
+		}
+		best = t
+	}
+	return best, nil
 }
 
 // LoadNewestSet returns the highest-versioned decodable agreement-set
@@ -354,12 +413,22 @@ func setFileName(version uint64) string {
 	return fmt.Sprintf("set-%d.json", version)
 }
 
+// leaseFileName renders the snapshot file name for a lease-table version.
+func leaseFileName(version uint64) string {
+	return fmt.Sprintf("leases-%d.json", version)
+}
+
 // setFileVersion parses a snapshot file name; ok is false for other files.
 func setFileVersion(name string) (uint64, bool) {
-	if !strings.HasPrefix(name, "set-") || !strings.HasSuffix(name, ".json") {
+	return versionedFileName(name, "set-")
+}
+
+// versionedFileName parses "<prefix><version>.json"; ok is false otherwise.
+func versionedFileName(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".json") {
 		return 0, false
 	}
-	v, err := strconv.ParseUint(name[len("set-"):len(name)-len(".json")], 10, 64)
+	v, err := strconv.ParseUint(name[len(prefix):len(name)-len(".json")], 10, 64)
 	if err != nil {
 		return 0, false
 	}

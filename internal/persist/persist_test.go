@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/budget"
 	"repro/internal/core"
 )
 
@@ -368,4 +369,49 @@ func deepCopy(m [][]float64) [][]float64 {
 		out[i] = append([]float64(nil), m[i]...)
 	}
 	return out
+}
+
+func TestLeaseTableRoundTripAndNewest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got, err := s.LoadNewestLeases(); err != nil || got != nil {
+		t.Fatalf("cold start: %v %v", got, err)
+	}
+	ledger := budget.NewLedger()
+	if _, err := ledger.Grant("org", "svc", 30, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveLeases(ledger.Snapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ledger.Grant("org", "batch", 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveLeases(ledger.Snapshot(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-saving an existing version is a no-op, and corrupt higher versions
+	// are skipped in favor of the newest decodable table.
+	if err := s.SaveLeases(ledger.Snapshot(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "leases-3.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadNewestLeases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Version != 2 || len(got.Leases) != 2 || got.Leases[1].Holder != "batch" {
+		t.Fatalf("newest lease table: %+v", got)
+	}
+	restored := budget.NewLedger()
+	restored.Restore(got)
+	if restored.ReservedBy("org") != 40 {
+		t.Fatalf("restored reservation = %v, want 40", restored.ReservedBy("org"))
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/agreement"
+	"repro/internal/budget"
 	"repro/internal/cluster"
 	"repro/internal/combining"
 	"repro/internal/core"
@@ -428,7 +429,7 @@ func (s *Sim) EnableControlPlane(lead int) (*ctrlplane.Plane, error) {
 		return nil, fmt.Errorf("%w: no live tree root", ErrConfig)
 	}
 	tree := root.Tree
-	return ctrlplane.New(s.Engine.System(), s.Engine, ctrlplane.Options{
+	opt := ctrlplane.Options{
 		Lead:  lead,
 		Epoch: tree.Epoch,
 		Publish: func(set *agreement.Set, gate int) {
@@ -450,7 +451,24 @@ func (s *Sim) EnableControlPlane(lead int) (*ctrlplane.Plane, error) {
 				}
 			}
 		},
-	})
+	}
+	// Leases ride the same durable store as agreement sets when persistence
+	// is armed: the versioned lease table is saved after every mutation and
+	// the newest table recovered on a fresh attach, so long-lived leases
+	// survive a control-plane restart with at most one mutation lost.
+	if st := s.stores[int(tree.ID())]; st != nil {
+		opt.SaveLeases = func(t *budget.Table) {
+			if err := st.SaveLeases(t); err != nil {
+				panic(fmt.Sprintf("sim: persist lease table v%d: %v", t.Version, err))
+			}
+		}
+		tbl, err := st.LoadNewestLeases()
+		if err != nil {
+			return nil, fmt.Errorf("sim: load lease table: %w", err)
+		}
+		opt.ResumeLeases = tbl
+	}
+	return ctrlplane.New(s.Engine.System(), s.Engine, opt)
 }
 
 // EnablePersistence arms the durable-state plane: every redirector gets a

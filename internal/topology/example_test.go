@@ -1,0 +1,29 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// Two regions compile into regional sub-trees under a global tier: each
+// region aggregates through its own sub-root before anything crosses the
+// WAN to the global root.
+func ExampleCompile() {
+	plane, err := topology.Compile(topology.Spec{
+		Regions: []topology.Region{
+			{Name: "east", Members: []int{0, 1, 2}},
+			{Name: "west", Members: []int{3, 4, 5}},
+		},
+		Fanout: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("root %d, %d levels\n", plane.Root(), plane.Levels())
+	p, _ := plane.Placement(3)
+	fmt.Printf("node 3: region %s, sub-root %v, parent %d\n", p.Region, p.SubRoot, p.Parent)
+	// Output:
+	// root 0, 3 levels
+	// node 3: region west, sub-root true, parent 0
+}

@@ -5,5 +5,5 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-go run ./cmd/linkcheck README.md DESIGN.md EXPERIMENTS.md OPERATIONS.md ROADMAP.md
+go run ./cmd/linkcheck README.md DESIGN.md EXPERIMENTS.md OPERATIONS.md ROADMAP.md docs/CONCEPTS.md
 echo "linkcheck: all markdown links resolve"
